@@ -1,0 +1,113 @@
+// Ablation — the GlobalBuffer static hash map vs std::unordered_map
+// (design claim of paper section IV-G2: "Normal hash maps frequently
+// increase in size as data is inserted, causing dynamic memory allocation
+// and deallocation. Our design is instead to use static memory.").
+//
+// Measures buffered store+load streams and the validate/commit/finalize
+// cycle for thread footprints of various sizes.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/global_buffer.h"
+
+namespace {
+
+using namespace mutls;
+
+std::vector<uint64_t>& arena() {
+  static std::vector<uint64_t> a(1 << 20, 1);
+  return a;
+}
+
+// Word addresses with a stride pattern similar to block-based workloads.
+std::vector<uintptr_t> make_addresses(size_t n) {
+  std::vector<uintptr_t> addrs;
+  addrs.reserve(n);
+  uint64_t x = 88172645463325252ull;
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    addrs.push_back(
+        reinterpret_cast<uintptr_t>(&arena()[x % arena().size()]));
+  }
+  return addrs;
+}
+
+void BM_GlobalBufferStoreLoad(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto addrs = make_addresses(n);
+  GlobalBuffer buf;
+  buf.init(18, 65536);
+  for (auto _ : state) {
+    for (uintptr_t a : addrs) {
+      uint64_t v = a;
+      buf.store_bytes(a, &v, 8);
+    }
+    uint64_t out = 0;
+    for (uintptr_t a : addrs) {
+      buf.load_bytes(a, &out, 8);
+      benchmark::DoNotOptimize(out);
+    }
+    buf.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_GlobalBufferStoreLoad)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_UnorderedMapStoreLoad(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto addrs = make_addresses(n);
+  for (auto _ : state) {
+    std::unordered_map<uintptr_t, uint64_t> map;
+    for (uintptr_t a : addrs) map[a] = a;
+    uint64_t out = 0;
+    for (uintptr_t a : addrs) {
+      auto it = map.find(a);
+      if (it != map.end()) out = it->second;
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_UnorderedMapStoreLoad)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ValidateCommitCycle(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto addrs = make_addresses(n);
+  GlobalBuffer buf;
+  buf.init(18, 65536);
+  for (auto _ : state) {
+    uint64_t v = 7;
+    for (uintptr_t a : addrs) {
+      buf.load_bytes(a, &v, 8);
+      buf.store_bytes(a, &v, 8);
+    }
+    bool ok = buf.validate_against_memory();
+    benchmark::DoNotOptimize(ok);
+    buf.commit_to_memory();
+    buf.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ValidateCommitCycle)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The offsets stack is what keeps small-footprint threads fast even with a
+// large static map: reset cost must scale with entries used, not capacity.
+void BM_ResetSmallFootprintLargeMap(benchmark::State& state) {
+  GlobalBuffer buf;
+  buf.init(20, 65536);  // 1M-slot map
+  auto addrs = make_addresses(16);
+  for (auto _ : state) {
+    uint64_t v = 1;
+    for (uintptr_t a : addrs) buf.store_bytes(a, &v, 8);
+    buf.reset();
+  }
+}
+BENCHMARK(BM_ResetSmallFootprintLargeMap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Figure 6 — speculative path efficiency eta_sp = sum(Twork_sp) /
+// sum(Truntime_sp) versus CPU count, all benchmarks.
+//
+// Paper shape: 3x+1/mandelbrot/md highest; fft and matmult degrade sharply
+// with core count (idle time from small deep-recursion threads dominates).
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace mutls;
+  using namespace mutls::bench;
+  HarnessArgs args = parse_args(argc, argv);
+  auto ws = make_workloads(args);
+
+  if (args.measured) {
+    std::printf("FIG 6 (measured) — speculative path efficiency\n");
+    std::printf("%-11s", "benchmark");
+    for (int n : args.measured_cpus) {
+      if (n > 1) std::printf(" %6d", n);
+    }
+    std::printf("\n");
+    for (BenchWorkload& w : ws) {
+      std::printf("%-11s", w.name.c_str());
+      for (int n : args.measured_cpus) {
+        if (n == 1) continue;
+        workloads::SpecRun r = w.spec(n, ForkModel::kMixed, 0.0);
+        std::printf(" %6.3f", r.stats.speculative_efficiency());
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (args.sim) {
+    std::printf(
+        "\nFIG 6 (simulated, paper scale) — speculative path efficiency\n");
+    std::printf("%-11s", "benchmark");
+    for (int n : args.sim_cpus) std::printf(" %6d", n);
+    std::printf("\n");
+    for (BenchWorkload& w : ws) {
+      std::printf("%-11s", w.name.c_str());
+      for (int n : args.sim_cpus) {
+        sim::SimModel m = w.sim_model();
+        sim::SimResult r =
+            sim::Simulator(sim_opts(n, ForkModel::kMixed)).run(m);
+        std::printf(" %6.3f", r.speculative_efficiency());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

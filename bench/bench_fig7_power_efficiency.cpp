@@ -1,0 +1,55 @@
+// Figure 7 — power efficiency eta_power = Ts / (Truntime_nonsp + sum
+// Truntime_sp) versus CPU count, plus the parallel execution coverage
+// C = sum(Truntime_sp) / Truntime_nonsp quoted in the text (23.1 to 60.7).
+//
+// Paper reference at 64 cores: compute-intensive 60-76%; nqueen 15%,
+// tsp 14%, bh 10%, fft 8.4%, matmult 5.3%.
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace mutls;
+  using namespace mutls::bench;
+  HarnessArgs args = parse_args(argc, argv);
+  auto ws = make_workloads(args);
+
+  if (args.measured) {
+    std::printf("FIG 7 (measured) — power efficiency (and coverage C)\n");
+    std::printf("%-11s %-6s %-10s %-10s\n", "benchmark", "cpus", "eta_power",
+                "coverage");
+    for (BenchWorkload& w : ws) {
+      workloads::SeqRun seq = w.seq();
+      for (int n : args.measured_cpus) {
+        if (n == 1) continue;
+        workloads::SpecRun r = w.spec(n, ForkModel::kMixed, 0.0);
+        check_checksum(w, r.checksum, seq.checksum);
+        std::printf("%-11s %-6d %-10.3f %-10.2f\n", w.name.c_str(), n,
+                    r.stats.power_efficiency(
+                        static_cast<uint64_t>(seq.seconds * 1e9)),
+                    r.stats.coverage());
+      }
+    }
+  }
+
+  if (args.sim) {
+    std::printf("\nFIG 7 (simulated, paper scale) — power efficiency\n");
+    std::printf("%-11s", "benchmark");
+    for (int n : args.sim_cpus) std::printf(" %6d", n);
+    std::printf("   C@64\n");
+    for (BenchWorkload& w : ws) {
+      std::printf("%-11s", w.name.c_str());
+      double cov64 = 0;
+      for (int n : args.sim_cpus) {
+        sim::SimModel m = w.sim_model();
+        sim::SimResult r =
+            sim::Simulator(sim_opts(n, ForkModel::kMixed)).run(m);
+        std::printf(" %6.3f", r.power_efficiency());
+        if (n == 64) cov64 = r.coverage();
+      }
+      std::printf(" %6.1f\n", cov64);
+    }
+    std::printf(
+        "paper@64: compute 60-76%%; nqueen 15%%, tsp 14%%, bh 10%%, fft "
+        "8.4%%, matmult 5.3%%; coverage 23.1-60.7\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Side-by-side demonstration of the three forking models (paper section
+// II) on both program shapes:
+//
+//  * a chunked loop — where in-order shines and out-of-order is capped at
+//    two threads, and
+//  * a tree recursion — where only the mixed model unfolds the whole tree.
+//
+// Uses the discrete-event simulator at 16 and 64 virtual CPUs, so the
+// demonstration is exact and instant on any host.
+#include <cstdio>
+
+#include "sim/models.h"
+#include "sim/sim.h"
+
+namespace {
+
+void show(const char* label, mutls::sim::SimModel (*build)()) {
+  using namespace mutls;
+  std::printf("%s\n", label);
+  std::printf("  %-13s %10s %10s\n", "model", "16 CPUs", "64 CPUs");
+  for (ForkModel m : {ForkModel::kMixed, ForkModel::kInOrder,
+                      ForkModel::kOutOfOrder}) {
+    double s16, s64;
+    {
+      sim::Simulator::Options o;
+      o.num_cpus = 15;
+      o.model = m;
+      sim::SimModel mod = build();
+      s16 = sim::Simulator(o).run(mod).speedup();
+    }
+    {
+      sim::Simulator::Options o;
+      o.num_cpus = 63;
+      o.model = m;
+      sim::SimModel mod = build();
+      s64 = sim::Simulator(o).run(mod).speedup();
+    }
+    std::printf("  %-13s %9.2fx %9.2fx\n", fork_model_name(m), s16, s64);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  show("chunked loop (3x+1):", [] { return mutls::sim::model_threex(); });
+  show("tree recursion (nqueen):", [] { return mutls::sim::model_nqueen(); });
+  std::printf(
+      "loop: in-order == mixed, out-of-order capped near 2x.\n"
+      "tree: mixed clearly ahead of both simple models (the paper's core "
+      "claim).\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "api/runtime.h"
+
+namespace mutls {
+
+void Ctx::check_registered(uintptr_t a, size_t n) {
+  for (int i = 0; i < kSpanCache; ++i) {
+    if (a >= span_lo_[i] && a + n <= span_hi_[i]) return;
+  }
+  int slot = span_next_;
+  span_next_ = (span_next_ + 1) % kSpanCache;
+  if (rt_->manager().address_space().lookup(a, n, &span_lo_[slot],
+                                            &span_hi_[slot])) {
+    return;
+  }
+  span_lo_[slot] = 1;
+  span_hi_[slot] = 0;
+  // Wild speculative access (paper IV-G1): roll back instead of faulting.
+  td_->gbuf.doom("access outside the registered address space");
+  throw SpecAbort{"access outside the registered address space"};
+}
+
+}  // namespace mutls

@@ -1,0 +1,475 @@
+// Native C++ embedding of MUTLS.
+//
+// This is the call sequence the paper's speculator pass emits, packaged as
+// a direct API so C++ programs can speculate without going through the IR
+// path: fork() is MUTLS_get_CPU + save-live-locals + MUTLS_speculate,
+// join() is MUTLS_validate_local + MUTLS_synchronize (re-executing the
+// speculated region inline on rollback, exactly what the non-speculative
+// thread does after a failed speculation), Ctx::load/store are the
+// MUTLS_load_*/MUTLS_store_* wrappers, and Ctx::check_point is
+// MUTLS_check_point. The end of a speculated region is its barrier point.
+//
+// Usage sketch (tree-form divide and conquer):
+//
+//   mutls::Runtime rt({.num_cpus = 8});
+//   rt.run([&](mutls::Ctx& ctx) { solve(rt, ctx, root_problem); });
+//
+//   void solve(Runtime& rt, Ctx& ctx, Problem p) {
+//     if (p.small()) { leaf(ctx, p); return; }
+//     auto [a, b] = p.split();
+//     mutls::Spec s = rt.fork(ctx, ForkModel::kMixed,
+//                             [&, b](Ctx& c) { solve(rt, c, b); });
+//     solve(rt, ctx, a);
+//     rt.join(ctx, s);   // commit, or re-execute b inline on rollback
+//     p.combine(ctx);
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "api/scalar_access.h"
+#include "runtime/spec_abort.h"
+#include "runtime/thread_manager.h"
+
+namespace mutls {
+
+class Runtime;
+
+// Execution context of one thread (speculative or not). Every shared-memory
+// access inside a speculated region must go through this wrapper.
+class Ctx {
+ public:
+  bool speculative() const { return td_->is_speculative(); }
+  int rank() const { return td_->rank; }
+  Runtime& runtime() const { return *rt_; }
+  ThreadData& thread_data() const { return *td_; }
+
+  template <typename T>
+  T load(const T* p) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++td_->stats.loads;
+    if (!td_->is_speculative()) {
+      return relaxed_load_scalar(p);
+    }
+    uintptr_t a = reinterpret_cast<uintptr_t>(p);
+    check_registered(a, sizeof(T));
+    T out;
+    td_->gbuf.load_bytes(a, &out, sizeof(T));
+    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+    return out;
+  }
+
+  template <typename T>
+  void store(T* p, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++td_->stats.stores;
+    if (!td_->is_speculative()) {
+      relaxed_store_scalar(p, v);
+      return;
+    }
+    uintptr_t a = reinterpret_cast<uintptr_t>(p);
+    check_registered(a, sizeof(T));
+    td_->gbuf.store_bytes(a, &v, sizeof(T));
+    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+  }
+
+  // Read-modify-write convenience.
+  template <typename T>
+  void add(T* p, T v) {
+    store(p, static_cast<T>(load(p) + v));
+  }
+
+  // MUTLS_check_point: polls the synchronization flags. Inserted inside
+  // loops and before calls so a speculative thread notices abort signals
+  // promptly (paper IV-E).
+  void check_point() {
+    if (!td_->is_speculative()) return;
+    SyncStatus s = td_->sync_status.load(std::memory_order_acquire);
+    if (s == SyncStatus::kNoSync) {
+      throw SpecAbort{"NOSYNC received at check point"};
+    }
+    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+  }
+
+  // Live-in value stored at fork (paper IV-G3): reads slot `offset` of this
+  // thread's RegisterBuffer.
+  template <typename T>
+  T get_livein(int offset) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    uint64_t raw = 0;
+    if (!td_->lbuf.top().regs.get(offset, raw)) {
+      td_->gbuf.doom("register buffer offset out of range");
+      throw SpecAbort{"register buffer offset out of range"};
+    }
+    T out;
+    std::memcpy(&out, &raw, sizeof(T));
+    return out;
+  }
+
+ private:
+  friend class Runtime;
+  Ctx(Runtime& rt, ThreadData& td) : rt_(&rt), td_(&td) {}
+
+  void check_registered(uintptr_t a, size_t n);
+
+  Runtime* rt_;
+  ThreadData* td_;
+  // Small cache of recent address-space lookups: workloads typically touch
+  // a handful of registered arrays in rotation, so a few entries remove
+  // the shared-mutex lookup from the speculative hot path entirely.
+  static constexpr int kSpanCache = 4;
+  uintptr_t span_lo_[kSpanCache] = {1, 1, 1, 1};
+  uintptr_t span_hi_[kSpanCache] = {0, 0, 0, 0};
+  int span_next_ = 0;
+};
+
+// Live-in prediction (paper IV-G4): `parent_addr` names the parent-side
+// variable; `predicted` is the value the child was given. At the join
+// point the parent validates that its variable indeed holds the predicted
+// value, otherwise the child is forced to roll back.
+struct Prediction {
+  const void* parent_addr;
+  uint64_t predicted;
+  size_t size;
+
+  template <typename T>
+  static Prediction of(const T* addr, T value) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    uint64_t raw = 0;
+    std::memcpy(&raw, &value, sizeof(T));
+    return Prediction{addr, raw, sizeof(T)};
+  }
+};
+
+// Handle of one speculation attempt; also carries the speculated region so
+// join() can execute it inline when speculation failed or rolled back.
+class Spec {
+ public:
+  bool speculated() const { return speculated_; }
+  int rank() const { return ref_.rank; }
+
+ private:
+  friend class Runtime;
+  ChildRef ref_;
+  bool speculated_ = false;
+  std::function<void(Ctx&)> task_;
+  std::vector<Prediction> predictions_;
+};
+
+enum class JoinOutcome {
+  kCommitted,   // speculation validated and committed
+  kRolledBack,  // speculation failed; region re-executed inline
+  kSequential,  // speculation was never granted; region executed inline
+};
+
+class Runtime {
+ public:
+  struct Options {
+    int num_cpus = 4;
+    int buffer_log2 = 16;
+    size_t overflow_cap = 4096;
+    int register_slots = 256;
+    double rollback_probability = 0.0;
+    uint64_t seed = 0x5eed;
+    std::optional<ForkModel> model_override;
+  };
+
+  explicit Runtime(const Options& opt)
+      : mgr_(ManagerConfig{opt.num_cpus, opt.buffer_log2, opt.overflow_cap,
+                           opt.register_slots, opt.rollback_probability,
+                           opt.seed, opt.model_override}) {}
+
+  // __builtin_MUTLS_fork: attempts to speculate `body` (the code that
+  // follows the matching join point). Returns a handle; when speculation is
+  // denied the handle simply defers `body` to join().
+  template <typename F>
+  Spec fork(Ctx& ctx, ForkModel model, F&& body) {
+    return fork_predicted(ctx, model, {}, std::forward<F>(body));
+  }
+
+  // fork with live-in value prediction: `preds[i]` is stored into the
+  // child's RegisterBuffer slot i (readable via Ctx::get_livein<T>(i)) and
+  // validated against the parent's variable at the join point.
+  template <typename F>
+  Spec fork_predicted(Ctx& ctx, ForkModel model,
+                      std::vector<Prediction> preds, F&& body) {
+    Spec s;
+    s.task_ = std::function<void(Ctx&)>(std::forward<F>(body));
+    s.predictions_ = std::move(preds);
+    auto task = s.task_;
+    const std::vector<Prediction>& predictions = s.predictions_;
+    // MUTLS_set_regvar_*: the proxy stores predicted live-ins into the
+    // child's RegisterBuffer before the stub starts consuming them.
+    auto setup = [&predictions](ThreadData& child) {
+      int off = 0;
+      for (const Prediction& p : predictions) {
+        child.lbuf.top().regs.set(off++, p.predicted);
+      }
+    };
+    int rank = mgr_.speculate(
+        ctx.thread_data(), model,
+        [this, task](ThreadData& td) {
+          Ctx child(*this, td);
+          task(child);
+        },
+        setup);
+    if (rank != 0) {
+      s.speculated_ = true;
+      s.ref_ = ctx.thread_data().children.back();
+    }
+    return s;
+  }
+
+  // Detached fork used by the loop-chain pattern: the forker does NOT join
+  // this child; the child is left on the children stack to be *adopted* by
+  // whoever joins the forker (paper IV-F: a joined child's children are
+  // preserved). `tag` is an opaque payload the eventual joiner receives,
+  // used to re-execute the region after a rollback.
+  template <typename F>
+  bool fork_tagged(Ctx& ctx, ForkModel model, uint64_t tag, F&& body) {
+    auto task = std::function<void(Ctx&)>(std::forward<F>(body));
+    int rank = mgr_.speculate(
+        ctx.thread_data(), model,
+        [this, task](ThreadData& td) {
+          Ctx child(*this, td);
+          task(child);
+        },
+        [tag](ThreadData& child) { child.user_tag = tag; });
+    return rank != 0;
+  }
+
+  struct AdoptedJoin {
+    bool joined = false;  // false: no child was on the stack
+    JoinOutcome outcome = JoinOutcome::kSequential;
+    uint64_t tag = 0;
+  };
+
+  // Joins the most recent child on the caller's children stack (own or
+  // adopted). On rollback the caller is responsible for re-executing the
+  // region identified by `tag` (typically after NOSYNC-ing the rest of the
+  // chain, since in-order semantics cascade the rollback).
+  AdoptedJoin join_next(Ctx& ctx) {
+    AdoptedJoin r;
+    ThreadData& td = ctx.thread_data();
+    if (td.children.empty()) return r;
+    r.joined = true;
+    ChildRef ref = td.children.back();
+    auto jr = mgr_.synchronize(td, ref, false, &r.tag);
+    r.outcome = jr == ThreadManager::JoinResult::kCommit
+                    ? JoinOutcome::kCommitted
+                    : JoinOutcome::kRolledBack;
+    return r;
+  }
+
+  // __builtin_MUTLS_join: synchronizes with the speculation `s`. On commit
+  // the speculated effects are already visible through the joiner's view;
+  // on rollback (or when speculation never happened) the region runs inline
+  // in the joiner's context.
+  JoinOutcome join(Ctx& ctx, Spec& s) {
+    if (!s.speculated_) {
+      s.task_(ctx);
+      return JoinOutcome::kSequential;
+    }
+    // MUTLS_validate_local: live-in predictions must match the parent's
+    // actual values at the join point (paper IV-G4).
+    bool force_rollback = false;
+    for (const Prediction& p : s.predictions_) {
+      uint64_t cur = 0;
+      std::memcpy(&cur, p.parent_addr, p.size);
+      uint64_t want = 0;
+      std::memcpy(&want, &p.predicted, p.size);
+      if (cur != want) {
+        force_rollback = true;
+        break;
+      }
+    }
+    ThreadManager::JoinResult r =
+        mgr_.synchronize(ctx.thread_data(), s.ref_, force_rollback);
+    if (r == ThreadManager::JoinResult::kCommit) {
+      return JoinOutcome::kCommitted;
+    }
+    s.task_(ctx);
+    return JoinOutcome::kRolledBack;
+  }
+
+  // Runs `f` as the non-speculative thread of one measured region and
+  // returns the aggregated statistics of the run.
+  template <typename F>
+  RunStats run(F&& f) {
+    mgr_.begin_run();
+    Ctx root(*this, mgr_.root());
+    f(root);
+    // NOSYNCed threads (in-order cascades, aborted subtrees) free their
+    // CPUs asynchronously at their next check point or barrier: give them
+    // a bounded window to drain before declaring a protocol violation.
+    uint64_t deadline = now_ns() + 5'000'000'000ull;
+    while (mgr_.live_threads() != 0 && now_ns() < deadline) {
+      std::this_thread::yield();
+    }
+    MUTLS_CHECK(mgr_.live_threads() == 0,
+                "speculative threads outlived the run (missing join)");
+    mgr_.end_run();
+    return mgr_.collect_stats();
+  }
+
+  // Address-space registration (paper IV-G1).
+  void register_memory(const void* p, size_t n) { mgr_.register_space(p, n); }
+  void unregister_memory(const void* p, size_t n) {
+    mgr_.unregister_space(p, n);
+  }
+
+  ThreadManager& manager() { return mgr_; }
+  int num_cpus() const { return mgr_.num_cpus(); }
+
+ private:
+  friend class Ctx;
+
+  ThreadManager mgr_;
+};
+
+// RAII registered heap array: the paper intercepts malloc/new to register
+// heap objects; in the embedding this wrapper plays that role.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray(Runtime& rt, size_t n, T init = T{})
+      : rt_(&rt), data_(n, init) {
+    rt_->register_memory(data_.data(), n * sizeof(T));
+  }
+  ~SharedArray() {
+    rt_->unregister_memory(data_.data(), data_.size() * sizeof(T));
+  }
+
+  SharedArray(const SharedArray&) = delete;
+  SharedArray& operator=(const SharedArray&) = delete;
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  Runtime* rt_;
+  std::vector<T> data_;
+};
+
+// RAII registration of an existing object (static / stack-shared data).
+class RegisteredRegion {
+ public:
+  RegisteredRegion(Runtime& rt, const void* p, size_t n)
+      : rt_(&rt), p_(p), n_(n) {
+    rt_->register_memory(p, n);
+  }
+  ~RegisteredRegion() { rt_->unregister_memory(p_, n_); }
+
+  RegisteredRegion(const RegisteredRegion&) = delete;
+  RegisteredRegion& operator=(const RegisteredRegion&) = delete;
+
+ private:
+  Runtime* rt_;
+  const void* p_;
+  size_t n_;
+};
+
+// Nested in-order loop driver: each chain link runs one chunk and joins the
+// speculated remainder itself. Simple, but a link whose fork was denied
+// executes the whole remaining range inline while earlier links wait at
+// their barriers — parallelism collapses when chunks exceed CPUs. Kept for
+// comparison (ablation) and for nesting inside other speculated regions.
+// The body receives (ctx, chunk_index, lo, hi).
+template <typename BodyFn>
+void spec_for_nested(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
+                     int chunks, ForkModel model, const BodyFn& body) {
+  if (begin >= end || chunks <= 0) return;
+  struct Driver {
+    Runtime& rt;
+    int64_t begin, end;
+    int chunks;
+    ForkModel model;
+    const BodyFn& body;
+
+    int64_t bound(int i) const {
+      return begin + (end - begin) * i / chunks;
+    }
+
+    void run(Ctx& c, int i) const {
+      if (i + 1 >= chunks) {
+        body(c, i, bound(i), bound(i + 1));
+        return;
+      }
+      Spec s = rt.fork(c, model, [this, i](Ctx& cc) { run(cc, i + 1); });
+      body(c, i, bound(i), bound(i + 1));
+      rt.join(c, s);
+    }
+  };
+  Driver d{rt, begin, end, chunks, model, body};
+  d.run(ctx, 0);
+}
+
+// In-order loop speculation driver (the paper's loop pattern, section II):
+// splits [begin, end) into `chunks` contiguous pieces. Every chain link
+// forks the continuation *detached* and executes its chunk; the calling
+// thread then joins the chain link by link, adopting each link's child
+// (paper IV-F: children survive the join). Each join frees a virtual CPU,
+// which the chain tail immediately reuses — reproducing the steady-state
+// redistribution of the paper's counter-based resumption, where with 64
+// chunks speedup plateaus from 32 to 63 CPUs and jumps at 64. A link whose
+// fork is denied simply continues the chain itself; a rolled-back link
+// cascades (the rest of the chain is NOSYNCed and re-executed inline), the
+// classic in-order rollback behaviour.
+// The body receives (ctx, chunk_index, lo, hi).
+template <typename BodyFn>
+void spec_for(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end, int chunks,
+              ForkModel model, const BodyFn& body) {
+  if (begin >= end || chunks <= 0) return;
+  struct Driver {
+    Runtime& rt;
+    int64_t begin, end;
+    int chunks;
+    ForkModel model;
+    const BodyFn& body;
+
+    int64_t bound(int i) const {
+      return begin + (end - begin) * i / chunks;
+    }
+
+    // Runs chunks starting at `i`: forks the continuation (detached) and
+    // runs one chunk; on fork denial, keeps the chain alive by continuing
+    // with the next chunk itself.
+    void chain(Ctx& c, int i) const {
+      while (true) {
+        bool forked = false;
+        if (i + 1 < chunks) {
+          int next = i + 1;
+          forked = rt.fork_tagged(c, model, static_cast<uint64_t>(next),
+                                  [this, next](Ctx& cc) { chain(cc, next); });
+        }
+        body(c, i, bound(i), bound(i + 1));
+        c.check_point();
+        if (forked || i + 1 >= chunks) return;
+        ++i;
+      }
+    }
+  };
+  Driver d{rt, begin, end, chunks, model, body};
+
+  size_t base_children = ctx.thread_data().children.size();
+  d.chain(ctx, 0);
+  // Join the chain in logical order, adopting each link's child.
+  while (ctx.thread_data().children.size() > base_children) {
+    Runtime::AdoptedJoin j = rt.join_next(ctx);
+    MUTLS_CHECK(j.joined, "loop chain lost a child");
+    if (j.outcome == JoinOutcome::kRolledBack) {
+      // In-order cascade: everything after the failed link is discarded
+      // and re-executed inline from the failed link's first chunk.
+      rt.manager().nosync_children(ctx.thread_data(), base_children);
+      d.chain(ctx, static_cast<int>(j.tag));
+    }
+  }
+}
+
+}  // namespace mutls

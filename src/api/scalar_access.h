@@ -1,0 +1,68 @@
+// Relaxed-atomic scalar access used by the non-speculative thread.
+//
+// Non-speculative direct accesses can race (benignly, by TLS construction)
+// with speculative first-touch reads and validation reads of the same
+// locations; commits are likewise relaxed atomics. Routing the direct path
+// through relaxed atomics keeps the whole protocol free of C++ data races
+// while compiling to plain loads/stores on every mainstream ISA.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace mutls {
+
+template <size_t N>
+struct UintFor;
+template <>
+struct UintFor<1> { using type = uint8_t; };
+template <>
+struct UintFor<2> { using type = uint16_t; };
+template <>
+struct UintFor<4> { using type = uint32_t; };
+template <>
+struct UintFor<8> { using type = uint64_t; };
+
+template <typename T>
+constexpr bool kScalarAtomicable =
+    std::is_trivially_copyable_v<T> &&
+    (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8);
+
+template <typename T>
+T relaxed_load_scalar(const T* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if constexpr (kScalarAtomicable<T>) {
+    using U = typename UintFor<sizeof(T)>::type;
+    U u = __atomic_load_n(reinterpret_cast<const U*>(p), __ATOMIC_RELAXED);
+    return std::bit_cast<T>(u);
+  } else {
+    // Oversized types go byte-by-byte; torn values are caught by validation.
+    T out;
+    auto* dst = reinterpret_cast<uint8_t*>(&out);
+    auto* src = reinterpret_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      dst[i] = __atomic_load_n(src + i, __ATOMIC_RELAXED);
+    }
+    return out;
+  }
+}
+
+template <typename T>
+void relaxed_store_scalar(T* p, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if constexpr (kScalarAtomicable<T>) {
+    using U = typename UintFor<sizeof(T)>::type;
+    __atomic_store_n(reinterpret_cast<U*>(p), std::bit_cast<U>(v),
+                     __ATOMIC_RELAXED);
+  } else {
+    auto* dst = reinterpret_cast<uint8_t*>(p);
+    auto* src = reinterpret_cast<const uint8_t*>(&v);
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      __atomic_store_n(dst + i, src[i], __ATOMIC_RELAXED);
+    }
+  }
+}
+
+}  // namespace mutls

@@ -1,0 +1,159 @@
+// IR interpreter with integrated thread-level speculation.
+//
+// Executes the mini-IR of src/ir/ against host memory through the MUTLS
+// runtime. The mutls.fork / mutls.join / mutls.barrier intrinsics behave as
+// the paper's transformed code does:
+//
+//  * mutls.fork p, model — MUTLS_get_CPU + save live locals + speculate: a
+//    child thread starts executing from the instruction after the matching
+//    mutls.join p with a snapshot of the forker's registers (value
+//    prediction, paper IV-G4). Register reads that precede any child-side
+//    definition are recorded and validated against the joiner's registers
+//    at the join (validate_local).
+//  * Speculative loads/stores go through the thread's GlobalBuffer; wild
+//    addresses, overflow and abort signals doom the speculation.
+//  * A speculative thread stops at its barrier point (mutls.barrier p), at
+//    a return point (before ret of its entry function), at a terminate
+//    point (before an external call), or at a check point (loop back edge)
+//    once SYNC has been signalled. Its stop position + registers + fork
+//    bookkeeping are deposited for the joiner.
+//  * mutls.join p — MUTLS_validate_local + MUTLS_synchronize. On commit the
+//    joiner *resumes from the child's stop position* with the child's
+//    registers (the paper's synchronization-table mechanism), adopting the
+//    child's children. On rollback it simply continues after the join
+//    point, re-executing the region, exactly like the transformed
+//    non-speculative code.
+//
+// Restrictions relative to the paper (documented in DESIGN.md): stop
+// positions are taken only in the speculative entry frame, so the
+// stack-frame reconstruction walk of section IV-H is not needed at
+// runtime; nested calls run speculatively but stop points inside them
+// degrade to rollback.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+#include "runtime/thread_manager.h"
+
+namespace mutls::interp {
+
+class Interpreter {
+ public:
+  struct Options {
+    int num_cpus = 4;
+    int buffer_log2 = 14;
+    size_t overflow_cap = 4096;
+    double rollback_probability = 0.0;
+    uint64_t seed = 0x5eed;
+    std::optional<ForkModel> model_override;
+  };
+
+  Interpreter(ir::Module module, const Options& opt);
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // Calls @name on the non-speculative thread. Raw 64-bit argument/return
+  // encoding (floats bit-cast).
+  uint64_t call(const std::string& name, std::vector<uint64_t> args = {});
+
+  // Host address of a global, for seeding inputs and reading results.
+  void* global_addr(const std::string& name);
+
+  RunStats collect_stats() { return mgr_.collect_stats(); }
+  ThreadManager& manager() { return mgr_; }
+
+  // Captured output of the print_* external functions (testing aid).
+  std::vector<int64_t> printed;
+
+ private:
+  struct ForkRec {
+    ChildRef ref;
+    std::vector<uint64_t> snapshot;  // registers at the fork point
+    // Values to validate at the join (live-ins of the continuation,
+    // paper IV-G4): snapshot[v] must equal the joiner's regs[v].
+    std::vector<ir::ValueId> validate_ids;
+    bool active = false;
+  };
+
+  // Why a speculative entry frame stopped.
+  enum class Stop : uint8_t {
+    kNone,      // ran to ret (non-speculative only)
+    kBarrier,   // at mutls.barrier (resume after it)
+    kRet,       // at ret (resume executing the ret)
+    kTerminate, // at an external call (resume executing the call)
+    kCheck,     // at a loop back edge after SYNC (resume at jump target)
+  };
+
+  // Deposited via ThreadData::user_state at a stop. Owns the entry
+  // frame's allocas until a committing joiner adopts them (they are live
+  // stack memory of the resumed continuation).
+  struct StopState {
+    Stop stop = Stop::kNone;
+    uint32_t block = 0;
+    uint32_t instr = 0;
+    std::vector<uint64_t> regs;
+    std::vector<bool> used_snapshot;
+    std::unordered_map<int64_t, ForkRec> forks;  // un-joined (adopted)
+    std::vector<std::pair<char*, size_t>> allocas;
+    Interpreter* owner = nullptr;
+    ~StopState();
+  };
+
+  struct Frame {
+    const ir::Function* fn = nullptr;
+    std::vector<uint64_t> regs;
+    std::vector<bool> defined;        // child-side defs (snapshot tracking)
+    std::vector<bool> used_snapshot;
+    std::vector<std::pair<char*, size_t>> allocas;
+    std::unordered_map<int64_t, ForkRec> forks;
+    bool speculative_entry = false;   // polls + stop points enabled
+  };
+
+  // Executes `f` from (block, instr); fills `stop` for speculative entry
+  // frames; returns the ret value otherwise.
+  uint64_t exec(ThreadData& td, Frame& fr, uint32_t block, uint32_t instr,
+                StopState* stop);
+
+  uint64_t call_function(ThreadData& td, const ir::Function& f,
+                         std::vector<uint64_t> args);
+
+  uint64_t external_call(ThreadData& td, const ir::Instr& in, Frame& fr);
+
+  void do_fork(ThreadData& td, Frame& fr, const ir::Instr& in);
+  // Handles mutls.join: returns true when the joiner must resume from a
+  // committed child's position (out params set).
+  bool do_join(ThreadData& td, Frame& fr, int64_t point, uint32_t* rblock,
+               uint32_t* rinstr);
+
+  void load_mem(ThreadData& td, uint64_t addr, void* out, size_t n);
+  void store_mem(ThreadData& td, uint64_t addr, const void* src, size_t n);
+  void check_space(ThreadData& td, uint64_t addr, size_t n);
+
+  // Finds the block/instr just after `mutls.join point` in `f`.
+  std::pair<uint32_t, uint32_t> join_position(const ir::Function& f,
+                                              int64_t point) const;
+
+  // Values that must be validated for a continuation starting at
+  // (block, instr): the block's live-ins plus results of the block's
+  // earlier instructions (defined before the continuation entry).
+  std::vector<ir::ValueId> validation_set(const ir::Function& f,
+                                          uint32_t block, uint32_t instr);
+
+  std::mutex live_mu_;
+  std::unordered_map<const ir::Function*, std::vector<std::vector<bool>>>
+      live_cache_;
+
+  ir::Module module_;
+  ThreadManager mgr_;
+  std::unordered_map<std::string, std::unique_ptr<char[]>> globals_;
+  std::mutex print_mu_;
+};
+
+}  // namespace mutls::interp

@@ -1,0 +1,174 @@
+// CFG, dominator and liveness analyses used by the verifier and by the
+// speculator pass (live locals at synchronization blocks, paper IV-C
+// step (4)).
+#include <algorithm>
+
+#include "ir/ir.h"
+
+namespace mutls::ir {
+
+Cfg build_cfg(const Function& f) {
+  Cfg cfg;
+  cfg.succ.resize(f.blocks.size());
+  cfg.pred.resize(f.blocks.size());
+  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+    const Instr& t = f.blocks[b].terminator();
+    if (t.op == Op::kBr || t.op == Op::kCondBr) {
+      for (uint32_t s : t.blocks) {
+        cfg.succ[b].push_back(s);
+        cfg.pred[s].push_back(b);
+      }
+    }
+  }
+  return cfg;
+}
+
+std::vector<uint32_t> compute_idom(const Function& f, const Cfg& cfg) {
+  // Cooper-Harvey-Kennedy iterative dominators over a reverse post-order.
+  const size_t n = f.blocks.size();
+  std::vector<uint32_t> rpo;
+  std::vector<bool> seen(n, false);
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(0, 0);
+  seen[0] = true;
+  std::vector<uint32_t> post;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    if (i < cfg.succ[b].size()) {
+      uint32_t s = cfg.succ[b][i++];
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo.assign(post.rbegin(), post.rend());
+  std::vector<uint32_t> rpo_index(n, 0);
+  for (uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  constexpr uint32_t kUndef = ~0u;
+  std::vector<uint32_t> idom(n, kUndef);
+  idom[0] = 0;
+  auto intersect = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t b : rpo) {
+      if (b == 0) continue;
+      uint32_t new_idom = kUndef;
+      for (uint32_t p : cfg.pred[b]) {
+        if (idom[p] == kUndef) continue;
+        new_idom = new_idom == kUndef ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kUndef && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Unreachable blocks dominate themselves (kept out of verification).
+  for (uint32_t b = 0; b < n; ++b) {
+    if (idom[b] == kUndef) idom[b] = b;
+  }
+  return idom;
+}
+
+std::vector<std::vector<bool>> compute_live_in(const Function& f) {
+  const size_t n = f.blocks.size();
+  Cfg cfg = build_cfg(f);
+  std::vector<std::vector<bool>> live_in(n,
+                                         std::vector<bool>(f.value_count));
+  std::vector<std::vector<bool>> live_out(n,
+                                          std::vector<bool>(f.value_count));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t bi = n; bi-- > 0;) {
+      uint32_t b = static_cast<uint32_t>(bi);
+      // live_out = union of successors' live_in, with phi adjustments:
+      // a phi use is live only on the edge from its predecessor.
+      std::vector<bool> out(f.value_count, false);
+      for (uint32_t s : cfg.succ[b]) {
+        for (ValueId v = 1; v < f.value_count; ++v) {
+          if (live_in[s][v]) out[v] = true;
+        }
+        // Remove phi results of s (defined there), add phi args from b.
+        for (const Instr& in : f.blocks[s].instrs) {
+          if (in.op != Op::kPhi) break;
+          out[in.result] = false;
+        }
+        for (const Instr& in : f.blocks[s].instrs) {
+          if (in.op != Op::kPhi) break;
+          for (size_t i = 0; i < in.args.size(); ++i) {
+            if (in.blocks[i] == b && in.args[i] != kNoValue) {
+              out[in.args[i]] = true;
+            }
+          }
+        }
+      }
+      live_out[b] = out;
+      // live_in = (live_out - defs) + uses, scanned backwards.
+      std::vector<bool> in_set = out;
+      const Block& blk = f.blocks[b];
+      for (size_t ii = blk.instrs.size(); ii-- > 0;) {
+        const Instr& in = blk.instrs[ii];
+        if (in.result != kNoValue) in_set[in.result] = false;
+        if (in.op == Op::kPhi) continue;  // phi uses live on edges only
+        for (ValueId a : in.args) {
+          if (a != kNoValue) in_set[a] = true;
+        }
+      }
+      if (in_set != live_in[b]) {
+        live_in[b] = std::move(in_set);
+        changed = true;
+      }
+    }
+  }
+  return live_in;
+}
+
+std::vector<bool> live_at(const Function& f,
+                          const std::vector<std::vector<bool>>& live_in,
+                          uint32_t block, uint32_t instr) {
+  Cfg cfg = build_cfg(f);
+  // live_out(block): union of successors' live_in with phi adjustment.
+  std::vector<bool> cur(f.value_count, false);
+  for (uint32_t s : cfg.succ[block]) {
+    for (ValueId v = 1; v < f.value_count; ++v) {
+      if (live_in[s][v]) cur[v] = true;
+    }
+    for (const Instr& in : f.blocks[s].instrs) {
+      if (in.op != Op::kPhi) break;
+      cur[in.result] = false;
+    }
+    for (const Instr& in : f.blocks[s].instrs) {
+      if (in.op != Op::kPhi) break;
+      for (size_t i = 0; i < in.args.size(); ++i) {
+        if (in.blocks[i] == block && in.args[i] != kNoValue) {
+          cur[in.args[i]] = true;
+        }
+      }
+    }
+  }
+  const Block& blk = f.blocks[block];
+  for (size_t ii = blk.instrs.size(); ii-- > instr;) {
+    const Instr& in = blk.instrs[ii];
+    if (in.result != kNoValue) cur[in.result] = false;
+    if (in.op == Op::kPhi) continue;
+    for (ValueId a : in.args) {
+      if (a != kNoValue) cur[a] = true;
+    }
+  }
+  return cur;
+}
+
+}  // namespace mutls::ir

@@ -1,0 +1,110 @@
+#include "ir/ir.h"
+
+namespace mutls::ir {
+
+size_t type_size(Type t) {
+  switch (t) {
+    case Type::kVoid: return 0;
+    case Type::kI1: return 1;
+    case Type::kI8: return 1;
+    case Type::kI16: return 2;
+    case Type::kI32: return 4;
+    case Type::kI64: return 8;
+    case Type::kF32: return 4;
+    case Type::kF64: return 8;
+    case Type::kPtr: return 8;
+  }
+  return 0;
+}
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kVoid: return "void";
+    case Type::kI1: return "i1";
+    case Type::kI8: return "i8";
+    case Type::kI16: return "i16";
+    case Type::kI32: return "i32";
+    case Type::kI64: return "i64";
+    case Type::kF32: return "f32";
+    case Type::kF64: return "f64";
+    case Type::kPtr: return "ptr";
+  }
+  return "?";
+}
+
+bool is_integer(Type t) {
+  return t == Type::kI1 || t == Type::kI8 || t == Type::kI16 ||
+         t == Type::kI32 || t == Type::kI64;
+}
+
+bool is_float(Type t) { return t == Type::kF32 || t == Type::kF64; }
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kSDiv: return "sdiv";
+    case Op::kSRem: return "srem";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kLShr: return "lshr";
+    case Op::kAShr: return "ashr";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kICmp: return "icmp";
+    case Op::kFCmp: return "fcmp";
+    case Op::kSelect: return "select";
+    case Op::kTrunc: return "trunc";
+    case Op::kZExt: return "zext";
+    case Op::kSExt: return "sext";
+    case Op::kSIToFP: return "sitofp";
+    case Op::kFPToSI: return "fptosi";
+    case Op::kPtrToInt: return "ptrtoint";
+    case Op::kIntToPtr: return "inttoptr";
+    case Op::kBitcast: return "bitcast";
+    case Op::kAlloca: return "alloca";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kGep: return "gep";
+    case Op::kGlobal: return "globaladdr";
+    case Op::kCall: return "call";
+    case Op::kBr: return "br";
+    case Op::kCondBr: return "condbr";
+    case Op::kRet: return "ret";
+    case Op::kPhi: return "phi";
+    case Op::kMutlsFork: return "mutls.fork";
+    case Op::kMutlsJoin: return "mutls.join";
+    case Op::kMutlsBarrier: return "mutls.barrier";
+  }
+  return "?";
+}
+
+bool is_terminator(Op op) {
+  return op == Op::kBr || op == Op::kCondBr || op == Op::kRet;
+}
+
+const char* pred_name(Pred p) {
+  switch (p) {
+    case Pred::kEq: return "eq";
+    case Pred::kNe: return "ne";
+    case Pred::kSlt: return "slt";
+    case Pred::kSle: return "sle";
+    case Pred::kSgt: return "sgt";
+    case Pred::kSge: return "sge";
+    case Pred::kOlt: return "olt";
+    case Pred::kOle: return "ole";
+    case Pred::kOgt: return "ogt";
+    case Pred::kOge: return "oge";
+    case Pred::kOeq: return "oeq";
+    case Pred::kOne: return "one";
+  }
+  return "?";
+}
+
+}  // namespace mutls::ir

@@ -1,0 +1,500 @@
+// Recursive-descent parser for the textual IR (grammar in ir.h).
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "ir/ir.h"
+
+namespace mutls::ir {
+
+namespace {
+
+struct Lexer {
+  const std::string& text;
+  size_t pos = 0;
+  int line = 1;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError{msg, line};
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == ';' || (c == '/' && pos + 1 < text.size() &&
+                              text[pos + 1] == '/')) {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!try_consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  static bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+  }
+
+  std::string ident() {
+    skip_ws();
+    size_t start = pos;
+    while (pos < text.size() && ident_char(text[pos])) ++pos;
+    if (pos == start) fail("expected identifier");
+    return text.substr(start, pos - start);
+  }
+
+  bool try_keyword(const std::string& kw) {
+    skip_ws();
+    size_t end = pos + kw.size();
+    if (end <= text.size() && text.compare(pos, kw.size(), kw) == 0 &&
+        (end == text.size() || !ident_char(text[end]))) {
+      pos = end;
+      return true;
+    }
+    return false;
+  }
+
+  int64_t integer() {
+    skip_ws();
+    size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos == start) fail("expected integer");
+    return std::strtoll(text.substr(start, pos - start).c_str(), nullptr, 10);
+  }
+
+  double floating() {
+    skip_ws();
+    size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            ((text[pos] == '-' || text[pos] == '+') &&
+             (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+      ++pos;
+    }
+    if (pos == start) fail("expected number");
+    return std::strtod(text.substr(start, pos - start).c_str(), nullptr);
+  }
+};
+
+struct FnParser {
+  Lexer& lex;
+  Function& fn;
+  std::unordered_map<std::string, ValueId> values;
+  // Phi operands may reference values defined later; resolve lazily.
+  struct PendingRef {
+    uint32_t block;
+    size_t instr;
+    size_t arg;
+    std::string name;
+    int line;
+  };
+  std::vector<PendingRef> pending;
+  std::unordered_map<std::string, uint32_t> labels;
+  struct PendingLabel {
+    uint32_t block;
+    size_t instr;
+    size_t slot;
+    std::string label;
+    int line;
+  };
+  std::vector<PendingLabel> pending_labels;
+
+  Type parse_type() {
+    std::string t = lex.ident();
+    if (t == "i1") return Type::kI1;
+    if (t == "i8") return Type::kI8;
+    if (t == "i16") return Type::kI16;
+    if (t == "i32") return Type::kI32;
+    if (t == "i64") return Type::kI64;
+    if (t == "f32") return Type::kF32;
+    if (t == "f64") return Type::kF64;
+    if (t == "ptr") return Type::kPtr;
+    if (t == "void") return Type::kVoid;
+    lex.fail("unknown type '" + t + "'");
+  }
+
+  ValueId use(const std::string& name, uint32_t blk, size_t ins, size_t arg) {
+    auto it = values.find(name);
+    if (it != values.end()) return it->second;
+    pending.push_back(PendingRef{blk, ins, arg, name, lex.line});
+    return kNoValue;
+  }
+
+  std::string value_name() {
+    lex.expect('%');
+    return lex.ident();
+  }
+
+  void parse_body();
+  Instr parse_instr(uint32_t blk);
+};
+
+Pred parse_pred_name(Lexer& lex) {
+  std::string p = lex.ident();
+  if (p == "eq") return Pred::kEq;
+  if (p == "ne") return Pred::kNe;
+  if (p == "slt") return Pred::kSlt;
+  if (p == "sle") return Pred::kSle;
+  if (p == "sgt") return Pred::kSgt;
+  if (p == "sge") return Pred::kSge;
+  if (p == "olt") return Pred::kOlt;
+  if (p == "ole") return Pred::kOle;
+  if (p == "ogt") return Pred::kOgt;
+  if (p == "oge") return Pred::kOge;
+  if (p == "oeq") return Pred::kOeq;
+  if (p == "one") return Pred::kOne;
+  lex.fail("unknown predicate '" + p + "'");
+}
+
+Instr FnParser::parse_instr(uint32_t blk) {
+  Instr in;
+  size_t ins_index = fn.blocks[blk].instrs.size();
+  std::string result_name;
+  bool has_result = false;
+
+  if (lex.peek() == '%') {
+    has_result = true;
+    result_name = value_name();
+    lex.expect('=');
+  }
+
+  std::string op = lex.ident();
+  auto rator = [&](Op o) { in.op = o; };
+  auto operand = [&](size_t slot) {
+    std::string n = value_name();
+    in.args.resize(std::max(in.args.size(), slot + 1), kNoValue);
+    in.args[slot] = use(n, blk, ins_index, slot);
+    if (in.args[slot] == kNoValue) {
+      pending.back().instr = ins_index;
+    }
+  };
+  auto block_ref = [&](size_t slot) {
+    std::string l = lex.ident();
+    in.blocks.resize(std::max(in.blocks.size(), slot + 1), 0);
+    auto it = labels.find(l);
+    if (it != labels.end()) {
+      in.blocks[slot] = it->second;
+    } else {
+      pending_labels.push_back(PendingLabel{blk, ins_index, slot, l, lex.line});
+    }
+  };
+
+  if (op == "const") {
+    rator(Op::kConst);
+    in.type = parse_type();
+    if (is_float(in.type)) {
+      in.fimm = lex.floating();
+    } else {
+      in.imm = lex.integer();
+    }
+  } else if (op == "add" || op == "sub" || op == "mul" || op == "sdiv" ||
+             op == "srem" || op == "and" || op == "or" || op == "xor" ||
+             op == "shl" || op == "lshr" || op == "ashr" || op == "fadd" ||
+             op == "fsub" || op == "fmul" || op == "fdiv") {
+    static const std::unordered_map<std::string, Op> kBin = {
+        {"add", Op::kAdd},   {"sub", Op::kSub},   {"mul", Op::kMul},
+        {"sdiv", Op::kSDiv}, {"srem", Op::kSRem}, {"and", Op::kAnd},
+        {"or", Op::kOr},     {"xor", Op::kXor},   {"shl", Op::kShl},
+        {"lshr", Op::kLShr}, {"ashr", Op::kAShr}, {"fadd", Op::kFAdd},
+        {"fsub", Op::kFSub}, {"fmul", Op::kFMul}, {"fdiv", Op::kFDiv}};
+    rator(kBin.at(op));
+    operand(0);
+    lex.expect(',');
+    operand(1);
+  } else if (op == "icmp" || op == "fcmp") {
+    rator(op == "icmp" ? Op::kICmp : Op::kFCmp);
+    in.pred = parse_pred_name(lex);
+    operand(0);
+    lex.expect(',');
+    operand(1);
+    in.type = Type::kI1;
+  } else if (op == "select") {
+    rator(Op::kSelect);
+    operand(0);
+    lex.expect(',');
+    operand(1);
+    lex.expect(',');
+    operand(2);
+  } else if (op == "trunc" || op == "zext" || op == "sext" ||
+             op == "sitofp" || op == "fptosi" || op == "ptrtoint" ||
+             op == "inttoptr" || op == "bitcast") {
+    static const std::unordered_map<std::string, Op> kCast = {
+        {"trunc", Op::kTrunc},       {"zext", Op::kZExt},
+        {"sext", Op::kSExt},         {"sitofp", Op::kSIToFP},
+        {"fptosi", Op::kFPToSI},     {"ptrtoint", Op::kPtrToInt},
+        {"inttoptr", Op::kIntToPtr}, {"bitcast", Op::kBitcast}};
+    rator(kCast.at(op));
+    operand(0);
+    lex.ident();  // "to"
+    in.type = parse_type();
+  } else if (op == "alloca") {
+    rator(Op::kAlloca);
+    in.imm = lex.integer();
+    in.type = Type::kPtr;
+  } else if (op == "load") {
+    rator(Op::kLoad);
+    in.type = parse_type();
+    lex.expect(',');
+    operand(0);
+  } else if (op == "store") {
+    rator(Op::kStore);
+    operand(0);
+    lex.expect(',');
+    operand(1);
+  } else if (op == "gep") {
+    rator(Op::kGep);
+    operand(0);
+    lex.expect(',');
+    operand(1);
+    lex.expect(',');
+    in.imm = lex.integer();
+    in.type = Type::kPtr;
+  } else if (op == "globaladdr") {
+    rator(Op::kGlobal);
+    lex.expect('@');
+    in.sym = lex.ident();
+    in.type = Type::kPtr;
+  } else if (op == "call") {
+    rator(Op::kCall);
+    if (lex.peek() != '@') {
+      in.type = parse_type();
+    }
+    lex.expect('@');
+    in.sym = lex.ident();
+    lex.expect('(');
+    size_t slot = 0;
+    if (!lex.try_consume(')')) {
+      do {
+        operand(slot++);
+      } while (lex.try_consume(','));
+      lex.expect(')');
+    }
+  } else if (op == "br") {
+    rator(Op::kBr);
+    block_ref(0);
+  } else if (op == "condbr") {
+    rator(Op::kCondBr);
+    operand(0);
+    lex.expect(',');
+    block_ref(0);
+    lex.expect(',');
+    block_ref(1);
+  } else if (op == "ret") {
+    rator(Op::kRet);
+    if (lex.peek() == '%') operand(0);
+  } else if (op == "phi") {
+    rator(Op::kPhi);
+    in.type = parse_type();
+    size_t slot = 0;
+    do {
+      lex.expect('[');
+      operand(slot);
+      lex.expect(',');
+      block_ref(slot);
+      lex.expect(']');
+      ++slot;
+    } while (lex.try_consume(','));
+  } else if (op == "mutls.fork") {
+    rator(Op::kMutlsFork);
+    in.imm = lex.integer();
+    lex.expect(',');
+    std::string model = lex.ident();
+    if (model == "inorder") {
+      in.pred = static_cast<Pred>(0);
+    } else if (model == "outoforder") {
+      in.pred = static_cast<Pred>(1);
+    } else if (model == "mixed") {
+      in.pred = static_cast<Pred>(2);
+    } else {
+      lex.fail("unknown fork model '" + model + "'");
+    }
+  } else if (op == "mutls.join") {
+    rator(Op::kMutlsJoin);
+    in.imm = lex.integer();
+  } else if (op == "mutls.barrier") {
+    rator(Op::kMutlsBarrier);
+    in.imm = lex.integer();
+  } else {
+    lex.fail("unknown instruction '" + op + "'");
+  }
+
+  // Result binding. Cast/select/binary results inherit operand types at
+  // verification time; record declared/defaulted type now.
+  if (has_result) {
+    if (in.type == Type::kVoid) {
+      // Binary/select result type is resolved by the verifier from
+      // operands; store a provisional i64 replaced in finalize.
+      in.type = Type::kI64;
+    }
+    in.result = fn.new_value(in.type, result_name);
+    values[result_name] = in.result;
+  }
+  return in;
+}
+
+void FnParser::parse_body() {
+  lex.expect('{');
+  while (!lex.try_consume('}')) {
+    // label:
+    std::string label = lex.ident();
+    lex.expect(':');
+    labels[label] = static_cast<uint32_t>(fn.blocks.size());
+    fn.blocks.push_back(Block{label, {}});
+    uint32_t blk = static_cast<uint32_t>(fn.blocks.size() - 1);
+    while (lex.peek() != '}' && true) {
+      // Lookahead: a new label is ident ':'.
+      size_t save = lex.pos;
+      int save_line = lex.line;
+      if (lex.peek() != '%') {
+        std::string maybe = lex.ident();
+        if (lex.try_consume(':')) {
+          lex.pos = save;
+          lex.line = save_line;
+          break;
+        }
+        lex.pos = save;
+        lex.line = save_line;
+      }
+      Instr in = parse_instr(blk);
+      bool term = is_terminator(in.op);
+      fn.blocks[blk].instrs.push_back(std::move(in));
+      if (term) break;
+    }
+  }
+  // Resolve pending value references (forward refs from phis).
+  for (const PendingRef& p : pending) {
+    auto it = values.find(p.name);
+    if (it == values.end()) {
+      throw ParseError{"undefined value %" + p.name, p.line};
+    }
+    fn.blocks[p.block].instrs[p.instr].args[p.arg] = it->second;
+  }
+  for (const PendingLabel& p : pending_labels) {
+    auto it = labels.find(p.label);
+    if (it == labels.end()) {
+      throw ParseError{"undefined label " + p.label, p.line};
+    }
+    fn.blocks[p.block].instrs[p.instr].blocks[p.slot] = it->second;
+  }
+  // Finalize inferred result types: binary/select results take their
+  // operand's type (the parser recorded a provisional i64).
+  for (Block& b : fn.blocks) {
+    for (Instr& in : b.instrs) {
+      if (in.result == kNoValue) continue;
+      switch (in.op) {
+        case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kSDiv:
+        case Op::kSRem: case Op::kAnd: case Op::kOr: case Op::kXor:
+        case Op::kShl: case Op::kLShr: case Op::kAShr:
+        case Op::kFAdd: case Op::kFSub: case Op::kFMul: case Op::kFDiv:
+          in.type = fn.value_types[in.args[0]];
+          fn.value_types[in.result] = in.type;
+          break;
+        case Op::kSelect:
+          in.type = fn.value_types[in.args[1]];
+          fn.value_types[in.result] = in.type;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Module parse_module(const std::string& text) {
+  Module m;
+  Lexer lex{text};
+  while (!lex.eof()) {
+    if (lex.try_keyword("global")) {
+      Global g;
+      lex.expect('@');
+      g.name = lex.ident();
+      lex.expect(':');
+      std::string t = lex.ident();
+      Lexer tl{t};
+      // Reuse type parsing through a throwaway FnParser.
+      Function dummy;
+      FnParser fp{tl, dummy, {}, {}, {}, {}};
+      g.elem_type = fp.parse_type();
+      if (lex.try_consume('[')) {
+        g.count = static_cast<size_t>(lex.integer());
+        lex.expect(']');
+      }
+      if (lex.try_consume('=')) {
+        lex.expect('{');
+        if (!lex.try_consume('}')) {
+          do {
+            g.init.push_back(lex.integer());
+          } while (lex.try_consume(','));
+          lex.expect('}');
+        }
+      }
+      m.globals.push_back(std::move(g));
+    } else if (lex.try_keyword("func")) {
+      Function fn;
+      lex.expect('@');
+      fn.name = lex.ident();
+      lex.expect('(');
+      FnParser fp{lex, fn, {}, {}, {}, {}};
+      if (!lex.try_consume(')')) {
+        do {
+          lex.expect('%');
+          std::string pname = lex.ident();
+          lex.expect(':');
+          Type pt = fp.parse_type();
+          fn.params.push_back(Param{pname, pt});
+          ValueId id = fn.new_value(pt, pname);
+          fp.values[pname] = id;
+        } while (lex.try_consume(','));
+        lex.expect(')');
+      }
+      if (lex.try_consume(':')) {
+        fn.ret_type = fp.parse_type();
+      }
+      fp.parse_body();
+      m.functions.push_back(std::move(fn));
+    } else {
+      lex.fail("expected 'func' or 'global'");
+    }
+  }
+  return m;
+}
+
+}  // namespace mutls::ir

@@ -1,0 +1,160 @@
+#include <sstream>
+
+#include "ir/ir.h"
+
+namespace mutls::ir {
+
+namespace {
+
+std::string vname(const Function& f, ValueId v) {
+  if (v == kNoValue) return "%<none>";
+  return "%" + (f.value_names[v].empty() ? std::to_string(v)
+                                         : f.value_names[v]);
+}
+
+const char* model_kw(Pred p) {
+  switch (static_cast<int>(p)) {
+    case 0: return "inorder";
+    case 1: return "outoforder";
+    default: return "mixed";
+  }
+}
+
+void print_instr(std::ostringstream& os, const Function& f, const Instr& in) {
+  os << "  ";
+  if (in.result != kNoValue) os << vname(f, in.result) << " = ";
+  switch (in.op) {
+    case Op::kConst:
+      os << "const " << type_name(in.type) << " ";
+      if (is_float(in.type)) {
+        os << in.fimm;
+      } else {
+        os << in.imm;
+      }
+      break;
+    case Op::kICmp:
+    case Op::kFCmp:
+      os << op_name(in.op) << " " << pred_name(in.pred) << " "
+         << vname(f, in.args[0]) << ", " << vname(f, in.args[1]);
+      break;
+    case Op::kSelect:
+      os << "select " << vname(f, in.args[0]) << ", " << vname(f, in.args[1])
+         << ", " << vname(f, in.args[2]);
+      break;
+    case Op::kTrunc: case Op::kZExt: case Op::kSExt: case Op::kSIToFP:
+    case Op::kFPToSI: case Op::kPtrToInt: case Op::kIntToPtr:
+    case Op::kBitcast:
+      os << op_name(in.op) << " " << vname(f, in.args[0]) << " to "
+         << type_name(in.type);
+      break;
+    case Op::kAlloca:
+      os << "alloca " << in.imm;
+      break;
+    case Op::kLoad:
+      os << "load " << type_name(in.type) << ", " << vname(f, in.args[0]);
+      break;
+    case Op::kStore:
+      os << "store " << vname(f, in.args[0]) << ", " << vname(f, in.args[1]);
+      break;
+    case Op::kGep:
+      os << "gep " << vname(f, in.args[0]) << ", " << vname(f, in.args[1])
+         << ", " << in.imm;
+      break;
+    case Op::kGlobal:
+      os << "globaladdr @" << in.sym;
+      break;
+    case Op::kCall: {
+      os << "call ";
+      if (in.type != Type::kVoid) os << type_name(in.type) << " ";
+      os << "@" << in.sym << "(";
+      for (size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << vname(f, in.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Op::kBr:
+      os << "br " << f.blocks[in.blocks[0]].label;
+      break;
+    case Op::kCondBr:
+      os << "condbr " << vname(f, in.args[0]) << ", "
+         << f.blocks[in.blocks[0]].label << ", "
+         << f.blocks[in.blocks[1]].label;
+      break;
+    case Op::kRet:
+      os << "ret";
+      if (!in.args.empty() && in.args[0] != kNoValue) {
+        os << " " << vname(f, in.args[0]);
+      }
+      break;
+    case Op::kPhi:
+      os << "phi " << type_name(in.type) << " ";
+      for (size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << "[" << vname(f, in.args[i]) << ", "
+           << f.blocks[in.blocks[i]].label << "]";
+      }
+      break;
+    case Op::kMutlsFork:
+      os << "mutls.fork " << in.imm << ", " << model_kw(in.pred);
+      break;
+    case Op::kMutlsJoin:
+      os << "mutls.join " << in.imm;
+      break;
+    case Op::kMutlsBarrier:
+      os << "mutls.barrier " << in.imm;
+      break;
+    default:
+      os << op_name(in.op) << " ";
+      for (size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << vname(f, in.args[i]);
+      }
+      break;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string print_function(const Function& f) {
+  std::ostringstream os;
+  os << "func @" << f.name << "(";
+  for (size_t i = 0; i < f.params.size(); ++i) {
+    if (i) os << ", ";
+    os << "%" << f.params[i].name << ": " << type_name(f.params[i].type);
+  }
+  os << ")";
+  if (f.ret_type != Type::kVoid) os << " : " << type_name(f.ret_type);
+  os << " {\n";
+  for (const Block& b : f.blocks) {
+    os << b.label << ":\n";
+    for (const Instr& in : b.instrs) print_instr(os, f, in);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print_module(const Module& m) {
+  std::ostringstream os;
+  for (const Global& g : m.globals) {
+    os << "global @" << g.name << " : " << type_name(g.elem_type);
+    if (g.count != 1) os << "[" << g.count << "]";
+    if (!g.init.empty()) {
+      os << " = {";
+      for (size_t i = 0; i < g.init.size(); ++i) {
+        if (i) os << ", ";
+        os << g.init[i];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  for (const Function& f : m.functions) {
+    os << print_function(f);
+  }
+  return os.str();
+}
+
+}  // namespace mutls::ir

@@ -1,0 +1,230 @@
+// Structural and SSA verification of a module.
+#include <sstream>
+
+#include "ir/ir.h"
+
+namespace mutls::ir {
+
+namespace {
+
+struct Verifier {
+  const Module& m;
+  std::vector<std::string> errors;
+
+  void err(const Function& f, const std::string& msg) {
+    errors.push_back("@" + f.name + ": " + msg);
+  }
+
+  Type vt(const Function& f, ValueId v) {
+    return v < f.value_types.size() ? f.value_types[v] : Type::kVoid;
+  }
+
+  void check_function(const Function& f) {
+    if (f.blocks.empty()) {
+      err(f, "function has no blocks");
+      return;
+    }
+    for (const Block& b : f.blocks) {
+      if (b.instrs.empty()) {
+        err(f, "block " + b.label + " is empty");
+        return;
+      }
+      for (size_t i = 0; i < b.instrs.size(); ++i) {
+        const Instr& in = b.instrs[i];
+        bool last = i + 1 == b.instrs.size();
+        if (is_terminator(in.op) != last) {
+          err(f, "block " + b.label +
+                     ": terminator placement violated at instruction " +
+                     std::to_string(i));
+        }
+        if (in.op == Op::kPhi && i > 0 &&
+            b.instrs[i - 1].op != Op::kPhi) {
+          err(f, "block " + b.label + ": phi after non-phi");
+        }
+        check_instr(f, b, in);
+      }
+    }
+    check_ssa(f);
+  }
+
+  void check_instr(const Function& f, const Block& b, const Instr& in) {
+    auto want = [&](size_t n) {
+      if (in.args.size() != n) {
+        err(f, "block " + b.label + ": " + op_name(in.op) + " expects " +
+                   std::to_string(n) + " operands");
+        return false;
+      }
+      return true;
+    };
+    switch (in.op) {
+      case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kSDiv:
+      case Op::kSRem: case Op::kAnd: case Op::kOr: case Op::kXor:
+      case Op::kShl: case Op::kLShr: case Op::kAShr:
+        if (want(2)) {
+          if (!is_integer(vt(f, in.args[0])) ||
+              vt(f, in.args[0]) != vt(f, in.args[1])) {
+            err(f, "block " + b.label + ": integer binop type mismatch");
+          }
+        }
+        break;
+      case Op::kFAdd: case Op::kFSub: case Op::kFMul: case Op::kFDiv:
+        if (want(2)) {
+          if (!is_float(vt(f, in.args[0])) ||
+              vt(f, in.args[0]) != vt(f, in.args[1])) {
+            err(f, "block " + b.label + ": float binop type mismatch");
+          }
+        }
+        break;
+      case Op::kICmp:
+        if (want(2) && vt(f, in.args[0]) != vt(f, in.args[1])) {
+          err(f, "block " + b.label + ": icmp operand mismatch");
+        }
+        break;
+      case Op::kFCmp:
+        if (want(2) && (!is_float(vt(f, in.args[0])) ||
+                        vt(f, in.args[0]) != vt(f, in.args[1]))) {
+          err(f, "block " + b.label + ": fcmp operand mismatch");
+        }
+        break;
+      case Op::kSelect:
+        if (want(3) && vt(f, in.args[0]) != Type::kI1) {
+          err(f, "block " + b.label + ": select condition must be i1");
+        }
+        break;
+      case Op::kLoad:
+        if (want(1) && vt(f, in.args[0]) != Type::kPtr) {
+          err(f, "block " + b.label + ": load address must be ptr");
+        }
+        break;
+      case Op::kStore:
+        if (want(2) && vt(f, in.args[1]) != Type::kPtr) {
+          err(f, "block " + b.label + ": store address must be ptr");
+        }
+        break;
+      case Op::kGep:
+        if (want(2)) {
+          if (vt(f, in.args[0]) != Type::kPtr) {
+            err(f, "block " + b.label + ": gep base must be ptr");
+          }
+          if (!is_integer(vt(f, in.args[1]))) {
+            err(f, "block " + b.label + ": gep index must be integer");
+          }
+        }
+        break;
+      case Op::kGlobal:
+        if (!const_cast<Module&>(m).find_global(in.sym)) {
+          err(f, "unknown global @" + in.sym);
+        }
+        break;
+      case Op::kCall: {
+        const Function* callee = m.find_function(in.sym);
+        if (callee) {
+          if (callee->params.size() != in.args.size()) {
+            err(f, "call @" + in.sym + ": argument count mismatch");
+          }
+          if (callee->ret_type != in.type) {
+            err(f, "call @" + in.sym + ": return type mismatch");
+          }
+        }
+        // Unknown symbols are external functions (printf etc.): allowed.
+        break;
+      }
+      case Op::kCondBr:
+        if (want(1) && vt(f, in.args[0]) != Type::kI1) {
+          err(f, "block " + b.label + ": condbr condition must be i1");
+        }
+        break;
+      case Op::kRet:
+        if (f.ret_type == Type::kVoid) {
+          if (!in.args.empty()) {
+            err(f, "ret with value in void function");
+          }
+        } else if (in.args.empty()) {
+          err(f, "ret without value in non-void function");
+        } else if (vt(f, in.args[0]) != f.ret_type) {
+          err(f, "ret type mismatch");
+        }
+        break;
+      case Op::kPhi: {
+        if (in.args.size() != in.blocks.size() || in.args.empty()) {
+          err(f, "block " + b.label + ": malformed phi");
+          break;
+        }
+        for (ValueId a : in.args) {
+          if (a != kNoValue && vt(f, a) != in.type) {
+            err(f, "block " + b.label + ": phi operand type mismatch");
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Non-phi uses must be dominated by their definitions.
+  void check_ssa(const Function& f) {
+    Cfg cfg = build_cfg(f);
+    std::vector<uint32_t> idom = compute_idom(f, cfg);
+    // def_block[v]: block defining v (params: entry).
+    std::vector<uint32_t> def_block(f.value_count, 0);
+    std::vector<uint32_t> def_pos(f.value_count, 0);
+    for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+      for (uint32_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+        const Instr& in = f.blocks[b].instrs[i];
+        if (in.result != kNoValue) {
+          def_block[in.result] = b;
+          def_pos[in.result] = i + 1;  // 0 = parameter
+        }
+      }
+    }
+    auto dominates = [&](uint32_t a, uint32_t b) {
+      while (true) {
+        if (a == b) return true;
+        if (b == 0) return a == 0;
+        uint32_t next = idom[b];
+        if (next == b) return a == b;
+        b = next;
+      }
+    };
+    for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+      for (uint32_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+        const Instr& in = f.blocks[b].instrs[i];
+        for (size_t ai = 0; ai < in.args.size(); ++ai) {
+          ValueId v = in.args[ai];
+          if (v == kNoValue) continue;
+          uint32_t db = def_block[v];
+          if (in.op == Op::kPhi) {
+            // The def must dominate the incoming edge's source.
+            if (!dominates(db, in.blocks[ai])) {
+              err(f, "block " + f.blocks[b].label +
+                         ": phi operand does not dominate its edge");
+            }
+            continue;
+          }
+          if (db == b) {
+            if (def_pos[v] > i) {
+              err(f, "block " + f.blocks[b].label +
+                         ": use before def of %" + f.value_names[v]);
+            }
+          } else if (!dominates(db, b)) {
+            err(f, "block " + f.blocks[b].label + ": %" + f.value_names[v] +
+                       " does not dominate its use");
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> verify_module(const Module& m) {
+  Verifier v{m, {}};
+  for (const Function& f : m.functions) {
+    v.check_function(f);
+  }
+  return v.errors;
+}
+
+}  // namespace mutls::ir

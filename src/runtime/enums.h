@@ -1,0 +1,45 @@
+// Core enumerations of the MUTLS runtime (paper sections II, IV-D, IV-E).
+#pragma once
+
+namespace mutls {
+
+// Forking models (paper section II). The model is a property of each fork
+// point, passed as the `model` argument of __builtin_MUTLS_fork.
+enum class ForkModel : int {
+  kInOrder = 0,     // only the most speculative thread may fork
+  kOutOfOrder = 1,  // only the non-speculative thread may fork
+  kMixed = 2,       // every thread may fork: tree of threads
+};
+
+inline const char* fork_model_name(ForkModel m) {
+  switch (m) {
+    case ForkModel::kInOrder: return "in-order";
+    case ForkModel::kOutOfOrder: return "out-of-order";
+    case ForkModel::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+// Virtual CPU states (paper section IV-D).
+enum class CpuState : int {
+  kIdle = 0,
+  kRunning = 1,
+  kReadyToReclaim = 2,
+};
+
+// sync_status of a speculative thread (paper sections IV-E, IV-F).
+// kNone corresponds to the paper's NULL initialization.
+enum class SyncStatus : int {
+  kNone = 0,
+  kSync = 1,    // the joiner wants to synchronize: validate and commit/rollback
+  kNoSync = 2,  // non-conforming speculation or subtree abort: discard quietly
+};
+
+// valid_status reported back through the flag-based barrier.
+enum class ValidStatus : int {
+  kNone = 0,
+  kCommit = 1,
+  kRollback = 2,
+};
+
+}  // namespace mutls

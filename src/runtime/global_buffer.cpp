@@ -1,0 +1,243 @@
+#include "runtime/global_buffer.h"
+
+#include <algorithm>
+
+namespace mutls {
+
+void BufferMap::init(int log2_entries, size_t overflow_cap, bool with_marks) {
+  MUTLS_CHECK(log2_entries >= 4 && log2_entries <= 28,
+              "buffer log2 size out of range");
+  size_t n = size_t{1} << log2_entries;
+  buffer_ = std::make_unique<uint64_t[]>(n);
+  addresses_ = std::make_unique<uintptr_t[]>(n);
+  std::fill_n(addresses_.get(), n, uintptr_t{0});
+  if (with_marks) {
+    marks_ = std::make_unique<uint64_t[]>(n);
+  }
+  offsets_.reserve(1024);
+  overflow_.reserve(std::min<size_t>(overflow_cap, 1024));
+  mask_ = n - 1;
+  overflow_cap_ = overflow_cap;
+}
+
+BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
+  MUTLS_DCHECK((word_addr & kWordMask) == 0, "unaligned word address");
+  size_t idx = slot_index(word_addr);
+  if (addresses_[idx] == word_addr) {
+    out.data = &buffer_[idx];
+    out.mark = marks_ ? &marks_[idx] : nullptr;
+    return Find::kFound;
+  }
+  if (addresses_[idx] == 0) {
+    addresses_[idx] = word_addr;
+    buffer_[idx] = 0;
+    if (marks_) marks_[idx] = 0;
+    offsets_.push_back(static_cast<uint32_t>(idx));
+    out.data = &buffer_[idx];
+    out.mark = marks_ ? &marks_[idx] : nullptr;
+    return Find::kInserted;
+  }
+  // Slot collision: the paper's "temporary buffer" path.
+  for (OverflowEntry& e : overflow_) {
+    if (e.word_addr == word_addr) {
+      out.data = &e.data;
+      out.mark = marks_ ? &e.mark : nullptr;
+      return Find::kFound;
+    }
+  }
+  if (overflow_.size() >= overflow_cap_) {
+    return Find::kFull;
+  }
+  overflow_.push_back(OverflowEntry{word_addr, 0, 0});
+  out.data = &overflow_.back().data;
+  out.mark = marks_ ? &overflow_.back().mark : nullptr;
+  return Find::kInserted;
+}
+
+bool BufferMap::find(uintptr_t word_addr, Slot& out) {
+  size_t idx = slot_index(word_addr);
+  if (addresses_[idx] == word_addr) {
+    out.data = &buffer_[idx];
+    out.mark = marks_ ? &marks_[idx] : nullptr;
+    return true;
+  }
+  if (addresses_[idx] == 0) return false;
+  for (OverflowEntry& e : overflow_) {
+    if (e.word_addr == word_addr) {
+      out.data = &e.data;
+      out.mark = marks_ ? &e.mark : nullptr;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BufferMap::clear() {
+  for (uint32_t idx : offsets_) addresses_[idx] = 0;
+  offsets_.clear();
+  overflow_.clear();
+}
+
+void GlobalBuffer::init(int log2_entries, size_t overflow_cap) {
+  read_set_.init(log2_entries, overflow_cap, /*with_marks=*/false);
+  write_set_.init(log2_entries, overflow_cap, /*with_marks=*/true);
+}
+
+uint64_t GlobalBuffer::read_word_view(uintptr_t word_addr) {
+  BufferMap::Slot w;
+  bool have_w = write_set_.find(word_addr, w);
+  if (have_w && *w.mark == kFullMark) return *w.data;
+
+  uint64_t base;
+  BufferMap::Slot r;
+  switch (read_set_.find_or_insert(word_addr, r)) {
+    case BufferMap::Find::kFound:
+      base = *r.data;
+      break;
+    case BufferMap::Find::kInserted:
+      // First touch: load the whole word from main memory and remember it
+      // for validation.
+      base = atomic_word_load(word_addr);
+      *r.data = base;
+      break;
+    case BufferMap::Find::kFull:
+    default:
+      doom("read-set overflow buffer full");
+      ++overflow_events;
+      base = atomic_word_load(word_addr);
+      break;
+  }
+  if (have_w) {
+    // Overlay the bytes this thread already wrote.
+    uint64_t m = *w.mark;
+    base = (base & ~m) | (*w.data & m);
+  }
+  return base;
+}
+
+uint64_t GlobalBuffer::peek_word_view(uintptr_t word_addr) {
+  BufferMap::Slot w;
+  bool have_w = write_set_.find(word_addr, w);
+  if (have_w && *w.mark == kFullMark) return *w.data;
+  uint64_t base;
+  BufferMap::Slot r;
+  if (read_set_.find(word_addr, r)) {
+    base = *r.data;
+  } else {
+    base = atomic_word_load(word_addr);
+  }
+  if (have_w) {
+    uint64_t m = *w.mark;
+    base = (base & ~m) | (*w.data & m);
+  }
+  return base;
+}
+
+void GlobalBuffer::load_bytes(uintptr_t addr, void* out, size_t size) {
+  char* dst = static_cast<char*>(out);
+  while (size > 0) {
+    uintptr_t word_addr = word_align_down(addr);
+    size_t off = addr - word_addr;
+    size_t n = std::min(kWordSize - off, size);
+    uint64_t w = read_word_view(word_addr);
+    copy_from_word(w, off, n, dst);
+    addr += n;
+    dst += n;
+    size -= n;
+  }
+}
+
+void GlobalBuffer::store_bytes(uintptr_t addr, const void* src, size_t size) {
+  const char* s = static_cast<const char*>(src);
+  while (size > 0) {
+    uintptr_t word_addr = word_align_down(addr);
+    size_t off = addr - word_addr;
+    size_t n = std::min(kWordSize - off, size);
+    BufferMap::Slot w;
+    if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
+      doom("write-set overflow buffer full");
+      ++overflow_events;
+      return;
+    }
+    copy_into_word(*w.data, off, n, s);
+    *w.mark |= byte_mask(off, n);
+    addr += n;
+    s += n;
+    size -= n;
+  }
+}
+
+bool GlobalBuffer::validate_against_memory() {
+  bool ok = true;
+  read_set_.for_each([&](uintptr_t word_addr, uint64_t& data, uint64_t&) {
+    if (atomic_word_load(word_addr) != data) ok = false;
+  });
+  return ok;
+}
+
+bool GlobalBuffer::validate_against(GlobalBuffer& joiner) {
+  bool ok = true;
+  read_set_.for_each([&](uintptr_t word_addr, uint64_t& data, uint64_t&) {
+    if (joiner.peek_word_view(word_addr) != data) ok = false;
+  });
+  return ok;
+}
+
+void GlobalBuffer::commit_to_memory() {
+  write_set_.for_each([](uintptr_t word_addr, uint64_t& data, uint64_t& mark) {
+    if (mark == kFullMark) {
+      atomic_word_store(word_addr, data);
+      return;
+    }
+    const char* bytes = reinterpret_cast<const char*>(&data);
+    for (size_t b = 0; b < kWordSize; ++b) {
+      if (mark & (0xffull << (8 * b))) {
+        atomic_byte_store(word_addr + b, static_cast<uint8_t>(bytes[b]));
+      }
+    }
+  });
+}
+
+void GlobalBuffer::merge_into(GlobalBuffer& joiner) {
+  write_set_.for_each([&](uintptr_t word_addr, uint64_t& data,
+                          uint64_t& mark) {
+    BufferMap::Slot w;
+    if (joiner.write_set_.find_or_insert(word_addr, w) ==
+        BufferMap::Find::kFull) {
+      joiner.doom("write-set overflow while adopting a child commit");
+      ++joiner.overflow_events;
+      return;
+    }
+    *w.data = (*w.data & ~mark) | (data & mark);
+    *w.mark |= mark;
+  });
+  read_set_.for_each([&](uintptr_t word_addr, uint64_t& data, uint64_t&) {
+    // Reads fully satisfied by the joiner's own writes carry no main-memory
+    // dependency; everything else must survive until the joiner's own
+    // validation, so it joins the joiner's read-set (first value wins).
+    BufferMap::Slot w;
+    if (joiner.write_set_.find(word_addr, w) && *w.mark == kFullMark) return;
+    BufferMap::Slot r;
+    switch (joiner.read_set_.find_or_insert(word_addr, r)) {
+      case BufferMap::Find::kFound:
+        break;  // the joiner's earlier observation wins
+      case BufferMap::Find::kInserted:
+        *r.data = data;
+        break;
+      case BufferMap::Find::kFull:
+        joiner.doom("read-set overflow while adopting a child commit");
+        ++joiner.overflow_events;
+        break;
+    }
+  });
+}
+
+void GlobalBuffer::reset() {
+  read_set_.clear();
+  write_set_.clear();
+  doomed_ = false;
+  doom_reason_ = "";
+  // overflow_events intentionally survives reset: it is a statistic.
+}
+
+}  // namespace mutls

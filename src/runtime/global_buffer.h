@@ -1,0 +1,165 @@
+// Speculative memory buffering (paper section IV-G2).
+//
+// Each speculative thread owns one GlobalBuffer holding a read-set and a
+// write-set over main-memory words. Both sets use the paper's *static* map:
+//
+//   buffer    — N words of data
+//   addresses — N word-aligned keys, 0 = empty slot
+//   offsets   — stack of occupied slot indices, so validation / commit /
+//               finalization of threads touching little data stay fast
+//   mark      — N words of per-byte dirty masks (write-set only)
+//
+// The hash is the low bits of the word address, one slot per key, no
+// probing: a slot collision diverts the access to a small bounded overflow
+// map ("temporary buffer" in the paper). When the overflow map fills, the
+// thread is doomed: it stops at its next check point / barrier and reports
+// ROLLBACK at synchronization.
+//
+// Loads resolve in the order write-set (marked bytes) -> read-set -> main
+// memory (first touch inserts the whole containing word into the read-set,
+// as the paper does for sub-word accesses). Validation compares every
+// read-set word against the joiner's view: main memory for the
+// non-speculative joiner, the joiner's own buffer chain for a speculative
+// joiner (tree-form nesting, section IV-F). Commit writes marked bytes back,
+// whole words at once when a mark word is saturated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/memory.h"
+#include "support/check.h"
+
+namespace mutls {
+
+// One static hash map (either the read-set or the write-set).
+class BufferMap {
+ public:
+  struct Slot {
+    uint64_t* data = nullptr;
+    uint64_t* mark = nullptr;  // null when the map carries no marks
+  };
+
+  enum class Find { kFound, kInserted, kFull };
+
+  BufferMap() = default;
+
+  // `log2_entries` fixes the static size N = 2^log2_entries;
+  // `overflow_cap` bounds the temporary buffer; `with_marks` is true for
+  // the write-set.
+  void init(int log2_entries, size_t overflow_cap, bool with_marks);
+
+  bool initialized() const { return mask_ != 0 || !addresses_; }
+
+  // Finds the slot for `word_addr`, inserting (zeroed) if absent.
+  Find find_or_insert(uintptr_t word_addr, Slot& out);
+
+  // Finds without inserting; returns false if absent.
+  bool find(uintptr_t word_addr, Slot& out);
+
+  // Visits every occupied entry as fn(word_addr, data&, mark&).
+  // `mark` references a dummy full mark when the map carries no marks.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (uint32_t idx : offsets_) {
+      fn(addresses_[idx], buffer_[idx], marks_ ? marks_[idx] : dummy_mark_);
+    }
+    for (OverflowEntry& e : overflow_) {
+      fn(e.word_addr, e.data, e.mark);
+    }
+  }
+
+  size_t entry_count() const { return offsets_.size() + overflow_.size(); }
+  size_t overflow_count() const { return overflow_.size(); }
+  bool overflow_pressure() const { return !overflow_.empty(); }
+
+  // Empties the map in O(entries), not O(N).
+  void clear();
+
+ private:
+  struct OverflowEntry {
+    uintptr_t word_addr;
+    uint64_t data;
+    uint64_t mark;
+  };
+
+  size_t slot_index(uintptr_t word_addr) const {
+    return (word_addr >> 3) & mask_;
+  }
+
+  std::unique_ptr<uint64_t[]> buffer_;
+  std::unique_ptr<uintptr_t[]> addresses_;
+  std::unique_ptr<uint64_t[]> marks_;
+  std::vector<uint32_t> offsets_;
+  std::vector<OverflowEntry> overflow_;
+  size_t mask_ = 0;
+  size_t overflow_cap_ = 0;
+  uint64_t dummy_mark_ = kFullMark;
+};
+
+class GlobalBuffer {
+ public:
+  void init(int log2_entries, size_t overflow_cap);
+
+  // --- speculative access path (runs on the owning speculative thread) ---
+
+  // Reads `size` bytes of the thread's speculative view of `addr`.
+  void load_bytes(uintptr_t addr, void* out, size_t size);
+
+  // Buffers a write of `size` bytes at `addr`.
+  void store_bytes(uintptr_t addr, const void* src, size_t size);
+
+  // --- join-time operations (both threads stopped at the flag barrier) ---
+
+  // Validates the read-set against main memory (non-speculative joiner).
+  bool validate_against_memory();
+
+  // Validates the read-set against a speculative joiner's buffered view.
+  bool validate_against(GlobalBuffer& joiner);
+
+  // Commits marked write-set bytes to main memory.
+  void commit_to_memory();
+
+  // Merges this buffer into a *speculative* joiner: writes overlay the
+  // joiner's write-set; reads not fully covered by the joiner's writes
+  // join the joiner's read-set so the eventual non-speculative validation
+  // still covers them.
+  void merge_into(GlobalBuffer& joiner);
+
+  // Discards all buffered state; clears doom.
+  void reset();
+
+  bool doomed() const { return doomed_; }
+  const char* doom_reason() const { return doom_reason_; }
+  void doom(const char* reason) {
+    doomed_ = true;
+    doom_reason_ = reason;
+  }
+
+  bool overflow_pressure() const {
+    return read_set_.overflow_pressure() || write_set_.overflow_pressure();
+  }
+
+  size_t read_entries() const { return read_set_.entry_count(); }
+  size_t write_entries() const { return write_set_.entry_count(); }
+
+  uint64_t overflow_events = 0;
+
+ private:
+  // The thread's current view of one whole word.
+  uint64_t read_word_view(uintptr_t word_addr);
+
+  // Like read_word_view but never inserts into the read-set (used when a
+  // speculative joiner evaluates a child's validation).
+  uint64_t peek_word_view(uintptr_t word_addr);
+
+  BufferMap read_set_;
+  BufferMap write_set_;
+  bool doomed_ = false;
+  const char* doom_reason_ = "";
+
+  friend class BufferMergeTestPeer;
+};
+
+}  // namespace mutls

@@ -1,0 +1,40 @@
+#include "runtime/local_buffer.h"
+
+namespace mutls {
+
+void StackBuffer::set(int offset, uintptr_t addr, const void* data,
+                      size_t size) {
+  Record& rec = entries_[offset];
+  rec.writer.addr = addr;
+  rec.writer.bytes.assign(static_cast<const char*>(data),
+                          static_cast<const char*>(data) + size);
+}
+
+bool StackBuffer::get(int offset, uintptr_t addr, void* out, size_t size) {
+  auto it = entries_.find(offset);
+  if (it == entries_.end()) return false;
+  Record& rec = it->second;
+  if (rec.writer.bytes.size() != size) return false;
+  std::memcpy(out, rec.writer.bytes.data(), size);
+  rec.reader_addr = addr;
+  return true;
+}
+
+const StackBuffer::Entry* StackBuffer::lookup(int offset) const {
+  auto it = entries_.find(offset);
+  return it == entries_.end() ? nullptr : &it->second.writer;
+}
+
+uintptr_t StackBuffer::map_pointer(uintptr_t value) const {
+  for (const auto& [offset, rec] : entries_) {
+    (void)offset;
+    uintptr_t lo = rec.writer.addr;
+    uintptr_t hi = lo + rec.writer.bytes.size();
+    if (value >= lo && value < hi && rec.reader_addr) {
+      return rec.reader_addr + (value - lo);
+    }
+  }
+  return 0;
+}
+
+}  // namespace mutls

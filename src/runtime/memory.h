@@ -1,0 +1,62 @@
+// Raw word/byte access primitives used by the speculative memory system.
+//
+// Non-speculative commits to main memory can race (benignly, by TLS design)
+// with speculative first-touch reads of the same words; those races are
+// resolved by validation at join time. To keep that well-defined in C++ we
+// route every main-memory access of the runtime through relaxed atomics on
+// naturally-aligned words and bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace mutls {
+
+// The WORD granularity of the GlobalBuffer maps (paper section IV-G2).
+constexpr size_t kWordSize = 8;
+constexpr uintptr_t kWordMask = kWordSize - 1;
+
+inline uintptr_t word_align_down(uintptr_t addr) { return addr & ~kWordMask; }
+
+inline uint64_t atomic_word_load(uintptr_t word_addr) {
+  return __atomic_load_n(reinterpret_cast<const uint64_t*>(word_addr),
+                         __ATOMIC_RELAXED);
+}
+
+inline void atomic_word_store(uintptr_t word_addr, uint64_t v) {
+  __atomic_store_n(reinterpret_cast<uint64_t*>(word_addr), v,
+                   __ATOMIC_RELAXED);
+}
+
+inline uint8_t atomic_byte_load(uintptr_t addr) {
+  return __atomic_load_n(reinterpret_cast<const uint8_t*>(addr),
+                         __ATOMIC_RELAXED);
+}
+
+inline void atomic_byte_store(uintptr_t addr, uint8_t v) {
+  __atomic_store_n(reinterpret_cast<uint8_t*>(addr), v, __ATOMIC_RELAXED);
+}
+
+// Copies `size` bytes out of the word `w` starting at in-word offset `off`.
+inline void copy_from_word(uint64_t w, size_t off, size_t size, void* out) {
+  std::memcpy(out, reinterpret_cast<const char*>(&w) + off, size);
+}
+
+// Overlays `size` bytes into the word `w` at in-word offset `off`.
+inline void copy_into_word(uint64_t& w, size_t off, size_t size,
+                           const void* src) {
+  std::memcpy(reinterpret_cast<char*>(&w) + off, size ? src : src, size);
+}
+
+// Mark word with the `size` bytes starting at `off` set to 0xFF
+// (the paper's `mark` array records which bytes of a buffered word were
+// actually written).
+inline uint64_t byte_mask(size_t off, size_t size) {
+  if (size >= kWordSize) return ~0ull;
+  uint64_t m = ((1ull << (8 * size)) - 1) << (8 * off);
+  return m;
+}
+
+constexpr uint64_t kFullMark = ~0ull;
+
+}  // namespace mutls

@@ -1,0 +1,18 @@
+// Internal control-flow exception used to unwind a doomed speculative task.
+//
+// A speculative thread becomes doomed when it overflows its buffers, touches
+// an unregistered address, reaches an unsafe operation the native embedding
+// cannot defer (allocation, irreversible I/O), receives a NOSYNC/abort
+// signal at a check point, or is selected by rollback injection. The access
+// wrappers throw SpecAbort; the worker loop catches it, cascades NOSYNC to
+// the thread's own subtree and parks the thread at its barrier to report
+// ROLLBACK when joined.
+#pragma once
+
+namespace mutls {
+
+struct SpecAbort {
+  const char* reason;
+};
+
+}  // namespace mutls

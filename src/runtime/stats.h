@@ -1,0 +1,93 @@
+// Per-thread and aggregated execution statistics.
+//
+// These feed every figure of the paper's evaluation: speedups come from
+// wall time, Figures 5-9 from the TimeLedger categories, Table II's memory
+// access density from the load/store counters, and the coverage/power
+// metrics from the runtime sums.
+#pragma once
+
+#include <cstdint>
+
+#include "support/timing.h"
+
+namespace mutls {
+
+struct ThreadStats {
+  TimeLedger ledger;
+
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t forks = 0;        // successful speculations
+  uint64_t fork_denied = 0;  // admission or no-IDLE-CPU failures
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+  uint64_t nosyncs = 0;
+  uint64_t overflow_events = 0;
+  uint64_t runtime_ns = 0;  // total wall time attributed to this thread
+
+  void clear() { *this = ThreadStats{}; }
+
+  ThreadStats& operator+=(const ThreadStats& o) {
+    ledger += o.ledger;
+    loads += o.loads;
+    stores += o.stores;
+    forks += o.forks;
+    fork_denied += o.fork_denied;
+    commits += o.commits;
+    rollbacks += o.rollbacks;
+    nosyncs += o.nosyncs;
+    overflow_events += o.overflow_events;
+    runtime_ns += o.runtime_ns;
+    return *this;
+  }
+};
+
+// Snapshot of one parallel run: the critical (non-speculative) path plus the
+// sum over all speculative threads, as the paper's metrics require.
+struct RunStats {
+  ThreadStats critical;
+  ThreadStats speculative;
+  uint64_t speculative_threads = 0;
+
+  // Critical path efficiency eta_crit = Twork_nonsp / Truntime_nonsp.
+  double critical_efficiency() const {
+    return critical.runtime_ns
+               ? static_cast<double>(critical.ledger.get(TimeCat::kWork)) /
+                     static_cast<double>(critical.runtime_ns)
+               : 1.0;
+  }
+
+  // Speculative path efficiency eta_sp = sum Twork_sp / sum Truntime_sp.
+  double speculative_efficiency() const {
+    return speculative.runtime_ns
+               ? static_cast<double>(speculative.ledger.get(TimeCat::kWork)) /
+                     static_cast<double>(speculative.runtime_ns)
+               : 1.0;
+  }
+
+  // Power efficiency eta_power = Ts / (Truntime_nonsp + sum Truntime_sp),
+  // given the sequential runtime Ts in ns.
+  double power_efficiency(uint64_t sequential_ns) const {
+    uint64_t all = critical.runtime_ns + speculative.runtime_ns;
+    return all ? static_cast<double>(sequential_ns) / static_cast<double>(all)
+               : 1.0;
+  }
+
+  // Parallel execution coverage C = sum Truntime_sp / Truntime_nonsp.
+  double coverage() const {
+    return critical.runtime_ns
+               ? static_cast<double>(speculative.runtime_ns) /
+                     static_cast<double>(critical.runtime_ns)
+               : 0.0;
+  }
+
+  // Memory access density rho = Nrw / T (accesses per second), Table II.
+  double access_density() const {
+    uint64_t n = critical.loads + critical.stores + speculative.loads +
+                 speculative.stores;
+    uint64_t t = critical.runtime_ns;
+    return t ? static_cast<double>(n) / (static_cast<double>(t) * 1e-9) : 0.0;
+  }
+};
+
+}  // namespace mutls

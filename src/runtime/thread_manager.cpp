@@ -1,0 +1,367 @@
+#include "runtime/thread_manager.h"
+
+#include "runtime/spec_abort.h"
+#include "support/spin.h"
+#include "support/timing.h"
+
+namespace mutls {
+
+ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
+  MUTLS_CHECK(config_.num_cpus >= 1, "need at least one virtual CPU");
+  root_.rank = 0;
+  root_.lbuf.init(config_.register_slots);
+  cpus_.reserve(static_cast<size_t>(config_.num_cpus));
+  for (int r = 1; r <= config_.num_cpus; ++r) {
+    cpus_.push_back(std::make_unique<Cpu>());
+    Cpu& c = *cpus_.back();
+    c.data.rank = r;
+    c.data.gbuf.init(config_.buffer_log2, config_.overflow_cap);
+    c.data.lbuf.init(config_.register_slots);
+  }
+  // Workers start after all slots exist so worker_loop may index any cpu.
+  for (auto& cp : cpus_) {
+    Cpu* c = cp.get();
+    c->worker = std::thread([this, c] { worker_loop(*c); });
+  }
+}
+
+ThreadManager::~ThreadManager() {
+  for (auto& cp : cpus_) {
+    {
+      std::lock_guard lock(cp->mu);
+      cp->shutdown = true;
+    }
+    cp->cv.notify_one();
+  }
+  for (auto& cp : cpus_) {
+    if (cp->worker.joinable()) cp->worker.join();
+  }
+}
+
+bool ThreadManager::admission_allows(const ThreadData& td,
+                                     ForkModel model) const {
+  std::lock_guard lock(policy_mu_);
+  switch (config_.model_override.value_or(model)) {
+    case ForkModel::kMixed:
+      return true;
+    case ForkModel::kOutOfOrder:
+      return td.rank == 0;
+    case ForkModel::kInOrder:
+      return (live_ == 0 && td.rank == 0) ||
+             (td.rank != 0 && td.rank == most_speculative_rank_);
+  }
+  return false;
+}
+
+int ThreadManager::speculate(ThreadData& forker, ForkModel model, Task task,
+                             const std::function<void(ThreadData&)>& setup) {
+  ForkModel m = config_.model_override.value_or(model);
+  uint64_t t0 = now_ns();
+  int rank = 0;
+  {
+    std::lock_guard lock(policy_mu_);
+    bool ok;
+    switch (m) {
+      case ForkModel::kMixed:
+        ok = true;
+        break;
+      case ForkModel::kOutOfOrder:
+        ok = forker.rank == 0;
+        break;
+      case ForkModel::kInOrder:
+      default:
+        ok = (live_ == 0 && forker.rank == 0) ||
+             (forker.rank != 0 && forker.rank == most_speculative_rank_);
+        break;
+    }
+    if (ok) {
+      for (auto& cp : cpus_) {
+        CpuState expected = CpuState::kIdle;
+        if (cp->state.compare_exchange_strong(expected, CpuState::kRunning,
+                                              std::memory_order_acq_rel)) {
+          rank = cp->data.rank;
+          break;
+        }
+      }
+      if (rank != 0) {
+        ++live_;
+        most_speculative_rank_ = rank;
+      }
+    }
+  }
+  forker.stats.ledger.add(TimeCat::kFindCpu, now_ns() - t0);
+  if (rank == 0) {
+    ++forker.stats.fork_denied;
+    return 0;
+  }
+
+  uint64_t t1 = now_ns();
+  Cpu& c = cpu(rank);
+  c.data.reset_for_speculation(forker.rank, forker.epoch, c.next_epoch++,
+                               config_.seed, config_.rollback_probability);
+  forker.children.push_back(ChildRef{rank, c.data.epoch});
+  if (setup) setup(c.data);
+  {
+    std::lock_guard lock(c.mu);
+    c.task = std::move(task);
+    c.has_task = true;
+  }
+  c.cv.notify_one();
+  ++forker.stats.forks;
+  forker.stats.ledger.add(TimeCat::kFork, now_ns() - t1);
+  return rank;
+}
+
+void ThreadManager::worker_loop(Cpu& c) {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock lock(c.mu);
+      c.cv.wait(lock, [&] { return c.has_task || c.shutdown; });
+      if (c.shutdown) return;
+      task = std::move(c.task);
+      c.has_task = false;
+    }
+    ThreadData& td = c.data;
+    td.task_start_ns = now_ns();
+    try {
+      task(td);
+    } catch (const SpecAbort& a) {
+      if (!td.gbuf.doomed()) td.gbuf.doom(a.reason);
+    } catch (...) {
+      // A user exception escaping a speculative task dooms it; the joiner
+      // re-executes inline, where the exception surfaces normally.
+      td.gbuf.doom("exception escaped speculative task");
+    }
+    if (td.doomed()) {
+      // Cascading rollback stays inside this subtree (paper IV-F).
+      nosync_children(td);
+    }
+    barrier_and_settle(c);
+  }
+}
+
+void ThreadManager::barrier_and_settle(Cpu& c) {
+  ThreadData& td = c.data;
+
+  uint64_t idle0 = now_ns();
+  SyncStatus s = spin_while_equal(td.sync_status, SyncStatus::kNone);
+  td.stats.ledger.add(TimeCat::kIdle, now_ns() - idle0);
+
+  if (s == SyncStatus::kNoSync) {
+    // Quiet discard: non-conforming speculation or subtree abort. No joiner
+    // reads this slot, so the thread frees its own CPU.
+    nosync_children(td);
+    ++td.stats.nosyncs;
+    uint64_t f0 = now_ns();
+    td.gbuf.reset();
+    td.stats.ledger.add(TimeCat::kFinalize, now_ns() - f0);
+    uint64_t end = now_ns();
+    td.stats.runtime_ns = end - td.task_start_ns;
+    uint64_t accounted = td.stats.ledger.total();
+    td.stats.ledger.add(TimeCat::kWastedWork,
+                        td.stats.runtime_ns > accounted
+                            ? td.stats.runtime_ns - accounted
+                            : 0);
+    td.stats.overflow_events += td.gbuf.overflow_events;
+    aggregate_stats(td);
+    {
+      std::lock_guard lock(policy_mu_);
+      on_thread_finished_locked(td.rank);
+    }
+    c.state.store(CpuState::kIdle, std::memory_order_release);
+    return;
+  }
+
+  // SYNC: validate against the joiner's view, then commit or roll back.
+  ThreadData* j = td.joiner;
+  MUTLS_CHECK(j != nullptr, "SYNC without a joiner");
+
+  bool valid;
+  {
+    uint64_t v0 = now_ns();
+    if (td.doomed() || td.force_rollback || td.inject_rollback) {
+      valid = false;
+    } else if (j->rank == 0) {
+      valid = td.gbuf.validate_against_memory();
+    } else {
+      valid = td.gbuf.validate_against(j->gbuf);
+    }
+    td.stats.ledger.add(TimeCat::kValidation, now_ns() - v0);
+  }
+
+  if (valid) {
+    uint64_t c0 = now_ns();
+    if (j->rank == 0) {
+      td.gbuf.commit_to_memory();
+    } else {
+      td.gbuf.merge_into(j->gbuf);
+    }
+    td.stats.ledger.add(TimeCat::kCommit, now_ns() - c0);
+    ++td.stats.commits;
+  } else {
+    ++td.stats.rollbacks;
+  }
+
+  uint64_t f0 = now_ns();
+  td.stats.overflow_events += td.gbuf.overflow_events;
+  td.gbuf.reset();
+  td.stats.ledger.add(TimeCat::kFinalize, now_ns() - f0);
+
+  uint64_t end = now_ns();
+  td.stats.runtime_ns = end - td.task_start_ns;
+  uint64_t accounted = td.stats.ledger.total();
+  uint64_t work =
+      td.stats.runtime_ns > accounted ? td.stats.runtime_ns - accounted : 0;
+  td.stats.ledger.add(valid ? TimeCat::kWork : TimeCat::kWastedWork, work);
+
+  // Publishing valid_status releases the slot to the joiner: no writes to
+  // td.stats or td.children may follow.
+  td.valid_status.store(valid ? ValidStatus::kCommit : ValidStatus::kRollback,
+                        std::memory_order_release);
+}
+
+ThreadManager::JoinResult ThreadManager::synchronize(
+    ThreadData& joiner, ChildRef expect, bool force_rollback,
+    uint64_t* out_tag, const std::function<void(ThreadData&)>& on_settled) {
+  uint64_t t0 = now_ns();
+  bool found = false;
+  while (!joiner.children.empty()) {
+    ChildRef ref = joiner.children.back();
+    joiner.children.pop_back();
+    if (ref.rank == expect.rank && ref.epoch == expect.epoch) {
+      found = true;
+      break;
+    }
+    // Non-conforming mixed-model usage (paper IV-F): NOSYNC the mismatched
+    // child and keep searching. The child frees its own CPU.
+    Cpu& cc = cpu(ref.rank);
+    if (cc.data.epoch == ref.epoch) {
+      cc.data.sync_status.store(SyncStatus::kNoSync,
+                                std::memory_order_release);
+    }
+  }
+  if (!found) {
+    joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t0);
+    return JoinResult::kNotFound;
+  }
+
+  Cpu& c = cpu(expect.rank);
+  MUTLS_CHECK(c.data.epoch == expect.epoch,
+              "synchronize: stale child reference");
+  c.data.force_rollback = force_rollback;
+  c.data.joiner = &joiner;
+  joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t0);
+
+  c.data.sync_status.store(SyncStatus::kSync, std::memory_order_release);
+
+  uint64_t i0 = now_ns();
+  ValidStatus v = spin_while_equal(c.data.valid_status, ValidStatus::kNone);
+  joiner.stats.ledger.add(TimeCat::kIdle, now_ns() - i0);
+
+  uint64_t t1 = now_ns();
+  if (out_tag) *out_tag = c.data.user_tag;
+  if (on_settled) on_settled(c.data);
+  // Adopt the child's children — preserved even on rollback (paper IV-F),
+  // so a local conflict does not squash sibling subtrees.
+  for (const ChildRef& ref : c.data.children) {
+    joiner.children.push_back(ref);
+  }
+  aggregate_stats(c.data);
+  {
+    std::lock_guard lock(policy_mu_);
+    on_thread_finished_locked(expect.rank);
+  }
+  c.state.store(CpuState::kIdle, std::memory_order_release);
+  joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t1);
+  return v == ValidStatus::kCommit ? JoinResult::kCommit
+                                   : JoinResult::kRollback;
+}
+
+void ThreadManager::nosync_children(ThreadData& td, size_t keep) {
+  while (td.children.size() > keep) {
+    ChildRef ref = td.children.back();
+    td.children.pop_back();
+    Cpu& cc = cpu(ref.rank);
+    if (cc.data.epoch == ref.epoch) {
+      cc.data.sync_status.store(SyncStatus::kNoSync,
+                                std::memory_order_release);
+    }
+  }
+}
+
+void ThreadManager::on_thread_finished_locked(int rank) {
+  --live_;
+  if (most_speculative_rank_ == rank) {
+    // The chain shrinks: speculation continues from this thread's parent if
+    // that parent is still the same live speculative thread.
+    const ThreadData& td = cpu(rank).data;
+    if (td.parent_rank != 0) {
+      Cpu& p = cpu(td.parent_rank);
+      if (p.state.load(std::memory_order_acquire) != CpuState::kIdle &&
+          p.data.epoch == td.parent_epoch) {
+        most_speculative_rank_ = td.parent_rank;
+        return;
+      }
+    }
+    most_speculative_rank_ = 0;
+  }
+}
+
+void ThreadManager::aggregate_stats(ThreadData& td) {
+  std::lock_guard lock(stats_mu_);
+  spec_stats_ += td.stats;
+  ++spec_thread_count_;
+}
+
+void ThreadManager::register_space(const void* p, size_t n) {
+  space_.insert(reinterpret_cast<uintptr_t>(p), n);
+}
+
+void ThreadManager::unregister_space(const void* p, size_t n) {
+  space_.erase(reinterpret_cast<uintptr_t>(p), n);
+}
+
+bool ThreadManager::space_contains(const void* p, size_t n) const {
+  return space_.contains(reinterpret_cast<uintptr_t>(p), n);
+}
+
+int ThreadManager::live_threads() const {
+  std::lock_guard lock(policy_mu_);
+  return live_;
+}
+
+RunStats ThreadManager::collect_stats() {
+  RunStats rs;
+  rs.critical = root_.stats;
+  {
+    std::lock_guard lock(stats_mu_);
+    rs.speculative = spec_stats_;
+    rs.speculative_threads = spec_thread_count_;
+  }
+  return rs;
+}
+
+void ThreadManager::reset_stats() {
+  root_.stats.clear();
+  std::lock_guard lock(stats_mu_);
+  spec_stats_.clear();
+  spec_thread_count_ = 0;
+}
+
+void ThreadManager::begin_run() {
+  reset_stats();
+  run_start_ns_ = now_ns();
+}
+
+void ThreadManager::end_run() {
+  uint64_t end = now_ns();
+  root_.stats.runtime_ns = end - run_start_ns_;
+  uint64_t accounted = root_.stats.ledger.total();
+  root_.stats.ledger.add(TimeCat::kWork,
+                         root_.stats.runtime_ns > accounted
+                             ? root_.stats.runtime_ns - accounted
+                             : 0);
+}
+
+}  // namespace mutls

@@ -1,0 +1,165 @@
+// The ThreadManager (paper section IV-B): owns one ThreadData, GlobalBuffer
+// and LocalBuffer per virtual CPU, launches speculative threads at fork
+// points, and implements the tree-form mixed-model synchronization of
+// section IV-F, including NOSYNC of non-conforming children and adoption of
+// a joined child's children.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/enums.h"
+#include "runtime/stats.h"
+#include "runtime/thread_data.h"
+#include "support/interval_set.h"
+
+namespace mutls {
+
+struct ManagerConfig {
+  // Number of virtual CPUs available for speculative threads (the paper's
+  // rank range 1..N). The non-speculative thread is extra.
+  int num_cpus = 4;
+
+  // log2 of the entry count of each read/write set (paper IV-G2).
+  int buffer_log2 = 16;
+
+  // Capacity of the temporary (overflow) buffer per set.
+  size_t overflow_cap = 4096;
+
+  // RegisterBuffer slots per frame (paper IV-G3).
+  int register_slots = 256;
+
+  // Rollback injection probability per speculative thread (paper Fig. 11).
+  double rollback_probability = 0.0;
+
+  // Seed for deterministic injection decisions.
+  uint64_t seed = 0x5eed;
+
+  // When set, overrides the model of every fork point (paper Fig. 10
+  // compares in-order / out-of-order / mixed this way).
+  std::optional<ForkModel> model_override;
+};
+
+class ThreadManager {
+ public:
+  using Task = std::function<void(ThreadData&)>;
+
+  explicit ThreadManager(const ManagerConfig& config);
+  ~ThreadManager();
+
+  ThreadManager(const ThreadManager&) = delete;
+  ThreadManager& operator=(const ThreadManager&) = delete;
+
+  // ThreadData of the non-speculative thread (rank 0).
+  ThreadData& root() { return root_; }
+
+  // MUTLS_get_CPU + MUTLS_speculate: applies the forking-model admission
+  // policy, claims an IDLE virtual CPU, arms its ThreadData and launches
+  // `task` on it. Returns the child rank, or 0 when speculation is denied
+  // (no IDLE CPU or model admission failed) — the caller then simply
+  // continues sequentially, as in the paper. `setup`, when given, runs on
+  // the forker between arming and launching: this is where the proxy
+  // function stores live-in register/stack variables into the child's
+  // LocalBuffer (paper IV-D step (2)).
+  int speculate(ThreadData& forker, ForkModel model, Task task,
+                const std::function<void(ThreadData&)>& setup = {});
+
+  enum class JoinResult { kCommit, kRollback, kNotFound };
+
+  // MUTLS_synchronize: pops `joiner.children` until `expect` is found,
+  // NOSYNC-ing mismatched children (non-conforming mixed-model usage);
+  // performs the flag-based barrier with the child; adopts the child's
+  // children either way; reclaims the CPU. `force_rollback` communicates a
+  // failed live-in validation. `out_tag`, when non-null, receives the
+  // child's user_tag (see ThreadData) so adopted children can be
+  // re-executed after rollback.
+  JoinResult synchronize(ThreadData& joiner, ChildRef expect,
+                         bool force_rollback = false,
+                         uint64_t* out_tag = nullptr,
+                         const std::function<void(ThreadData&)>& on_settled = {});
+
+  // Aborts the remaining subtree of `td` down to `keep` children (used when
+  // a speculative task unwinds without joining its children, and for
+  // in-order chain cascades: cascading rollback stays within the subtree).
+  void nosync_children(ThreadData& td, size_t keep = 0);
+
+  // Address-space registration (paper IV-G1).
+  void register_space(const void* p, size_t n);
+  void unregister_space(const void* p, size_t n);
+  bool space_contains(const void* p, size_t n) const;
+  const IntervalSet& address_space() const { return space_; }
+
+  // Number of speculative threads currently live.
+  int live_threads() const;
+
+  // True when `td` may fork under `model` right now (admission policy
+  // only; an IDLE CPU must additionally exist). Exposed for tests.
+  bool admission_allows(const ThreadData& td, ForkModel model) const;
+
+  // Statistics: aggregate of all *finished* speculative threads plus the
+  // root. Call between runs, when no speculation is live.
+  RunStats collect_stats();
+  void reset_stats();
+
+  // Marks the start of the non-speculative measured region (resets the
+  // root runtime baseline).
+  void begin_run();
+  void end_run();
+
+  const ManagerConfig& config() const { return config_; }
+
+  int num_cpus() const { return config_.num_cpus; }
+
+ private:
+  struct Cpu {
+    ThreadData data;
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable cv;
+    Task task;               // guarded by mu
+    bool has_task = false;   // guarded by mu
+    bool shutdown = false;   // guarded by mu
+    std::atomic<CpuState> state{CpuState::kIdle};
+    uint64_t next_epoch = 1;
+  };
+
+  void worker_loop(Cpu& cpu);
+
+  // Barrier-side protocol of the speculative thread: wait for a signal,
+  // validate, commit or roll back, publish valid_status.
+  void barrier_and_settle(Cpu& cpu);
+
+  // Policy bookkeeping when a speculative thread finishes (either reclaimed
+  // by a joiner or self-freed after NOSYNC).
+  void on_thread_finished_locked(int rank);
+
+  void aggregate_stats(ThreadData& td);
+
+  Cpu& cpu(int rank) {
+    MUTLS_DCHECK(rank >= 1 && rank <= config_.num_cpus, "bad rank");
+    return *cpus_[static_cast<size_t>(rank - 1)];
+  }
+
+  ManagerConfig config_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  ThreadData root_;
+
+  mutable std::mutex policy_mu_;
+  int most_speculative_rank_ = 0;  // guarded by policy_mu_
+  int live_ = 0;                   // guarded by policy_mu_
+
+  std::mutex stats_mu_;
+  ThreadStats spec_stats_;          // guarded by stats_mu_
+  uint64_t spec_thread_count_ = 0;  // guarded by stats_mu_
+  uint64_t run_start_ns_ = 0;
+
+  IntervalSet space_;
+};
+
+}  // namespace mutls

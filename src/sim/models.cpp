@@ -1,0 +1,225 @@
+#include "sim/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mutls::sim {
+
+SimNode* build_chain(SimModel& m, int chunks, double work_per_chunk,
+                     double read_words, double write_words) {
+  SimNode* n = m.node();
+  n->chain_chunks = chunks;
+  n->chain_chunk_work = work_per_chunk;
+  n->read_words = read_words;
+  n->write_words = write_words;
+  return n;
+}
+
+SimModel model_threex(double total_work_us, int chunks) {
+  SimModel m;
+  m.spec_work_factor = 1.0;  // the inner loop touches no shared memory
+  SimNode* chain = build_chain(m, chunks, total_work_us / chunks, 0, 1);
+  // Trajectory lengths vary mildly across the range: ~±20% chunk imbalance.
+  for (int i = 0; i < chunks; ++i) {
+    chain->chain_weights.push_back(
+        0.8 + 0.4 * (((i * 2654435761u) >> 3) % 1000) / 1000.0);
+  }
+  m.phases.push_back(chain);
+  return m;
+}
+
+SimModel model_mandelbrot(double total_work_us, int chunks, int pixels) {
+  SimModel m;
+  m.spec_work_factor = 1.02;  // one buffered store per pixel
+  double words_per_chunk = static_cast<double>(pixels) / chunks / 2.0;
+  SimNode* chain =
+      build_chain(m, chunks, total_work_us / chunks, 0, words_per_chunk);
+  // Row blocks near the set's interior run the full iteration budget while
+  // exterior rows escape quickly: strong triangular imbalance.
+  for (int i = 0; i < chunks; ++i) {
+    double d = std::abs(i - chunks / 2.0) / (chunks / 2.0);
+    chain->chain_weights.push_back(0.25 + 1.5 * (1.0 - d));
+  }
+  m.phases.push_back(chain);
+  return m;
+}
+
+SimModel model_md(int particles, int steps, int chunks, double step_work_us) {
+  SimModel m;
+  m.spec_work_factor = 1.15;  // positions are read through the buffers
+  double reads = 3.0 * particles;              // every position, each chunk
+  double writes = 3.0 * particles / chunks;    // own force rows
+  for (int s = 0; s < steps; ++s) {
+    SimNode* phase = m.node();
+    SimNode* chain =
+        build_chain(m, chunks, step_work_us / chunks, reads, writes);
+    phase->inline_nodes.push_back(chain);
+    // Sequential integration on the critical path.
+    SimNode* integrate = m.node();
+    integrate->own_work = 0.02 * particles;
+    phase->inline_nodes.push_back(integrate);
+    m.phases.push_back(phase);
+  }
+  return m;
+}
+
+SimModel model_bh(int bodies, int steps, int chunks, double step_work_us,
+                  double build_fraction) {
+  SimModel m;
+  m.spec_work_factor = 2.5;  // tree traversal is all buffered loads
+  double tree_words = 12.0 * bodies / chunks;  // traversal footprint
+  double writes = 3.0 * bodies / chunks;
+  for (int s = 0; s < steps; ++s) {
+    SimNode* phase = m.node();
+    SimNode* build = m.node();
+    build->own_work = step_work_us * build_fraction;
+    phase->inline_nodes.push_back(build);
+    SimNode* chain = build_chain(m, chunks,
+                                 step_work_us * (1.0 - build_fraction) / chunks,
+                                 tree_words, writes);
+    phase->inline_nodes.push_back(chain);
+    m.phases.push_back(phase);
+  }
+  return m;
+}
+
+namespace {
+
+SimNode* fft_node(SimModel& m, double n, int level, int fork_levels,
+                  double us_per_element_level) {
+  SimNode* node = m.node();
+  if (n < 32 && level >= fork_levels) {
+    // Flatten the deep sequential tail into plain work to keep the model
+    // compact: a full subtree of size s costs s*log2(s) element-levels.
+    node->own_work = n * std::max(1.0, std::log2(n)) * us_per_element_level;
+    return node;
+  }
+  node->own_work = n * us_per_element_level;  // the combine loop
+  if (n >= 2) {
+    SimNode* first =
+        fft_node(m, n / 2, level + 1, fork_levels, us_per_element_level);
+    SimNode* second =
+        fft_node(m, n / 2, level + 1, fork_levels, us_per_element_level);
+    if (level < fork_levels) {
+      // Speculated subtree: its merged buffer covers its whole half.
+      second->read_words = 2.0 * (n / 2);
+      second->write_words = 3.0 * (n / 2);
+      node->forks.push_back(second);
+      node->inline_nodes.push_back(first);
+    } else {
+      node->inline_nodes.push_back(first);
+      node->inline_nodes.push_back(second);
+    }
+  }
+  return node;
+}
+
+struct MmBuilder {
+  SimModel& m;
+  int leaf;
+  int fork_levels;
+  double us_per_leaf_mul;
+
+  // One multiply C += A*B of size n; `conflicting` marks accumulate-phase
+  // regions that read blocks buffered in a speculative forker.
+  SimNode* mult(int n, int level, bool conflicting) {
+    SimNode* node = m.node();
+    double nn = static_cast<double>(n) * n;
+    if (n <= leaf) {
+      node->own_work = nn * n * us_per_leaf_mul / leaf;
+      node->read_words = 2 * nn;
+      node->write_words = nn;
+      node->conflict_under_spec = conflicting;
+      return node;
+    }
+    int h = n / 2;
+    for (int q = 0; q < 4; ++q) {
+      SimNode* task = m.node();
+      task->inline_nodes.push_back(mult(h, level + 1, conflicting));
+      SimNode* acc = mult(h, level + 1, /*conflicting=*/true);
+      task->inline_nodes.push_back(acc);
+      task->read_words = 3.0 * h * h;
+      task->write_words = 1.0 * h * h;
+      task->conflict_under_spec = conflicting;
+      if (level < fork_levels && q < 3) {
+        node->forks.push_back(task);
+      } else {
+        node->inline_nodes.push_back(task);
+      }
+    }
+    return node;
+  }
+};
+
+SimNode* dfs_node(SimModel& m, int branch, int depth, int cutoff,
+                  double leaf_us, double decay) {
+  // Candidate-continuation chain: handle first candidate (descend), fork
+  // the rest as a continuation.
+  if (depth >= cutoff) {
+    SimNode* leaf = m.node();
+    leaf->own_work = leaf_us;
+    leaf->write_words = 1;
+    return leaf;
+  }
+  int b = std::max(1, branch - depth);
+  SimNode* next = nullptr;
+  for (int k = b - 1; k >= 0; --k) {
+    SimNode* cand = m.node();
+    cand->write_words = 1;  // its result slot
+    cand->read_words = 1;
+    cand->inline_nodes.push_back(
+        dfs_node(m, branch, depth + 1, cutoff, leaf_us * decay, decay));
+    if (next) cand->forks.push_back(next);
+    next = cand;
+  }
+  return next;
+}
+
+}  // namespace
+
+SimModel model_fft(int log2_n, int fork_levels, double us_per_element_level) {
+  SimModel m;
+  m.spec_work_factor = 4.5;  // every element moves through the buffers
+  m.phases.push_back(fft_node(m, std::ldexp(1.0, log2_n), 0, fork_levels,
+                              us_per_element_level));
+  return m;
+}
+
+SimModel model_matmult(int n, int leaf, int fork_levels,
+                       double us_per_leaf_mul) {
+  SimModel m;
+  m.spec_work_factor = 2.8;
+  MmBuilder b{m, leaf, fork_levels, us_per_leaf_mul};
+  m.phases.push_back(b.mult(n, 0, false));
+  return m;
+}
+
+SimModel model_nqueen(int n, int cutoff, double leaf_us) {
+  SimModel m;
+  m.spec_work_factor = 6.0;  // board state is buffered in the paper's nqueen
+  m.phases.push_back(dfs_node(m, n, 0, cutoff, leaf_us, 0.9));
+  return m;
+}
+
+SimModel model_tsp(int n, int cutoff, double leaf_us) {
+  SimModel m;
+  m.spec_work_factor = 6.5;
+  m.phases.push_back(dfs_node(m, n - 1, 0, cutoff, leaf_us, 0.85));
+  return m;
+}
+
+const std::vector<NamedModel>& paper_models() {
+  static const std::vector<NamedModel> kModels = {
+      {"3x+1", [] { return model_threex(); }, true},
+      {"mandelbrot", [] { return model_mandelbrot(); }, true},
+      {"md", [] { return model_md(); }, true},
+      {"fft", [] { return model_fft(); }, false},
+      {"matmult", [] { return model_matmult(); }, false},
+      {"nqueen", [] { return model_nqueen(); }, false},
+      {"tsp", [] { return model_tsp(); }, false},
+      {"bh", [] { return model_bh(); }, false},
+  };
+  return kModels;
+}
+
+}  // namespace mutls::sim

@@ -1,0 +1,63 @@
+// Task-tree models of the Table II benchmarks for the discrete-event
+// simulator. Work amounts are virtual microseconds, calibrated to the
+// paper's workload sizes; footprints (read/write words) follow each
+// benchmark's actual buffering behaviour in the native runtime. The
+// *shape* of each model mirrors the structured speculation of the
+// corresponding workload in src/workloads/.
+#pragma once
+
+#include "sim/sim.h"
+
+namespace mutls::sim {
+
+// Chunked in-order loop chain (3x+1, mandelbrot, and one md/bh phase).
+SimNode* build_chain(SimModel& m, int chunks, double work_per_chunk,
+                     double read_words, double write_words);
+
+// 3x+1: 64 chunks of pure compute, one result word each (paper: 40M ints).
+SimModel model_threex(double total_work_us = 2.0e6, int chunks = 64);
+
+// mandelbrot: 64 row-block chunks, each writing its block of the image.
+SimModel model_mandelbrot(double total_work_us = 2.5e6, int chunks = 64,
+                          int pixels = 512 * 512);
+
+// md: `steps` sequential phases; each phase is a chunked force loop that
+// reads every position and writes its own force rows (paper: 256
+// particles, 400 steps).
+SimModel model_md(int particles = 256, int steps = 400, int chunks = 64,
+                  double step_work_us = 5000);
+
+// bh: like md but each phase starts with a sequential tree build on the
+// critical path, and force chunks read a large tree footprint (paper:
+// 12800 bodies).
+SimModel model_bh(int bodies = 12800, int steps = 8, int chunks = 64,
+                  double step_work_us = 60000, double build_fraction = 0.115);
+
+// fft: binary divide-and-conquer; each node speculates its second half,
+// executes the first half inline and then combines (paper: 2^20 doubles).
+SimModel model_fft(int log2_n = 20, int fork_levels = 6,
+                   double us_per_element_level = 0.012);
+
+// matmult: quadrant recursion, 4 sub-tasks per level, each sub-task an
+// assign-multiply followed by an accumulate-multiply whose speculated
+// sub-sub-tasks conflict (paper: 1024x1024 doubles).
+SimModel model_matmult(int n = 1024, int leaf = 128, int fork_levels = 2,
+                       double us_per_leaf_mul = 0.0025);
+
+// nqueen: candidate-chain DFS with speculation above the cutoff depth
+// (paper: 14 queens).
+SimModel model_nqueen(int n = 14, int cutoff = 3, double leaf_us = 900);
+
+// tsp: same DFS skeleton with factorial branching (paper: 12 cities).
+SimModel model_tsp(int n = 12, int cutoff = 3, double leaf_us = 450);
+
+struct NamedModel {
+  const char* name;
+  SimModel (*build)();
+  bool compute_intensive;
+};
+
+// The full Table II suite with paper-sized parameters.
+const std::vector<NamedModel>& paper_models();
+
+}  // namespace mutls::sim

@@ -1,0 +1,379 @@
+#include "sim/sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.h"
+
+namespace mutls::sim {
+
+Simulator::Simulator(const Options& opt) : opt_(opt), rng_(opt.seed) {
+  MUTLS_CHECK(opt_.num_cpus >= 1, "simulator needs at least one CPU");
+  cpus_.resize(static_cast<size_t>(opt_.num_cpus));
+}
+
+double Simulator::seq_work(const SimNode& n) {
+  double w = n.own_work;
+  for (int i = 0; i < n.chain_chunks; ++i) {
+    double cw = n.chain_chunk_work;
+    if (!n.chain_weights.empty()) {
+      cw *= n.chain_weights[static_cast<size_t>(i) % n.chain_weights.size()];
+    }
+    w += cw;
+  }
+  for (const SimNode* c : n.forks) w += seq_work(*c);
+  for (const SimNode* c : n.inline_nodes) w += seq_work(*c);
+  return w;
+}
+
+bool Simulator::admission(const SimNode* self, double t) const {
+  switch (opt_.model) {
+    case ForkModel::kMixed:
+      return true;
+    case ForkModel::kOutOfOrder:
+      return self == nullptr;
+    case ForkModel::kInOrder:
+      if (self == nullptr) return t >= chain_busy_until_;
+      return self == chain_tail_;
+  }
+  return false;
+}
+
+int Simulator::acquire_cpu(double t) {
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    if (cpus_[i].busy_until <= t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double Simulator::sim_chain(const SimNode& n, double t, const SimNode* self,
+                             SimBreakdown& bd) {
+  const int chunks = n.chain_chunks;
+  auto chunk_work = [&](int i) {
+    double w = n.chain_chunk_work;
+    if (!n.chain_weights.empty()) {
+      w *= n.chain_weights[static_cast<size_t>(i) % n.chain_weights.size()];
+    }
+    return w;
+  };
+  const double settle = n.read_words * opt_.costs.per_word_validate +
+                        n.write_words * opt_.costs.per_word_commit +
+                        opt_.costs.finalize + opt_.costs.join_bookkeep;
+
+  // Number of speculative workers the chain can hold. Out-of-order forbids
+  // speculative threads from extending the chain, so at most one
+  // speculative worker exists (paper section II); in-order requires the
+  // caller to be the chain tail.
+  int free_cpus = 0;
+  for (const CpuSlot& c : cpus_) {
+    if (c.busy_until <= t) ++free_cpus;
+  }
+  bool may_chain = true;
+  if (opt_.model == ForkModel::kOutOfOrder) may_chain = false;
+  if (opt_.model == ForkModel::kInOrder && self != nullptr &&
+      self != chain_tail_) {
+    free_cpus = 0;
+  }
+  int spec_workers =
+      may_chain ? std::min(free_cpus, chunks - 1) : std::min(free_cpus, 1);
+
+  if (spec_workers == 0) {
+    // Fully sequential.
+    double w = 0;
+    for (int i = 0; i < chunks; ++i) w += chunk_work(i);
+    bd.work += w;
+    if (chunks > 1) ++res_.denied;
+    return t + w;
+  }
+
+  // Greedy chunk-order assignment to the earliest-free worker; worker 0 is
+  // the calling thread (the paper's parent resumes partially executed
+  // chunks via the synchronization table, so it continuously consumes and
+  // executes work). Speculative workers pay the buffering inflation.
+  std::vector<double> load(static_cast<size_t>(spec_workers) + 1, 0.0);
+  double root_work = 0, spec_work = 0, spec_settle_total = 0;
+  uint64_t spec_chunks = 0;
+  Xorshift64& rng = rng_;
+  uint64_t rollbacks_before = res_.rollbacks;
+  for (int i = 0; i < chunks; ++i) {
+    size_t k = 0;
+    for (size_t j = 1; j < load.size(); ++j) {
+      if (load[j] < load[k]) k = j;
+    }
+    double w = chunk_work(i);
+    if (k == 0) {
+      load[0] += w;
+      root_work += w;
+    } else {
+      double dur = w * spec_factor_;
+      bool rollback = opt_.rollback_probability > 0.0 &&
+                      rng.bernoulli(opt_.rollback_probability);
+      if (opt_.linear_cascade && cascade_active_) rollback = true;
+      load[k] += dur;
+      ++res_.forks;
+      ++spec_chunks;
+      if (rollback) {
+        ++res_.rollbacks;
+        cascade_active_ = true;
+        res_.speculative.wasted += dur;
+        // The caller re-executes the chunk inline.
+        load[0] += w;
+        root_work += w;
+        spec_settle_total += n.read_words * opt_.costs.per_word_validate +
+                             opt_.costs.join_bookkeep;
+      } else {
+        ++res_.commits;
+        spec_work += dur;
+        spec_settle_total += settle;
+      }
+    }
+  }
+  (void)rollbacks_before;
+
+  // The caller additionally pays the join/validate/commit serialization.
+  double root_busy = root_work + spec_settle_total;
+  double makespan = root_busy;
+  for (size_t j = 1; j < load.size(); ++j) {
+    makespan = std::max(makespan, load[j]);
+  }
+  // A trailing speculative chunk still has to be joined after it finishes.
+  if (makespan > root_busy) makespan += settle;
+
+  // Ledger accounting.
+  bd.work += root_work;
+  double fork_costs =
+      static_cast<double>(spec_chunks) *
+      (opt_.costs.find_cpu + opt_.costs.fork);
+  res_.speculative.find_cpu += fork_costs * 0.5;
+  res_.speculative.fork += fork_costs * 0.5;
+  bd.join += spec_settle_total * 0.3;
+  bd.idle += std::max(0.0, makespan - root_busy) + spec_settle_total * 0.7;
+  res_.speculative.work += spec_work;
+  res_.speculative.validation +=
+      static_cast<double>(spec_chunks) * n.read_words *
+      opt_.costs.per_word_validate;
+  res_.speculative.commit += static_cast<double>(spec_chunks) *
+                             n.write_words * opt_.costs.per_word_commit;
+  res_.speculative.finalize +=
+      static_cast<double>(spec_chunks) * opt_.costs.finalize;
+  // Each speculative worker is occupied for the whole chain (it waits at
+  // its barrier between chunks it executes and the joins that free it).
+  for (size_t j = 1; j < load.size(); ++j) {
+    res_.spec_runtime_sum += makespan;
+    res_.speculative.idle += std::max(0.0, makespan - load[j]);
+  }
+  // Occupy the CPUs for the chain duration.
+  int used = 0;
+  for (CpuSlot& c : cpus_) {
+    if (used >= spec_workers) break;
+    if (c.busy_until <= t) {
+      c.busy_until = t + makespan;
+      ++used;
+    }
+  }
+  return t + makespan;
+}
+
+
+double Simulator::sim_node(const SimNode& n, double t, const SimNode* self,
+                           SimBreakdown& bd) {
+  if (n.chain_chunks > 0) {
+    MUTLS_CHECK(n.forks.empty() && n.inline_nodes.empty() && n.own_work == 0,
+                "chain nodes must be pure chains");
+    return sim_chain(n, t, self, bd);
+  }
+  struct ForkRec {
+    const SimNode* child;
+    double finish;      // child's task finish (ready to validate)
+    double start;
+    int cpu;            // -1: executed inline at the join point
+    bool rollback;
+    SimBreakdown child_bd;
+  };
+  std::vector<ForkRec> recs;
+  recs.reserve(n.forks.size());
+
+  for (const SimNode* c : n.forks) {
+    t += opt_.costs.find_cpu;
+    bd.find_cpu += opt_.costs.find_cpu;
+    int cpu = -1;
+    if (admission(self, t)) cpu = acquire_cpu(t);
+    if (cpu < 0) {
+      ++res_.denied;
+      recs.push_back(ForkRec{c, 0, 0, -1, false, {}});
+      continue;
+    }
+    t += opt_.costs.fork;
+    bd.fork += opt_.costs.fork;
+    ++res_.forks;
+    bool inject = opt_.rollback_probability > 0.0 &&
+                  rng_.bernoulli(opt_.rollback_probability);
+    bool conflict = c->conflict_under_spec && self != nullptr;
+    if (opt_.linear_cascade && cascade_active_) conflict = true;
+    // In-order bookkeeping: the freshly forked node is now the most
+    // speculative thread; only it may extend the chain. The root may start
+    // a new chain once the current one drains (chain_busy_until_).
+    chain_tail_ = c;
+    ForkRec rec{c, 0, t, cpu, inject || conflict, {}};
+    if (rec.rollback) {
+      // The child is doomed from the start: its entire execution is
+      // wasted work. Charging it as flattened straight-line time (instead
+      // of recursing into its subtree, whose own speculations are equally
+      // doomed) keeps simulation cost linear under heavy rollback rates
+      // without changing the timing observed by the joiner.
+      double waste = seq_work(*c) * spec_factor_;
+      rec.finish = t + waste;
+      rec.child_bd.wasted = waste;
+      cpus_[static_cast<size_t>(cpu)].busy_until = rec.finish;
+      recs.push_back(rec);
+      continue;
+    }
+    // The CPU is occupied for the child's whole execution: mark it busy
+    // *before* simulating the subtree so nested forks cannot reuse it.
+    cpus_[static_cast<size_t>(cpu)].busy_until =
+        std::numeric_limits<double>::infinity();
+    rec.finish = sim_node(*c, t, c, rec.child_bd);
+    chain_busy_until_ = std::max(chain_busy_until_, rec.finish);
+    cpus_[static_cast<size_t>(cpu)].busy_until = rec.finish;
+    recs.push_back(rec);
+  }
+
+  // Speculative threads pay the buffering inflation on their computation.
+  double own = n.own_work * (self != nullptr ? spec_factor_ : 1.0);
+  t += own;
+  bd.work += own;
+
+  for (const SimNode* c : n.inline_nodes) {
+    t = sim_node(*c, t, self, bd);
+  }
+
+  // LIFO joins (structured speculation).
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+    ForkRec& r = *it;
+    if (r.cpu < 0) {
+      // Speculation was denied: the region runs inline at the join point.
+      t = sim_node(*r.child, t, self, bd);
+      continue;
+    }
+    t += opt_.costs.join_bookkeep;
+    bd.join += opt_.costs.join_bookkeep;
+    if (opt_.linear_cascade && cascade_active_) r.rollback = true;
+
+    // The paper's counter-based resumption: if the child is still running
+    // when the joiner arrives, the joiner can signal SYNC at the child's
+    // next check point, commit the partial work and execute the remainder
+    // itself at non-speculative speed. Model the joiner as choosing
+    // whichever is faster: waiting for the child, or consuming it now.
+    double vc = r.child->read_words * opt_.costs.per_word_validate;
+    double cc = r.child->write_words * opt_.costs.per_word_commit;
+    double settle = vc + cc + opt_.costs.finalize;
+    if (!r.rollback && t < r.finish) {
+      double child_seq = seq_work(*r.child);
+      double done = std::min(child_seq, (t - r.start) / spec_factor_);
+      double remainder = child_seq - done;
+      double consume_finish = t + settle + remainder;
+      double wait_finish = std::max(t, r.finish) + settle;
+      if (consume_finish < wait_finish) {
+        // Partial commit at a check point; the joiner takes over.
+        bd.idle += settle;
+        t += settle;
+        bd.work += remainder;
+        t += remainder;
+        ++res_.commits;
+        r.child_bd.validation += vc;
+        r.child_bd.commit += cc;
+        r.child_bd.finalize += opt_.costs.finalize;
+        double runtime = t - r.start;
+        res_.spec_runtime_sum += runtime;
+        SimBreakdown& agg0 = res_.speculative;
+        agg0.work += r.child_bd.work;
+        agg0.find_cpu += r.child_bd.find_cpu;
+        agg0.fork += r.child_bd.fork;
+        agg0.join += r.child_bd.join;
+        agg0.validation += r.child_bd.validation;
+        agg0.commit += r.child_bd.commit;
+        agg0.finalize += r.child_bd.finalize;
+        agg0.wasted += r.child_bd.wasted;
+        cpus_[static_cast<size_t>(r.cpu)].busy_until = t;
+        continue;
+      }
+    }
+
+    double vstart = std::max(t, r.finish);
+    if (r.rollback) {
+      // A doomed child stops at its first check point after SYNC instead
+      // of running to completion (paper IV-E).
+      double stop_by = std::max(t, r.start) + opt_.costs.checkpoint_poll;
+      if (stop_by < vstart) {
+        vstart = stop_by;
+        double elapsed = vstart - r.start;
+        r.child_bd.wasted = std::min(r.child_bd.wasted, elapsed);
+      }
+    }
+    bd.idle += vstart - t;  // waiting for the child to stop
+    // The child waits at its barrier from its finish until the join.
+    r.child_bd.idle += std::max(0.0, t - r.finish);
+    t = vstart;
+    r.child_bd.validation += vc;
+    if (!r.rollback) {
+      r.child_bd.commit += cc;
+      ++res_.commits;
+    } else {
+      cc = 0;
+      ++res_.rollbacks;
+      cascade_active_ = true;
+    }
+    r.child_bd.finalize += opt_.costs.finalize;
+    // The joiner idles while the child validates/commits/finalizes
+    // (paper Fig. 8: critical-path overhead is almost all idle time).
+    double settle_wait = vc + cc + opt_.costs.finalize;
+    bd.idle += settle_wait;
+    t += settle_wait;
+    cpus_[static_cast<size_t>(r.cpu)].busy_until = t;
+
+    if (r.rollback) {
+      // Everything the child did is waste; re-execute inline.
+      r.child_bd.wasted += r.child_bd.work;
+      r.child_bd.work = 0;
+      t = sim_node(*r.child, t, self, bd);
+    }
+    // Account the speculative thread's runtime: from its start until the
+    // join completed.
+    double runtime = t - r.start;
+    res_.spec_runtime_sum += runtime;
+    // Aggregate the child's ledger.
+    SimBreakdown& agg = res_.speculative;
+    agg.work += r.child_bd.work;
+    agg.find_cpu += r.child_bd.find_cpu;
+    agg.fork += r.child_bd.fork;
+    agg.join += r.child_bd.join;
+    agg.validation += r.child_bd.validation;
+    agg.commit += r.child_bd.commit;
+    agg.finalize += r.child_bd.finalize;
+    agg.wasted += r.child_bd.wasted;
+    // Idle for the speculative thread: its runtime minus everything it did.
+    double accounted = r.child_bd.total() - r.child_bd.idle;
+    agg.idle += std::max(0.0, runtime - accounted);
+  }
+
+  return t;
+}
+
+SimResult Simulator::run(const SimModel& model) {
+  res_ = SimResult{};
+  for (CpuSlot& c : cpus_) c.busy_until = 0;
+  chain_tail_ = nullptr;
+  chain_busy_until_ = 0;
+
+  spec_factor_ = std::max(1.0, model.spec_work_factor);
+  double t = 0;
+  for (const SimNode* phase : model.phases) {
+    cascade_active_ = false;
+    res_.sequential_time += seq_work(*phase);
+    t = sim_node(*phase, t, nullptr, res_.critical);
+  }
+  res_.critical_time = t;
+  return res_;
+}
+
+}  // namespace mutls::sim

@@ -1,0 +1,607 @@
+#include "speculator/pass.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mutls::speculator {
+
+using namespace ir;
+
+namespace {
+
+const char* suffix_for(Type t) {
+  switch (t) {
+    case Type::kI1:
+    case Type::kI8: return "i8";
+    case Type::kI16: return "i16";
+    case Type::kI32: return "i32";
+    case Type::kI64: return "i64";
+    case Type::kF32: return "f32";
+    case Type::kF64: return "f64";
+    case Type::kPtr: return "ptr";
+    default: return "i64";
+  }
+}
+
+bool is_unsafe_external(const Module& m, const Instr& in) {
+  if (in.op != Op::kCall) return false;
+  if (m.find_function(in.sym)) return false;
+  // Known-safe externals (paper IV-C): abs, log, etc.
+  static const std::unordered_set<std::string> kSafe = {"abs_i64", "log_f64",
+                                                        "sqrt_f64"};
+  return !kSafe.count(in.sym) && in.sym.rfind("MUTLS_", 0) != 0 &&
+         in.sym.rfind("mutls.", 0) != 0;
+}
+
+struct Transformer {
+  const Module& src;
+  Module& out;
+  FunctionReport report;
+
+  // --- helpers on the function being built ---
+
+  static Instr call_instr(const std::string& sym, Type ret,
+                          std::vector<ValueId> args) {
+    Instr in;
+    in.op = Op::kCall;
+    in.sym = sym;
+    in.type = ret;
+    in.args = std::move(args);
+    return in;
+  }
+
+  static Instr const_instr(Function& f, Type t, int64_t v, ValueId& id) {
+    Instr in;
+    in.op = Op::kConst;
+    in.type = t;
+    in.imm = v;
+    id = f.new_value(t, "");
+    in.result = id;
+    return in;
+  }
+
+  // Replaces loads/stores with runtime calls (preparation step 1).
+  static void bufferize_accesses(Function& f) {
+    for (Block& b : f.blocks) {
+      for (Instr& in : b.instrs) {
+        if (in.op == Op::kLoad) {
+          Instr c = call_instr(
+              std::string("MUTLS_load_") + suffix_for(in.type), in.type,
+              {in.args[0]});
+          c.result = in.result;
+          in = std::move(c);
+        } else if (in.op == Op::kStore) {
+          Type vt = f.value_types[in.args[0]];
+          Instr c = call_instr(
+              std::string("MUTLS_store_") + suffix_for(vt), Type::kVoid,
+              {in.args[0], in.args[1]});
+          in = std::move(c);
+        }
+      }
+    }
+  }
+
+  // Assigns a LocalBuffer offset per SSA value (preparation step 4): the
+  // paper assigns offsets to locals live at synchronization blocks; using
+  // the value id as the offset is the degenerate total assignment.
+  // Emits save calls for the values live at (block, instr).
+  void emit_saves(Function& f, std::vector<Instr>& seq,
+                  const std::vector<bool>& live, ValueId skip = kNoValue) {
+    for (ValueId v = 1; v < live.size(); ++v) {
+      if (!live[v] || v == skip) continue;
+      Type t = f.value_types[v];
+      if (t == Type::kVoid) continue;
+      ValueId off;
+      seq.push_back(const_instr(f, Type::kI32, static_cast<int64_t>(v), off));
+      seq.push_back(call_instr(
+          std::string("MUTLS_save_local_") + suffix_for(t), Type::kVoid,
+          {off, v}));
+      report.live_slots = std::max(report.live_slots, static_cast<int>(v) + 1);
+    }
+  }
+
+  // Builds a restore block for the values live at target block `tb` and
+  // returns its index. Restored values need phis in `tb`; the caller
+  // collects (value, restored) pairs.
+  uint32_t build_restore_block(Function& f, uint32_t tb,
+                               const std::vector<bool>& live,
+                               std::vector<std::pair<ValueId, ValueId>>&
+                                   restored,
+                               const std::string& label) {
+    Block rb;
+    rb.label = label;
+    for (ValueId v = 1; v < live.size(); ++v) {
+      if (!live[v]) continue;
+      Type t = f.value_types[v];
+      if (t == Type::kVoid) continue;
+      ValueId off;
+      rb.instrs.push_back(
+          const_instr(f, Type::kI32, static_cast<int64_t>(v), off));
+      Instr c = call_instr(
+          std::string("MUTLS_restore_local_") + suffix_for(t), t, {off});
+      ValueId rv = f.new_value(t, f.value_names[v] + ".restored");
+      c.result = rv;
+      rb.instrs.push_back(std::move(c));
+      restored.emplace_back(v, rv);
+    }
+    Instr br;
+    br.op = Op::kBr;
+    br.blocks = {tb};
+    rb.instrs.push_back(std::move(br));
+    f.blocks.push_back(std::move(rb));
+    return static_cast<uint32_t>(f.blocks.size() - 1);
+  }
+
+  // Inserts phis at the head of `tb` merging the original values with the
+  // restored versions arriving from `rb`, and rewrites dominated uses
+  // ("Phi nodes are inserted at the beginning of the latter block to
+  // distinguish the different versions", paper IV-D).
+  void insert_restore_phis(Function& f, uint32_t tb, uint32_t rb,
+                           const std::vector<std::pair<ValueId, ValueId>>&
+                               restored) {
+    Cfg cfg = build_cfg(f);
+    std::vector<uint32_t> idom = compute_idom(f, cfg);
+    auto dominates = [&](uint32_t a, uint32_t b) {
+      while (true) {
+        if (a == b) return true;
+        if (b == 0 || idom[b] == b) return a == b || a == 0;
+        b = idom[b];
+      }
+    };
+    for (auto [orig, rest] : restored) {
+      Instr phi;
+      phi.op = Op::kPhi;
+      phi.type = f.value_types[orig];
+      ValueId pv = f.new_value(phi.type, f.value_names[orig] + ".merge");
+      phi.result = pv;
+      for (uint32_t p : cfg.pred[tb]) {
+        phi.args.push_back(p == rb ? rest : orig);
+        phi.blocks.push_back(p);
+      }
+      // Rewrite uses of `orig` strictly dominated by tb (and in tb below
+      // the phi head) to the merged value.
+      for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+        if (b == rb) continue;
+        bool dom = b == tb || (dominates(tb, b) && b != tb);
+        for (size_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+          Instr& in = f.blocks[b].instrs[i];
+          if (in.op == Op::kPhi && b == tb) continue;  // phi heads keep orig
+          if (!dom && in.op != Op::kPhi) continue;
+          for (size_t ai = 0; ai < in.args.size(); ++ai) {
+            if (in.args[ai] != orig) continue;
+            if (in.op == Op::kPhi) {
+              // Phi operands follow their edge's source block.
+              uint32_t from = in.blocks[ai];
+              if (from == tb || (from != rb && dominates(tb, from))) {
+                in.args[ai] = pv;
+              }
+            } else if (dom) {
+              in.args[ai] = pv;
+            }
+          }
+        }
+      }
+      f.blocks[tb].instrs.insert(f.blocks[tb].instrs.begin(), std::move(phi));
+    }
+  }
+
+  // Splits block `b` before instruction `at`; the tail becomes a new block
+  // named `label`. Phi edges and terminators are fixed up.
+  uint32_t split_block(Function& f, uint32_t b, size_t at,
+                       const std::string& label) {
+    Block tail;
+    tail.label = label;
+    tail.instrs.assign(f.blocks[b].instrs.begin() + static_cast<long>(at),
+                       f.blocks[b].instrs.end());
+    f.blocks[b].instrs.erase(
+        f.blocks[b].instrs.begin() + static_cast<long>(at),
+        f.blocks[b].instrs.end());
+    Instr br;
+    br.op = Op::kBr;
+    f.blocks.push_back(std::move(tail));
+    uint32_t nb = static_cast<uint32_t>(f.blocks.size() - 1);
+    br.blocks = {nb};
+    f.blocks[b].instrs.push_back(std::move(br));
+    // Phi predecessors referring to b for edges now leaving the tail.
+    const Instr& t = f.blocks[nb].terminator();
+    if (t.op == Op::kBr || t.op == Op::kCondBr) {
+      for (uint32_t s : t.blocks) {
+        for (Instr& in : f.blocks[s].instrs) {
+          if (in.op != Op::kPhi) break;
+          for (uint32_t& pb : in.blocks) {
+            if (pb == b) pb = nb;
+          }
+        }
+      }
+    }
+    return nb;
+  }
+
+  void transform(const Function& orig);
+  Function make_clone(const Function& orig);
+  void make_proxy_stub(const Function& orig);
+  void lower_nonspec(Function& f);
+};
+
+Function Transformer::make_clone(const Function& orig) {
+  Function f = orig;  // deep copy
+  f.name = orig.name + ".speculative";
+  f.params.push_back(Param{"counter", Type::kI32});
+  ValueId counter = f.new_value(Type::kI32, "counter");
+  f.params.push_back(Param{"rank", Type::kI32});
+  f.new_value(Type::kI32, "rank");
+
+  bufferize_accesses(f);
+
+  std::vector<std::vector<bool>> live = compute_live_in(f);
+
+  // (3) point blocks with synchronization counters.
+  int counter_id = 1;
+  // Check points at loop back edges; terminate points before unsafe
+  // external calls; enter points before internal calls; return point
+  // before ret.
+  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+    for (size_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+      Instr& in = f.blocks[b].instrs[i];
+      std::vector<Instr> seq;
+      const char* fnname = nullptr;
+      PointBlockInfo::Kind kind = PointBlockInfo::kCheck;
+      if (is_unsafe_external(src, in)) {
+        fnname = "MUTLS_terminate_point";
+        kind = PointBlockInfo::kTerminate;
+      } else if (in.op == Op::kCall && src.find_function(in.sym)) {
+        fnname = "MUTLS_enter_point";
+        kind = PointBlockInfo::kEnter;
+      } else if (in.op == Op::kRet) {
+        fnname = "MUTLS_return_point";
+        kind = PointBlockInfo::kReturn;
+      } else if ((in.op == Op::kBr || in.op == Op::kCondBr) &&
+                 !in.blocks.empty() &&
+                 *std::min_element(in.blocks.begin(), in.blocks.end()) <= b) {
+        fnname = "MUTLS_check_point";
+        kind = PointBlockInfo::kCheck;
+      }
+      if (!fnname) continue;
+      emit_saves(f, seq, live[b]);
+      ValueId cid;
+      seq.push_back(const_instr(f, Type::kI32, counter_id, cid));
+      seq.push_back(call_instr(fnname, Type::kVoid, {cid, counter + 1}));
+      report.points.push_back(
+          PointBlockInfo{kind, counter_id, f.blocks[b].label});
+      ++counter_id;
+      f.blocks[b].instrs.insert(f.blocks[b].instrs.begin() +
+                                    static_cast<long>(i),
+                                seq.begin(), seq.end());
+      i += seq.size();
+    }
+  }
+
+  // Speculation table: dispatch on `counter` to the join point blocks
+  // through restore blocks (the clone's entry for counter == 0 falls
+  // through to the original entry).
+  struct JoinTarget {
+    int64_t point;
+    uint32_t block;
+  };
+  std::vector<JoinTarget> joins;
+  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+    for (size_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+      if (f.blocks[b].instrs[i].op == Op::kMutlsJoin) {
+        // Split so the continuation starts its own numbered block.
+        uint32_t nb = split_block(
+            f, b, i + 1,
+            "join" + std::to_string(f.blocks[b].instrs[i].imm) + ".cont");
+        joins.push_back(JoinTarget{f.blocks[b].instrs[i].imm, nb});
+        report.points.push_back(PointBlockInfo{
+            PointBlockInfo::kJoin, static_cast<int>(f.blocks[b].instrs[i].imm),
+            f.blocks[nb].label});
+      }
+    }
+  }
+
+  live = compute_live_in(f);
+  // New dispatch entry.
+  Block dispatch;
+  dispatch.label = "spec.table";
+  std::vector<Instr> entry_instrs;
+  uint32_t old_entry = 0;
+  // Build restore blocks first (appending blocks invalidates nothing).
+  std::vector<std::pair<int64_t, uint32_t>> dispatch_targets;
+  for (const JoinTarget& j : joins) {
+    std::vector<std::pair<ValueId, ValueId>> restored;
+    uint32_t rb = build_restore_block(
+        f, j.block, live[j.block], restored,
+        "restore.join" + std::to_string(j.point));
+    insert_restore_phis(f, j.block, rb, restored);
+    dispatch_targets.emplace_back(j.point, rb);
+  }
+  // Dispatch chain: counter == point ? restore : next.
+  // Blocks: spec.table (+ cmp chain blocks).
+  {
+    Block cur;
+    cur.label = "spec.table";
+    uint32_t insert_at = static_cast<uint32_t>(f.blocks.size());
+    for (size_t k = 0; k < dispatch_targets.size(); ++k) {
+      ValueId cid;
+      cur.instrs.push_back(const_instr(
+          f, Type::kI32, dispatch_targets[k].first, cid));
+      Instr cmp;
+      cmp.op = Op::kICmp;
+      cmp.pred = Pred::kEq;
+      cmp.type = Type::kI1;
+      cmp.args = {counter, cid};
+      cmp.result = f.new_value(Type::kI1, "");
+      ValueId cv = cmp.result;
+      cur.instrs.push_back(std::move(cmp));
+      Instr cb;
+      cb.op = Op::kCondBr;
+      cb.args = {cv};
+      bool last = k + 1 == dispatch_targets.size();
+      uint32_t next_blk = last ? old_entry
+                               : insert_at + static_cast<uint32_t>(k) + 1;
+      cb.blocks = {dispatch_targets[k].second, next_blk};
+      cur.instrs.push_back(std::move(cb));
+      f.blocks.push_back(std::move(cur));
+      cur = Block{};
+      cur.label = "spec.table." + std::to_string(k + 1);
+    }
+    if (dispatch_targets.empty()) {
+      cur.label = "spec.table";
+      Instr br;
+      br.op = Op::kBr;
+      br.blocks = {old_entry};
+      cur.instrs.push_back(std::move(br));
+      f.blocks.push_back(std::move(cur));
+    }
+  }
+  // Rotate so the dispatch block is the entry: swap block order by moving
+  // the dispatch chain to the front would invalidate indices; instead,
+  // create the final function with reordered blocks and remapped indices.
+  {
+    uint32_t first_dispatch = 0;
+    for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+      if (f.blocks[b].label == "spec.table") first_dispatch = b;
+    }
+    std::vector<uint32_t> order;
+    order.push_back(first_dispatch);
+    for (uint32_t b = first_dispatch + 1; b < f.blocks.size(); ++b) {
+      order.push_back(b);
+    }
+    for (uint32_t b = 0; b < first_dispatch; ++b) order.push_back(b);
+    std::vector<uint32_t> remap(f.blocks.size());
+    for (uint32_t i = 0; i < order.size(); ++i) remap[order[i]] = i;
+    std::vector<Block> nb;
+    nb.reserve(f.blocks.size());
+    for (uint32_t b : order) nb.push_back(std::move(f.blocks[b]));
+    for (Block& blk : nb) {
+      for (Instr& in : blk.instrs) {
+        for (uint32_t& t : in.blocks) t = remap[t];
+      }
+    }
+    f.blocks = std::move(nb);
+  }
+  return f;
+}
+
+void Transformer::make_proxy_stub(const Function& orig) {
+  // Proxy: same signature + (counter, rank); stores arguments via
+  // MUTLS_set_regvar_* and calls MUTLS_speculate.
+  Function proxy;
+  proxy.name = orig.name + ".proxy";
+  proxy.ret_type = Type::kVoid;
+  for (const Param& p : orig.params) {
+    proxy.params.push_back(p);
+    proxy.new_value(p.type, p.name);
+  }
+  proxy.params.push_back(Param{"counter", Type::kI32});
+  ValueId counter = proxy.new_value(Type::kI32, "counter");
+  proxy.params.push_back(Param{"rank", Type::kI32});
+  ValueId rank = proxy.new_value(Type::kI32, "rank");
+  Block pb;
+  pb.label = "entry";
+  for (size_t i = 0; i < orig.params.size(); ++i) {
+    ValueId off;
+    pb.instrs.push_back(
+        const_instr(proxy, Type::kI32, static_cast<int64_t>(i), off));
+    pb.instrs.push_back(call_instr(
+        std::string("MUTLS_set_regvar_") + suffix_for(orig.params[i].type),
+        Type::kVoid, {off, static_cast<ValueId>(i + 1)}));
+  }
+  pb.instrs.push_back(
+      call_instr("MUTLS_speculate", Type::kVoid, {counter, rank}));
+  Instr ret;
+  ret.op = Op::kRet;
+  pb.instrs.push_back(std::move(ret));
+  proxy.blocks.push_back(std::move(pb));
+  report.proxy = proxy.name;
+  out.functions.push_back(std::move(proxy));
+
+  // Stub: fetches the arguments and enters the speculative clone.
+  Function stub;
+  stub.name = orig.name + ".stub";
+  stub.ret_type = Type::kVoid;
+  stub.params.push_back(Param{"counter", Type::kI32});
+  ValueId scounter = stub.new_value(Type::kI32, "counter");
+  stub.params.push_back(Param{"rank", Type::kI32});
+  ValueId srank = stub.new_value(Type::kI32, "rank");
+  Block sb;
+  sb.label = "entry";
+  std::vector<ValueId> args;
+  for (size_t i = 0; i < orig.params.size(); ++i) {
+    ValueId off;
+    sb.instrs.push_back(
+        const_instr(stub, Type::kI32, static_cast<int64_t>(i), off));
+    Instr get = call_instr(
+        std::string("MUTLS_get_regvar_") + suffix_for(orig.params[i].type),
+        orig.params[i].type, {off});
+    ValueId v = stub.new_value(orig.params[i].type, orig.params[i].name);
+    get.result = v;
+    sb.instrs.push_back(std::move(get));
+    args.push_back(v);
+  }
+  args.push_back(scounter);
+  args.push_back(srank);
+  Instr call = call_instr(orig.name + ".speculative", orig.ret_type, args);
+  if (orig.ret_type != Type::kVoid) {
+    call.result = stub.new_value(orig.ret_type, "specret");
+  }
+  sb.instrs.push_back(std::move(call));
+  Instr sret;
+  sret.op = Op::kRet;
+  sb.instrs.push_back(std::move(sret));
+  stub.blocks.push_back(std::move(sb));
+  report.stub = stub.name;
+  out.functions.push_back(std::move(stub));
+}
+
+void Transformer::lower_nonspec(Function& f) {
+  // Fork points: MUTLS_get_CPU + speculation block calling the proxy.
+  // Join points: MUTLS_synchronize + synchronization-table dispatch.
+  std::vector<std::vector<bool>> live = compute_live_in(f);
+  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+    for (size_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+      Instr in = f.blocks[b].instrs[i];
+      if (in.op == Op::kMutlsFork) {
+        // Split the continuation off, then rewrite this position.
+        uint32_t cont = split_block(f, b, i + 1,
+                                    f.blocks[b].label + ".postfork");
+        Block& blk = f.blocks[b];
+        blk.instrs.pop_back();  // the br added by split
+        blk.instrs.pop_back();  // the fork marker itself
+        std::vector<Instr> seq;
+        ValueId pid, model;
+        seq.push_back(const_instr(f, Type::kI32, in.imm, pid));
+        seq.push_back(const_instr(f, Type::kI32,
+                                  static_cast<int64_t>(in.pred), model));
+        Instr get = call_instr("MUTLS_get_CPU", Type::kI32, {pid, model});
+        ValueId rank = f.new_value(Type::kI32, "rank");
+        get.result = rank;
+        seq.push_back(std::move(get));
+        ValueId zero;
+        seq.push_back(const_instr(f, Type::kI32, 0, zero));
+        Instr cmp;
+        cmp.op = Op::kICmp;
+        cmp.pred = Pred::kNe;
+        cmp.type = Type::kI1;
+        cmp.args = {rank, zero};
+        ValueId cond = f.new_value(Type::kI1, "speculated");
+        cmp.result = cond;
+        seq.push_back(std::move(cmp));
+        // Speculation block: save live locals, call the proxy.
+        Block spec;
+        spec.label = "spec.point" + std::to_string(in.imm) + "." +
+                     std::to_string(b);
+        std::vector<Instr> saves;
+        emit_saves(f, saves, live[b]);
+        for (Instr& s : saves) spec.instrs.push_back(std::move(s));
+        std::vector<ValueId> pargs;
+        for (size_t pi = 0; pi < f.params.size(); ++pi) {
+          pargs.push_back(static_cast<ValueId>(pi + 1));
+        }
+        ValueId cid;
+        spec.instrs.push_back(const_instr(f, Type::kI32, in.imm, cid));
+        pargs.push_back(cid);
+        pargs.push_back(rank);
+        spec.instrs.push_back(
+            call_instr(report.proxy, Type::kVoid, pargs));
+        Instr sbr;
+        sbr.op = Op::kBr;
+        sbr.blocks = {cont};
+        spec.instrs.push_back(std::move(sbr));
+        f.blocks.push_back(std::move(spec));
+        uint32_t spec_blk = static_cast<uint32_t>(f.blocks.size() - 1);
+        report.points.push_back(PointBlockInfo{
+            PointBlockInfo::kSpeculation, 0, f.blocks[spec_blk].label});
+        Instr cbr;
+        cbr.op = Op::kCondBr;
+        cbr.args = {cond};
+        cbr.blocks = {spec_blk, cont};
+        seq.push_back(std::move(cbr));
+        for (Instr& s : seq) f.blocks[b].instrs.push_back(std::move(s));
+        live = compute_live_in(f);
+        break;  // block indices shifted; restart the block scan
+      }
+      if (in.op == Op::kMutlsJoin) {
+        uint32_t cont = split_block(f, b, i + 1,
+                                    "join" + std::to_string(in.imm) +
+                                        ".nonspec.cont");
+        Block& blk = f.blocks[b];
+        blk.instrs.pop_back();  // br
+        blk.instrs.pop_back();  // join marker
+        std::vector<Instr> seq;
+        ValueId pid;
+        seq.push_back(const_instr(f, Type::kI32, in.imm, pid));
+        Instr sync = call_instr("MUTLS_synchronize", Type::kI1, {pid});
+        ValueId ok = f.new_value(Type::kI1, "committed");
+        sync.result = ok;
+        seq.push_back(std::move(sync));
+        // Synchronization table: on commit, restore the committed child's
+        // locals and continue at the continuation block.
+        std::vector<std::pair<ValueId, ValueId>> restored;
+        live = compute_live_in(f);
+        uint32_t rb = build_restore_block(
+            f, cont, live[cont], restored,
+            "restore.sync" + std::to_string(in.imm) + "." +
+                std::to_string(b));
+        insert_restore_phis(f, cont, rb, restored);
+        Instr cbr;
+        cbr.op = Op::kCondBr;
+        cbr.args = {ok};
+        cbr.blocks = {rb, cont};
+        seq.push_back(std::move(cbr));
+        for (Instr& s : seq) f.blocks[b].instrs.push_back(std::move(s));
+        report.points.push_back(PointBlockInfo{
+            PointBlockInfo::kJoin, static_cast<int>(in.imm),
+            f.blocks[cont].label});
+        live = compute_live_in(f);
+        break;
+      }
+      if (in.op == Op::kMutlsBarrier) {
+        // Barriers are markers for the speculative side only.
+        f.blocks[b].instrs.erase(f.blocks[b].instrs.begin() +
+                                 static_cast<long>(i));
+        --i;
+      }
+    }
+  }
+}
+
+void Transformer::transform(const Function& orig) {
+  report = FunctionReport{};
+  report.original = orig.name;
+
+  Function clone = make_clone(orig);
+  report.speculative = clone.name;
+  make_proxy_stub(orig);
+
+  Function nonspec = orig;  // copy, then lower the annotations
+  lower_nonspec(nonspec);
+
+  out.functions.push_back(std::move(nonspec));
+  out.functions.push_back(std::move(clone));
+}
+
+}  // namespace
+
+PassResult run_speculator_pass(const Module& m) {
+  PassResult res;
+  res.module.globals = m.globals;
+  Transformer tr{m, res.module, {}};
+  for (const Function& f : m.functions) {
+    bool has_fork = false;
+    for (const Block& b : f.blocks) {
+      for (const Instr& in : b.instrs) {
+        if (in.op == Op::kMutlsFork) has_fork = true;
+      }
+    }
+    if (has_fork) {
+      tr.transform(f);
+      res.reports.push_back(tr.report);
+    } else {
+      res.module.functions.push_back(f);
+    }
+  }
+  return res;
+}
+
+}  // namespace mutls::speculator

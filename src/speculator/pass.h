@@ -1,0 +1,62 @@
+// The MUTLS speculator transformation pass (paper section IV-C).
+//
+// For every function annotated with fork/join points this pass performs
+// the paper's four preparation steps:
+//
+//  (1) clone the function into "<name>.speculative" with two extra integer
+//      parameters (counter, rank), replacing every load/store with a
+//      MUTLS_load_* / MUTLS_store_* runtime call;
+//  (2) generate "<name>.proxy" (stores the arguments into the child's
+//      LocalBuffer via MUTLS_set_regvar_* and calls MUTLS_speculate) and
+//      "<name>.stub" (fetches them via MUTLS_get_regvar_* and enters the
+//      speculative clone);
+//  (3) split and number the synchronization blocks: a speculation block at
+//      each fork point, a join point block per join id, check point blocks
+//      at loop back edges, terminate point blocks before unsafe external
+//      calls, enter point blocks before internal calls and a return point
+//      block before ret — and build the speculation table (clone entry
+//      dispatch on `counter`) and the synchronization table (non-spec
+//      dispatch after a successful MUTLS_synchronize);
+//  (4) assign LocalBuffer offsets to the locals live at each
+//      synchronization block and emit MUTLS_save_local_* /
+//      MUTLS_restore_local_* calls plus the restore blocks and phis that
+//      keep the result in SSA form.
+//
+// The output is a well-formed module (verify_module passes). Execution of
+// speculative programs uses the interpreter's integrated implementation of
+// the same semantics (src/interp/); the pass is the compile-time artifact,
+// checked structurally by the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace mutls::speculator {
+
+struct PointBlockInfo {
+  enum Kind { kSpeculation, kJoin, kCheck, kTerminate, kEnter, kReturn };
+  Kind kind;
+  int counter;        // synchronization counter (0 for speculation blocks)
+  std::string block;  // label in the transformed function
+};
+
+struct FunctionReport {
+  std::string original;
+  std::string speculative;  // clone name (empty if not transformed)
+  std::string proxy;
+  std::string stub;
+  std::vector<PointBlockInfo> points;
+  int live_slots = 0;  // LocalBuffer offsets assigned
+};
+
+struct PassResult {
+  ir::Module module;
+  std::vector<FunctionReport> reports;
+};
+
+// Runs the speculator pass over `m` (functions containing mutls.fork).
+PassResult run_speculator_pass(const ir::Module& m);
+
+}  // namespace mutls::speculator

@@ -1,0 +1,31 @@
+// Lightweight invariant checking for the MUTLS runtime.
+//
+// MUTLS_CHECK is always on (cheap, used for API misuse and protocol
+// violations); MUTLS_DCHECK compiles away outside debug builds and guards
+// hot-path invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mutls {
+
+[[noreturn]] inline void panic(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "MUTLS panic at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace mutls
+
+#define MUTLS_CHECK(cond, msg)                       \
+  do {                                               \
+    if (!(cond)) ::mutls::panic(__FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MUTLS_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#else
+#define MUTLS_DCHECK(cond, msg) MUTLS_CHECK(cond, msg)
+#endif

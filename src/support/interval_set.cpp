@@ -1,0 +1,96 @@
+#include "support/interval_set.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/check.h"
+
+namespace mutls {
+
+size_t IntervalSet::lower_bound_locked(uintptr_t addr) const {
+  auto it = std::upper_bound(
+      spans_.begin(), spans_.end(), addr,
+      [](uintptr_t a, const Span& s) { return a < s.hi; });
+  return static_cast<size_t>(it - spans_.begin());
+}
+
+void IntervalSet::insert(uintptr_t start, size_t size) {
+  if (size == 0) return;
+  uintptr_t lo = start;
+  uintptr_t hi = start + size;
+  MUTLS_CHECK(hi > lo, "interval wraps the address space");
+
+  std::unique_lock lock(mu_);
+  // Find all spans touching or adjacent to [lo, hi) and coalesce them.
+  size_t i = lower_bound_locked(lo == 0 ? 0 : lo - 1);
+  size_t first = i;
+  while (i < spans_.size() && spans_[i].lo <= hi) {
+    lo = std::min(lo, spans_[i].lo);
+    hi = std::max(hi, spans_[i].hi);
+    ++i;
+  }
+  spans_.erase(spans_.begin() + static_cast<ptrdiff_t>(first),
+               spans_.begin() + static_cast<ptrdiff_t>(i));
+  spans_.insert(spans_.begin() + static_cast<ptrdiff_t>(first), Span{lo, hi});
+}
+
+void IntervalSet::erase(uintptr_t start, size_t size) {
+  if (size == 0) return;
+  uintptr_t lo = start;
+  uintptr_t hi = start + size;
+
+  std::unique_lock lock(mu_);
+  std::vector<Span> out;
+  out.reserve(spans_.size() + 1);
+  for (const Span& s : spans_) {
+    if (s.hi <= lo || s.lo >= hi) {
+      out.push_back(s);
+      continue;
+    }
+    if (s.lo < lo) out.push_back(Span{s.lo, lo});
+    if (s.hi > hi) out.push_back(Span{hi, s.hi});
+  }
+  spans_ = std::move(out);
+}
+
+bool IntervalSet::contains(uintptr_t addr, size_t size) const {
+  if (size == 0) return true;
+  std::shared_lock lock(mu_);
+  size_t i = lower_bound_locked(addr);
+  if (i >= spans_.size()) return false;
+  const Span& s = spans_[i];
+  return s.lo <= addr && addr + size <= s.hi;
+}
+
+bool IntervalSet::lookup(uintptr_t addr, size_t size, uintptr_t* lo,
+                         uintptr_t* hi) const {
+  std::shared_lock lock(mu_);
+  size_t i = lower_bound_locked(addr);
+  if (i >= spans_.size()) return false;
+  const Span& s = spans_[i];
+  if (s.lo <= addr && addr + size <= s.hi) {
+    *lo = s.lo;
+    *hi = s.hi;
+    return true;
+  }
+  return false;
+}
+
+size_t IntervalSet::span_count() const {
+  std::shared_lock lock(mu_);
+  return spans_.size();
+}
+
+uint64_t IntervalSet::total_bytes() const {
+  std::shared_lock lock(mu_);
+  uint64_t t = 0;
+  for (const Span& s : spans_) t += s.hi - s.lo;
+  return t;
+}
+
+void IntervalSet::clear() {
+  std::unique_lock lock(mu_);
+  spans_.clear();
+}
+
+}  // namespace mutls

@@ -1,0 +1,53 @@
+// Address-space registration (paper section IV-G1).
+//
+// MUTLS registers the [start, end) span of every static and heap object so
+// a speculative thread can detect wild reads/writes and roll back instead
+// of faulting. Adjacent or overlapping spans are merged, as the paper
+// suggests, to keep lookups fast. Registration happens at allocation sites
+// (rare); containment queries happen on the speculative hot path, so the
+// set is a sorted vector under a shared mutex with a per-query hint.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+namespace mutls {
+
+class IntervalSet {
+ public:
+  // Registers [start, start+size). Overlapping/adjacent spans merge.
+  void insert(uintptr_t start, size_t size);
+
+  // Unregisters [start, start+size). Spans are split if the removal covers
+  // an interior range (frees of suballocations in tests).
+  void erase(uintptr_t start, size_t size);
+
+  // True if [addr, addr+size) is fully covered by one registered span.
+  bool contains(uintptr_t addr, size_t size) const;
+
+  // Like contains, but also reports the covering span's bounds so callers
+  // can cache them and skip the lock on subsequent hits.
+  bool lookup(uintptr_t addr, size_t size, uintptr_t* lo, uintptr_t* hi) const;
+
+  size_t span_count() const;
+
+  // Total registered bytes.
+  uint64_t total_bytes() const;
+
+  void clear();
+
+ private:
+  struct Span {
+    uintptr_t lo;
+    uintptr_t hi;  // exclusive
+  };
+
+  // Index of the first span with hi > addr, under lock.
+  size_t lower_bound_locked(uintptr_t addr) const;
+
+  mutable std::shared_mutex mu_;
+  std::vector<Span> spans_;  // sorted by lo, non-overlapping
+};
+
+}  // namespace mutls

@@ -1,0 +1,47 @@
+// Deterministic per-thread PRNG used for rollback injection (paper Fig. 11)
+// and workload generation. xoshiro-style xorshift with splitmix seeding so
+// two runs with the same seed inject rollbacks at the same decisions.
+#pragma once
+
+#include <cstdint>
+
+namespace mutls {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // splitmix64 scrambling so small seeds (0, 1, 2...) diverge immediately.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    state_ = z ^ (z >> 31);
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  uint64_t next() {
+    uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform in [0, n).
+  uint64_t next_below(uint64_t n) { return n ? next() % n : 0; }
+
+  // Bernoulli trial with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mutls

@@ -1,0 +1,57 @@
+// Busy-wait helpers for the flag-based barriers of MUTLS (paper section
+// IV-E): the non-speculative thread spins on valid_status while the
+// speculative thread spins on sync_status. An exponential backoff keeps two
+// spinning threads from saturating the memory bus on small machines.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace mutls {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spins until `pred()` returns true. Starts with pause instructions and
+// degrades to yielding the OS thread, which matters when virtual CPUs
+// outnumber hardware threads (the common case for this reproduction).
+template <typename Pred>
+void spin_until(Pred&& pred) {
+  int spins = 0;
+  while (!pred()) {
+    if (spins < 64) {
+      cpu_relax();
+      ++spins;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+// Spin on an atomic until it differs from `current`; returns the new value.
+template <typename T>
+T spin_while_equal(const std::atomic<T>& flag, T current) {
+  T v = flag.load(std::memory_order_acquire);
+  int spins = 0;
+  while (v == current) {
+    if (spins < 64) {
+      cpu_relax();
+      ++spins;
+    } else {
+      std::this_thread::yield();
+    }
+    v = flag.load(std::memory_order_acquire);
+  }
+  return v;
+}
+
+}  // namespace mutls

@@ -1,0 +1,119 @@
+// Time accounting for the paper's execution-breakdown figures.
+//
+// Every thread attributes wall time to one of the categories that Figures
+// 8 and 9 of the paper plot (work, join, idle, fork, find-CPU for the
+// critical path; wasted work, finalize, commit, validation, overflow, idle,
+// fork, find-CPU for the speculative path). A TimeLedger accumulates
+// nanoseconds per category; ScopedTimer attributes a lexical scope.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace mutls {
+
+using Clock = std::chrono::steady_clock;
+
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+enum class TimeCat : int {
+  kWork = 0,     // useful computation
+  kFindCpu,      // MUTLS_get_CPU admission + slot search
+  kFork,         // live-in save + thread launch
+  kJoin,         // synchronize() on the critical path
+  kIdle,         // busy-waiting (either side of the flag barrier)
+  kValidation,   // read-set + live-in validation
+  kCommit,       // write-set commit / merge
+  kFinalize,     // buffer reset and CPU reclamation
+  kOverflow,     // stalled on a full overflow buffer
+  kWastedWork,   // work later discarded by rollback
+  kCount
+};
+
+inline const char* time_cat_name(TimeCat c) {
+  switch (c) {
+    case TimeCat::kWork: return "work";
+    case TimeCat::kFindCpu: return "find CPU";
+    case TimeCat::kFork: return "fork";
+    case TimeCat::kJoin: return "join";
+    case TimeCat::kIdle: return "idle";
+    case TimeCat::kValidation: return "validation";
+    case TimeCat::kCommit: return "commit";
+    case TimeCat::kFinalize: return "finalize";
+    case TimeCat::kOverflow: return "overflow";
+    case TimeCat::kWastedWork: return "wasted work";
+    default: return "?";
+  }
+}
+
+constexpr int kTimeCatCount = static_cast<int>(TimeCat::kCount);
+
+// Per-thread accumulator. Not thread-safe by design: each thread owns one
+// and the harness aggregates after the barrier at join time.
+class TimeLedger {
+ public:
+  void add(TimeCat cat, uint64_t ns) { ns_[static_cast<int>(cat)] += ns; }
+
+  uint64_t get(TimeCat cat) const { return ns_[static_cast<int>(cat)]; }
+
+  uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t v : ns_) t += v;
+    return t;
+  }
+
+  void clear() { ns_.fill(0); }
+
+  // Moves everything recorded as kWork into kWastedWork: called when a
+  // speculative thread rolls back so its computation is accounted as waste
+  // (paper Fig. 9 "wasted work").
+  void waste_work() {
+    ns_[static_cast<int>(TimeCat::kWastedWork)] +=
+        ns_[static_cast<int>(TimeCat::kWork)];
+    ns_[static_cast<int>(TimeCat::kWork)] = 0;
+  }
+
+  TimeLedger& operator+=(const TimeLedger& o) {
+    for (int i = 0; i < kTimeCatCount; ++i) ns_[i] += o.ns_[i];
+    return *this;
+  }
+
+ private:
+  std::array<uint64_t, kTimeCatCount> ns_{};
+};
+
+// Attributes the lifetime of the object to one category of a ledger.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeLedger& ledger, TimeCat cat)
+      : ledger_(ledger), cat_(cat), start_(now_ns()) {}
+  ~ScopedTimer() { ledger_.add(cat_, now_ns() - start_); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeLedger& ledger_;
+  TimeCat cat_;
+  uint64_t start_;
+};
+
+// Simple stopwatch for harness-level measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void restart() { start_ = now_ns(); }
+  uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_sec() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace mutls

@@ -1,0 +1,32 @@
+// Barnes-Hut N-body simulation — Table II row 4.
+//
+// Each step builds an octree over the bodies (sequential, on the critical
+// path), computes per-body accelerations by tree traversal (loop
+// speculation over body blocks: every traversal reads large parts of the
+// shared tree — the memory-intensive profile of the paper's bh — while
+// writing only its own acceleration rows), then integrates. No conflicts
+// arise, matching the paper. Paper size: 12800 bodies.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct BarnesHut {
+  struct Params {
+    int n = 512;
+    int steps = 2;
+    int chunks = 16;
+    double dt = 1e-3;
+    double theta = 0.5;
+    uint64_t seed = 17;
+  };
+
+  static constexpr const char* kName = "bh";
+  static constexpr Pattern kPattern = Pattern::kLoop;
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

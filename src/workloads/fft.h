@@ -1,0 +1,29 @@
+// Recursive Fast Fourier Transform — Table II row 6.
+//
+// Cooley-Tukey radix-2 decimation in time, implemented with the classic
+// two-buffer recursion. The second recursive call of every node is
+// speculated (the paper: "we fork a thread to execute the second recursive
+// call and barrier it after the call"), forming a binary tree of threads
+// under the mixed model. Divide-and-conquer pattern, memory-intensive.
+// Paper size: 2^20 doubles.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct Fft {
+  struct Params {
+    int log2_n = 12;         // transform size n = 2^log2_n
+    int fork_levels = 4;     // speculate in the top `fork_levels` of the tree
+    uint64_t seed = 7;
+  };
+
+  static constexpr const char* kName = "fft";
+  static constexpr Pattern kPattern = Pattern::kDivideAndConquer;
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

@@ -1,0 +1,41 @@
+// Mandelbrot fractal generation — Table II row 2.
+//
+// Renders escape-iteration counts for a width x height window of the
+// complex plane. Loop pattern, computation-intensive: per pixel the inner
+// loop runs up to max_iter iterations with a single shared write at the
+// end. Paper size: 512x512, max 80000 iterations.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct Mandelbrot {
+  struct Params {
+    int width = 256;
+    int height = 256;
+    int max_iter = 2000;
+    int chunks = 64;
+    double x0 = -2.0, x1 = 0.5, y0 = -1.25, y1 = 1.25;
+  };
+
+  static constexpr const char* kName = "mandelbrot";
+  static constexpr Pattern kPattern = Pattern::kLoop;
+
+  static int escape_iters(double cr, double ci, int max_iter) {
+    double zr = 0.0, zi = 0.0;
+    int it = 0;
+    while (it < max_iter && zr * zr + zi * zi <= 4.0) {
+      double nzr = zr * zr - zi * zi + cr;
+      zi = 2.0 * zr * zi + ci;
+      zr = nzr;
+      ++it;
+    }
+    return it;
+  }
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

@@ -1,0 +1,164 @@
+#include "workloads/matmult.h"
+
+#include <vector>
+
+#include "support/prng.h"
+
+namespace mutls::workloads {
+
+namespace {
+
+struct View {
+  // Submatrix [r0, r0+n) x [c0, c0+n) of a row-major `dim` x `dim` matrix.
+  double* base;
+  int dim;
+  int r0, c0;
+
+  double* at(int r, int c) const {
+    return base + static_cast<size_t>(r0 + r) * dim + (c0 + c);
+  }
+  View quad(int qr, int qc, int half) const {
+    return View{base, dim, r0 + qr * half, c0 + qc * half};
+  }
+};
+
+void init_matrices(const MatMult::Params& p, std::vector<double>& a,
+                   std::vector<double>& b) {
+  size_t nn = static_cast<size_t>(p.n) * p.n;
+  Xorshift64 rng(p.seed);
+  a.resize(nn);
+  b.resize(nn);
+  for (size_t i = 0; i < nn; ++i) {
+    a[i] = rng.next_double() - 0.5;
+    b[i] = rng.next_double() - 0.5;
+  }
+}
+
+void leaf_mm_seq(View c, View a, View b, int n, bool accumulate) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = accumulate ? *c.at(i, j) : 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += *a.at(i, k) * *b.at(k, j);
+      }
+      *c.at(i, j) = acc;
+    }
+  }
+}
+
+void mm_seq(View c, View a, View b, int n, int leaf, bool accumulate) {
+  if (n <= leaf) {
+    leaf_mm_seq(c, a, b, n, accumulate);
+    return;
+  }
+  int h = n / 2;
+  for (int qr = 0; qr < 2; ++qr) {
+    for (int qc = 0; qc < 2; ++qc) {
+      View cq = c.quad(qr, qc, h);
+      mm_seq(cq, a.quad(qr, 0, h), b.quad(0, qc, h), h, leaf, accumulate);
+      mm_seq(cq, a.quad(qr, 1, h), b.quad(1, qc, h), h, leaf, true);
+    }
+  }
+}
+
+struct SpecMm {
+  Runtime& rt;
+  const MatMult::Params& p;
+  ForkModel model;
+
+  void leaf_mm(Ctx& ctx, View c, View a, View b, int n,
+               bool accumulate) const {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = accumulate ? ctx.load(c.at(i, j)) : 0.0;
+        for (int k = 0; k < n; ++k) {
+          acc += ctx.load(a.at(i, k)) * ctx.load(b.at(k, j));
+        }
+        ctx.store(c.at(i, j), acc);
+      }
+      ctx.check_point();
+    }
+  }
+
+  // One quadrant sub-task: assign-multiply then accumulate-multiply.
+  void quad_task(Ctx& ctx, View c, View a, View b, int qr, int qc, int h,
+                 bool accumulate, int level) const {
+    View cq = c.quad(qr, qc, h);
+    run(ctx, cq, a.quad(qr, 0, h), b.quad(0, qc, h), h, accumulate, level);
+    run(ctx, cq, a.quad(qr, 1, h), b.quad(1, qc, h), h, true, level);
+  }
+
+  void run(Ctx& ctx, View c, View a, View b, int n, bool accumulate,
+           int level) const {
+    if (n <= p.leaf) {
+      leaf_mm(ctx, c, a, b, n, accumulate);
+      return;
+    }
+    int h = n / 2;
+    if (level < p.fork_levels) {
+      // Parent computes quadrant (0,0); three speculative children compute
+      // the rest. LIFO joins keep the mixed-model assumption intact.
+      Spec s01 = rt.fork(ctx, model, [=, this](Ctx& cc) {
+        quad_task(cc, c, a, b, 0, 1, h, accumulate, level + 1);
+      });
+      Spec s10 = rt.fork(ctx, model, [=, this](Ctx& cc) {
+        quad_task(cc, c, a, b, 1, 0, h, accumulate, level + 1);
+      });
+      Spec s11 = rt.fork(ctx, model, [=, this](Ctx& cc) {
+        quad_task(cc, c, a, b, 1, 1, h, accumulate, level + 1);
+      });
+      quad_task(ctx, c, a, b, 0, 0, h, accumulate, level + 1);
+      rt.join(ctx, s11);
+      rt.join(ctx, s10);
+      rt.join(ctx, s01);
+    } else {
+      for (int qr = 0; qr < 2; ++qr) {
+        for (int qc = 0; qc < 2; ++qc) {
+          quad_task(ctx, c, a, b, qr, qc, h, accumulate, level + 1);
+        }
+      }
+    }
+  }
+};
+
+uint64_t checksum_matrix(const double* m, size_t nn) {
+  uint64_t h = hash_begin();
+  for (size_t i = 0; i < nn; ++i) h = hash_double(h, m[i]);
+  return h;
+}
+
+}  // namespace
+
+SeqRun MatMult::run_seq(const Params& p) {
+  std::vector<double> a, b;
+  init_matrices(p, a, b);
+  std::vector<double> c(static_cast<size_t>(p.n) * p.n, 0.0);
+  Stopwatch sw;
+  mm_seq(View{c.data(), p.n, 0, 0}, View{a.data(), p.n, 0, 0},
+         View{b.data(), p.n, 0, 0}, p.n, p.leaf, false);
+  double secs = sw.elapsed_sec();
+  return SeqRun{checksum_matrix(c.data(), c.size()), secs};
+}
+
+SpecRun MatMult::run_spec(Runtime& rt, const Params& p, ForkModel model) {
+  size_t nn = static_cast<size_t>(p.n) * p.n;
+  SharedArray<double> a(rt, nn), b(rt, nn), c(rt, nn, 0.0);
+  {
+    std::vector<double> a0, b0;
+    init_matrices(p, a0, b0);
+    for (size_t i = 0; i < nn; ++i) {
+      a[i] = a0[i];
+      b[i] = b0[i];
+    }
+  }
+  Stopwatch sw;
+  RunStats stats = rt.run([&](Ctx& ctx) {
+    SpecMm mm{rt, p, model};
+    mm.run(ctx, View{c.data(), p.n, 0, 0}, View{a.data(), p.n, 0, 0},
+           View{b.data(), p.n, 0, 0}, p.n, false, 0);
+  });
+  double secs = sw.elapsed_sec();
+  return SpecRun{checksum_matrix(c.data(), nn), secs, stats};
+}
+
+}  // namespace mutls::workloads

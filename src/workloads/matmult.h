@@ -1,0 +1,32 @@
+// Block-based recursive matrix multiplication — Table II row 7.
+//
+// C = A*B by quadrant recursion: each level splits the product into four
+// C-quadrant sub-tasks (the paper: "we split the computation into 4
+// sub-tasks each multiplying one sub-matrix"), each sub-task performing two
+// block multiplies (assign, then accumulate). When sub-tasks speculate
+// their own sub-sub-tasks, the accumulate phase reads blocks written by the
+// assign phase that still sit in the speculative parent's buffer — the
+// paper's source of matmult rollbacks, reproduced here. Divide-and-conquer
+// pattern, memory-intensive. Paper size: 1024x1024 doubles.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct MatMult {
+  struct Params {
+    int n = 128;          // matrix dimension (power of two)
+    int leaf = 32;        // dense-kernel block size
+    int fork_levels = 2;  // speculate in the top levels of the recursion
+    uint64_t seed = 11;
+  };
+
+  static constexpr const char* kName = "matmult";
+  static constexpr Pattern kPattern = Pattern::kDivideAndConquer;
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

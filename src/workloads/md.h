@@ -1,0 +1,31 @@
+// 3D molecular dynamics simulation — Table II row 3.
+//
+// Velocity-Verlet integration of n particles under a softened inverse-square
+// pair force, for `steps` time steps. Each step computes all pair forces
+// (O(n^2), parallelized with loop speculation over particles) and then
+// integrates positions/velocities sequentially. Loop pattern,
+// computation-intensive (the pair loop is arithmetic-dominated).
+// Paper size: 256 particles, 400 steps.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct MolecularDynamics {
+  struct Params {
+    int n = 64;
+    int steps = 40;
+    int chunks = 16;
+    double dt = 1e-3;
+    uint64_t seed = 42;
+  };
+
+  static constexpr const char* kName = "md";
+  static constexpr Pattern kPattern = Pattern::kLoop;
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

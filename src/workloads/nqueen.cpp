@@ -1,0 +1,110 @@
+#include "workloads/nqueen.h"
+
+namespace mutls::workloads {
+
+uint64_t NQueen::solve_seq(int n, uint32_t cols, uint32_t d1, uint32_t d2) {
+  uint32_t full = (1u << n) - 1;
+  if (cols == full) return 1;
+  uint64_t count = 0;
+  uint32_t avail = ~(cols | d1 | d2) & full;
+  while (avail) {
+    uint32_t bit = avail & (0u - avail);
+    avail -= bit;
+    count += solve_seq(n, cols | bit, ((d1 | bit) << 1) & full,
+                       (d2 | bit) >> 1);
+  }
+  return count;
+}
+
+namespace {
+
+struct SpecNq {
+  Runtime& rt;
+  int n;
+  int cutoff;
+  ForkModel model;
+  uint64_t* slots;
+  size_t slot_count;
+
+  // Deterministic numbering of search-tree nodes: placing column c under
+  // node `id` yields child id*n + c + 1 (base-(n+1) heap numbering), so
+  // every continuation fork site (node, candidate ordinal) owns slot
+  // id*n + ordinal without any shared allocation traffic.
+  size_t slot_for(uint64_t id, int ordinal) const {
+    size_t s = static_cast<size_t>(id) * static_cast<size_t>(n) +
+               static_cast<size_t>(ordinal);
+    return s < slot_count ? s : slot_count;  // == slot_count: no slot left
+  }
+
+  uint64_t descend(Ctx& ctx, uint32_t cols, uint32_t d1, uint32_t d2,
+                   int depth, uint64_t id) const {
+    uint32_t full = (1u << n) - 1;
+    if (cols == full) return 1;
+    if (depth >= cutoff) return NQueen::solve_seq(n, cols, d1, d2);
+    uint32_t avail = ~(cols | d1 | d2) & full;
+    return count_candidates(ctx, cols, d1, d2, avail, depth, id, 0);
+  }
+
+  // Counts solutions reachable through the candidate set `avail` at this
+  // node; speculates the continuation (all but the first candidate).
+  uint64_t count_candidates(Ctx& ctx, uint32_t cols, uint32_t d1, uint32_t d2,
+                            uint32_t avail, int depth, uint64_t id,
+                            int ordinal) const {
+    if (avail == 0) return 0;
+    uint32_t bit = avail & (0u - avail);
+    uint32_t rest = avail - bit;
+    uint32_t full = (1u << n) - 1;
+    int col = __builtin_ctz(bit);
+    uint64_t child_id = id * static_cast<uint64_t>(n) +
+                        static_cast<uint64_t>(col) + 1;
+
+    uint64_t rest_count = 0;
+    size_t slot = slot_for(id, ordinal);
+    bool forked = false;
+    Spec s;
+    if (rest != 0 && slot < slot_count) {
+      s = rt.fork(ctx, model, [=, this](Ctx& c) {
+        uint64_t v = count_candidates(c, cols, d1, d2, rest, depth, id,
+                                      ordinal + 1);
+        c.store(&slots[slot], v);
+      });
+      forked = true;
+    }
+    uint64_t mine = descend(ctx, cols | bit, ((d1 | bit) << 1) & full,
+                            (d2 | bit) >> 1, depth + 1, child_id);
+    ctx.check_point();
+    if (forked) {
+      rt.join(ctx, s);
+      rest_count = ctx.load(&slots[slot]);
+    } else if (rest != 0) {
+      rest_count =
+          count_candidates(ctx, cols, d1, d2, rest, depth, id, ordinal + 1);
+    }
+    return mine + rest_count;
+  }
+};
+
+}  // namespace
+
+SeqRun NQueen::run_seq(const Params& p) {
+  Stopwatch sw;
+  uint64_t count = solve_seq(p.n, 0, 0, 0);
+  return SeqRun{hash_mix(hash_begin(), count), sw.elapsed_sec()};
+}
+
+SpecRun NQueen::run_spec(Runtime& rt, const Params& p, ForkModel model) {
+  // Upper bound on fork-site slots: node ids stay below (n+1)^cutoff.
+  size_t ids = 1;
+  for (int i = 0; i < p.cutoff; ++i) ids *= static_cast<size_t>(p.n) + 1;
+  SharedArray<uint64_t> slots(rt, ids * static_cast<size_t>(p.n) + 1, 0);
+  Stopwatch sw;
+  uint64_t count = 0;
+  RunStats stats = rt.run([&](Ctx& ctx) {
+    SpecNq nq{rt, p.n, p.cutoff, model, slots.data(), slots.size()};
+    count = nq.descend(ctx, 0, 0, 0, 0, 0);
+  });
+  double secs = sw.elapsed_sec();
+  return SpecRun{hash_mix(hash_begin(), count), secs, stats};
+}
+
+}  // namespace mutls::workloads

@@ -1,0 +1,36 @@
+// N-queens — Table II row 8.
+//
+// Depth-first search over placements, counting solutions. Speculation uses
+// the method-level continuation pattern: at each search node above the
+// cutoff depth, the thread forks the *rest of the candidate columns* as a
+// continuation and descends into the first candidate itself — under the
+// mixed model this unfolds the whole top of the search tree into a tree of
+// threads, which is precisely the scenario where the paper shows mixed
+// beating in-order and out-of-order. Each speculated continuation writes
+// its solution count into a dedicated slot (deterministically numbered
+// search-tree addresses), so the search is conflict-free, matching the
+// paper's observation that nqueen exhibits no rollbacks.
+// Paper size: 14 queens.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct NQueen {
+  struct Params {
+    int n = 10;
+    int cutoff = 3;  // speculate in the top `cutoff` rows
+  };
+
+  static constexpr const char* kName = "nqueen";
+  static constexpr Pattern kPattern = Pattern::kDepthFirstSearch;
+
+  // Pure sequential solver on bitmasks (no shared-memory access).
+  static uint64_t solve_seq(int n, uint32_t cols, uint32_t d1, uint32_t d2);
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

@@ -1,0 +1,37 @@
+// 3x+1 (Collatz) benchmark — Table II row 1.
+//
+// Enumerates the 3x+1 trajectories of 1..n and sums their lengths. The
+// inner computation touches no shared memory at all (the paper calls it an
+// "idealized benchmark" for software TLS): each speculative chunk only
+// writes one partial-sum slot at its end. Loop pattern,
+// computation-intensive. Paper size: 40M integers, split into 64 chunks.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct ThreeX {
+  struct Params {
+    int64_t n = 4'000'000;
+    int chunks = 64;
+  };
+
+  static constexpr const char* kName = "3x+1";
+  static constexpr Pattern kPattern = Pattern::kLoop;
+
+  // Trajectory length of a single value (pure compute).
+  static uint64_t trajectory(uint64_t x) {
+    uint64_t steps = 0;
+    while (x != 1) {
+      x = (x & 1) ? 3 * x + 1 : x / 2;
+      ++steps;
+    }
+    return steps;
+  }
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

@@ -1,0 +1,151 @@
+#include "workloads/tsp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/prng.h"
+
+namespace mutls::workloads {
+
+namespace {
+
+constexpr double kInf = 1e30;
+
+std::vector<double> make_distances(const Tsp::Params& p) {
+  // Symmetric random euclidean-ish distances.
+  Xorshift64 rng(p.seed);
+  std::vector<double> xs(static_cast<size_t>(p.n)),
+      ys(static_cast<size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    xs[static_cast<size_t>(i)] = rng.next_double() * 100.0;
+    ys[static_cast<size_t>(i)] = rng.next_double() * 100.0;
+  }
+  std::vector<double> d(static_cast<size_t>(p.n) * p.n);
+  for (int i = 0; i < p.n; ++i) {
+    for (int j = 0; j < p.n; ++j) {
+      double dx = xs[static_cast<size_t>(i)] - xs[static_cast<size_t>(j)];
+      double dy = ys[static_cast<size_t>(i)] - ys[static_cast<size_t>(j)];
+      d[static_cast<size_t>(i) * p.n + j] = dx * dx + dy * dy;
+    }
+  }
+  return d;
+}
+
+// Pure sequential DFS over the remaining city set (bitmask).
+double tsp_seq(const double* d, int n, int last, uint32_t visited,
+               double len) {
+  uint32_t full = (1u << n) - 1;
+  if (visited == full) {
+    return len + d[static_cast<size_t>(last) * n + 0];
+  }
+  double best = kInf;
+  for (int c = 1; c < n; ++c) {
+    uint32_t bit = 1u << c;
+    if (visited & bit) continue;
+    double sub = tsp_seq(d, n, c, visited | bit,
+                         len + d[static_cast<size_t>(last) * n + c]);
+    best = std::min(best, sub);
+  }
+  return best;
+}
+
+struct SpecTsp {
+  Runtime& rt;
+  int n;
+  int cutoff;
+  ForkModel model;
+  const double* dist;  // registered shared read-only matrix
+  double* slots;
+  size_t slot_count;
+
+  size_t slot_for(uint64_t id, int ordinal) const {
+    size_t s = static_cast<size_t>(id) * static_cast<size_t>(n) +
+               static_cast<size_t>(ordinal);
+    return s < slot_count ? s : slot_count;
+  }
+
+  double edge(Ctx& ctx, int i, int j) const {
+    return ctx.load(&dist[static_cast<size_t>(i) * n + j]);
+  }
+
+  double descend(Ctx& ctx, int last, uint32_t visited, double len, int depth,
+                 uint64_t id) const {
+    uint32_t full = (1u << n) - 1;
+    if (visited == full) return len + edge(ctx, last, 0);
+    if (depth >= cutoff) {
+      // Below the cutoff the search is pure compute over a local copy-free
+      // kernel; reading the matrix directly through the speculative buffer
+      // would be equivalent but slower, so the kernel reads via ctx once
+      // per edge through tsp_seq's direct pointer -- safe because the
+      // matrix is read-only for the entire run.
+      return tsp_seq(dist, n, last, visited, len);
+    }
+    uint32_t avail = ~visited & full & ~1u;
+    return min_candidates(ctx, last, visited, len, avail, depth, id, 0);
+  }
+
+  double min_candidates(Ctx& ctx, int last, uint32_t visited, double len,
+                        uint32_t avail, int depth, uint64_t id,
+                        int ordinal) const {
+    if (avail == 0) return kInf;
+    uint32_t bit = avail & (0u - avail);
+    uint32_t rest = avail - bit;
+    int city = __builtin_ctz(bit);
+    uint64_t child_id = id * static_cast<uint64_t>(n) +
+                        static_cast<uint64_t>(city) + 1;
+
+    size_t slot = slot_for(id, ordinal);
+    bool forked = false;
+    Spec s;
+    if (rest != 0 && slot < slot_count) {
+      s = rt.fork(ctx, model, [=, this](Ctx& c) {
+        double v =
+            min_candidates(c, last, visited, len, rest, depth, id, ordinal + 1);
+        c.store(&slots[slot], v);
+      });
+      forked = true;
+    }
+    double mine = descend(ctx, city, visited | bit,
+                          len + edge(ctx, last, city), depth + 1, child_id);
+    ctx.check_point();
+    double rest_min = kInf;
+    if (forked) {
+      rt.join(ctx, s);
+      rest_min = ctx.load(&slots[slot]);
+    } else if (rest != 0) {
+      rest_min =
+          min_candidates(ctx, last, visited, len, rest, depth, id, ordinal + 1);
+    }
+    return std::min(mine, rest_min);
+  }
+};
+
+}  // namespace
+
+SeqRun Tsp::run_seq(const Params& p) {
+  std::vector<double> d = make_distances(p);
+  Stopwatch sw;
+  double best = tsp_seq(d.data(), p.n, 0, 1u, 0.0);
+  double secs = sw.elapsed_sec();
+  return SeqRun{hash_double(hash_begin(), best), secs};
+}
+
+SpecRun Tsp::run_spec(Runtime& rt, const Params& p, ForkModel model) {
+  std::vector<double> d0 = make_distances(p);
+  SharedArray<double> dist(rt, d0.size());
+  for (size_t i = 0; i < d0.size(); ++i) dist[i] = d0[i];
+  size_t ids = 1;
+  for (int i = 0; i < p.cutoff; ++i) ids *= static_cast<size_t>(p.n) + 1;
+  SharedArray<double> slots(rt, ids * static_cast<size_t>(p.n) + 1, kInf);
+  Stopwatch sw;
+  double best = 0.0;
+  RunStats stats = rt.run([&](Ctx& ctx) {
+    SpecTsp t{rt,          p.n,          p.cutoff, model,
+              dist.data(), slots.data(), slots.size()};
+    best = t.descend(ctx, 0, 1u, 0.0, 0, 0);
+  });
+  double secs = sw.elapsed_sec();
+  return SpecRun{hash_double(hash_begin(), best), secs, stats};
+}
+
+}  // namespace mutls::workloads

@@ -1,0 +1,29 @@
+// Travelling salesperson — Table II row 9 (exhaustive DFS).
+//
+// Finds the optimal tour over n cities by depth-first search over
+// permutations, speculating candidate-set continuations exactly like
+// nqueen (the paper groups both as DFS benchmarks with near-identical
+// efficiency profiles). The distance matrix is shared read-only data;
+// every speculated continuation writes its partial minimum into its own
+// slot, so there are no conflicts. Paper size: 12 cities.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace mutls::workloads {
+
+struct Tsp {
+  struct Params {
+    int n = 9;
+    int cutoff = 3;  // speculate in the top `cutoff` tour positions
+    uint64_t seed = 5;
+  };
+
+  static constexpr const char* kName = "tsp";
+  static constexpr Pattern kPattern = Pattern::kDepthFirstSearch;
+
+  static SeqRun run_seq(const Params& p);
+  static SpecRun run_spec(Runtime& rt, const Params& p, ForkModel model);
+};
+
+}  // namespace mutls::workloads

@@ -1,0 +1,56 @@
+// Common infrastructure for the Table II benchmark suite.
+//
+// Every workload provides a sequential baseline and a speculative version
+// built on the native embedding API. Checksums let the harness assert that
+// speculation preserved sequential semantics bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/runtime.h"
+#include "runtime/stats.h"
+#include "support/timing.h"
+
+namespace mutls::workloads {
+
+struct SeqRun {
+  uint64_t checksum = 0;
+  double seconds = 0.0;
+};
+
+struct SpecRun {
+  uint64_t checksum = 0;
+  double seconds = 0.0;
+  RunStats stats;
+};
+
+// FNV-1a accumulation used by all workload checksums.
+inline uint64_t hash_mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+inline uint64_t hash_begin() { return 0xcbf29ce484222325ull; }
+
+inline uint64_t hash_double(uint64_t h, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return hash_mix(h, bits);
+}
+
+// Identification used by Table II and the harness.
+enum class Pattern { kLoop, kDivideAndConquer, kDepthFirstSearch };
+
+inline const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kLoop: return "loop";
+    case Pattern::kDivideAndConquer: return "divide and conquer";
+    case Pattern::kDepthFirstSearch: return "depth-first search";
+  }
+  return "?";
+}
+
+}  // namespace mutls::workloads

@@ -1,0 +1,159 @@
+// Unit tests for the static hash map underlying the read/write sets
+// (paper IV-G2): single-slot hashing, offsets stack, overflow buffer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/global_buffer.h"
+
+namespace mutls {
+namespace {
+
+// Word addresses that collide in a map of 2^4 entries: the slot index is
+// (addr >> 3) & 15, so addresses 8*k and 8*(k+16) collide.
+constexpr uintptr_t kA = 0x10000;
+constexpr uintptr_t kColliding = kA + 16 * 8;
+
+TEST(BufferMap, InsertThenFind) {
+  BufferMap m;
+  m.init(4, 4, /*with_marks=*/true);
+  BufferMap::Slot s;
+  EXPECT_EQ(m.find_or_insert(kA, s), BufferMap::Find::kInserted);
+  *s.data = 0xdeadbeef;
+  *s.mark = 0xff;
+  BufferMap::Slot t;
+  ASSERT_TRUE(m.find(kA, t));
+  EXPECT_EQ(*t.data, 0xdeadbeefu);
+  EXPECT_EQ(*t.mark, 0xffu);
+  EXPECT_EQ(m.find_or_insert(kA, t), BufferMap::Find::kFound);
+}
+
+TEST(BufferMap, MissingAddressNotFound) {
+  BufferMap m;
+  m.init(4, 4, false);
+  BufferMap::Slot s;
+  EXPECT_FALSE(m.find(kA, s));
+}
+
+TEST(BufferMap, InsertZeroesSlot) {
+  BufferMap m;
+  m.init(4, 4, true);
+  BufferMap::Slot s;
+  m.find_or_insert(kA, s);
+  EXPECT_EQ(*s.data, 0u);
+  EXPECT_EQ(*s.mark, 0u);
+}
+
+TEST(BufferMap, CollisionGoesToOverflow) {
+  BufferMap m;
+  m.init(4, 4, true);
+  BufferMap::Slot s1, s2;
+  EXPECT_EQ(m.find_or_insert(kA, s1), BufferMap::Find::kInserted);
+  EXPECT_EQ(m.find_or_insert(kColliding, s2), BufferMap::Find::kInserted);
+  EXPECT_EQ(m.overflow_count(), 1u);
+  *s1.data = 1;
+  *s2.data = 2;
+  BufferMap::Slot t;
+  ASSERT_TRUE(m.find(kA, t));
+  EXPECT_EQ(*t.data, 1u);
+  ASSERT_TRUE(m.find(kColliding, t));
+  EXPECT_EQ(*t.data, 2u);
+}
+
+TEST(BufferMap, OverflowCapExhaustionReportsFull) {
+  BufferMap m;
+  m.init(4, 2, true);  // only two overflow entries
+  BufferMap::Slot s;
+  EXPECT_EQ(m.find_or_insert(kA, s), BufferMap::Find::kInserted);
+  EXPECT_EQ(m.find_or_insert(kA + 16 * 8, s), BufferMap::Find::kInserted);
+  EXPECT_EQ(m.find_or_insert(kA + 32 * 8, s), BufferMap::Find::kInserted);
+  EXPECT_EQ(m.find_or_insert(kA + 48 * 8, s), BufferMap::Find::kFull);
+  // Existing overflow entries stay findable.
+  EXPECT_TRUE(m.find(kA + 16 * 8, s));
+  EXPECT_TRUE(m.find(kA + 32 * 8, s));
+  EXPECT_FALSE(m.find(kA + 48 * 8, s));
+}
+
+TEST(BufferMap, ForEachVisitsMainAndOverflowEntries) {
+  BufferMap m;
+  m.init(4, 4, true);
+  BufferMap::Slot s;
+  m.find_or_insert(kA, s);
+  *s.data = 10;
+  m.find_or_insert(kA + 8, s);
+  *s.data = 20;
+  m.find_or_insert(kColliding, s);  // overflow
+  *s.data = 30;
+
+  std::vector<std::pair<uintptr_t, uint64_t>> seen;
+  m.for_each([&](uintptr_t a, uint64_t& d, uint64_t&) {
+    seen.emplace_back(a, d);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(m.entry_count(), 3u);
+}
+
+TEST(BufferMap, ClearEmptiesInEntryTime) {
+  BufferMap m;
+  m.init(4, 4, true);
+  BufferMap::Slot s;
+  m.find_or_insert(kA, s);
+  m.find_or_insert(kColliding, s);
+  m.clear();
+  EXPECT_EQ(m.entry_count(), 0u);
+  EXPECT_FALSE(m.find(kA, s));
+  EXPECT_FALSE(m.find(kColliding, s));
+  // Reusable after clear.
+  EXPECT_EQ(m.find_or_insert(kA, s), BufferMap::Find::kInserted);
+}
+
+TEST(BufferMap, MarklessMapHasNullMark) {
+  BufferMap m;
+  m.init(4, 4, /*with_marks=*/false);
+  BufferMap::Slot s;
+  m.find_or_insert(kA, s);
+  EXPECT_EQ(s.mark, nullptr);
+  // for_each presents the dummy full mark for mark-less maps.
+  m.for_each([&](uintptr_t, uint64_t&, uint64_t& mark) {
+    EXPECT_EQ(mark, kFullMark);
+  });
+}
+
+// Property: a BufferMap with ample overflow must behave like a
+// std::unordered_map over random word addresses.
+class BufferMapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferMapProperty, AgreesWithHashMapModel) {
+  BufferMap m;
+  m.init(6, 512, true);
+  std::unordered_map<uintptr_t, uint64_t> model;
+
+  uint64_t state = static_cast<uint64_t>(GetParam()) * 2654435761u + 99;
+  auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  for (int i = 0; i < 400; ++i) {
+    uintptr_t addr = 0x40000 + (rnd() % 256) * 8;
+    uint64_t val = rnd();
+    BufferMap::Slot s;
+    auto r = m.find_or_insert(addr, s);
+    ASSERT_NE(r, BufferMap::Find::kFull);
+    *s.data = val;
+    model[addr] = val;
+  }
+  EXPECT_EQ(m.entry_count(), model.size());
+  for (const auto& [addr, val] : model) {
+    BufferMap::Slot s;
+    ASSERT_TRUE(m.find(addr, s)) << std::hex << addr;
+    EXPECT_EQ(*s.data, val);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferMapProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace mutls

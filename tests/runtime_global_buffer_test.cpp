@@ -1,0 +1,264 @@
+// Unit tests for speculative memory buffering, validation, commit and the
+// tree-form merge (paper IV-G2 and IV-F).
+#include "runtime/global_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+namespace mutls {
+namespace {
+
+class GlobalBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override { buf_.init(8, 64); }
+
+  template <typename T>
+  T spec_load(GlobalBuffer& b, const T& var) {
+    T out;
+    b.load_bytes(reinterpret_cast<uintptr_t>(&var), &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void spec_store(GlobalBuffer& b, T& var, T v) {
+    b.store_bytes(reinterpret_cast<uintptr_t>(&var), &v, sizeof(T));
+  }
+
+  GlobalBuffer buf_;
+};
+
+TEST_F(GlobalBufferTest, LoadReadsMainMemoryFirstTouch) {
+  alignas(8) uint64_t x = 1234;
+  EXPECT_EQ(spec_load(buf_, x), 1234u);
+  EXPECT_EQ(buf_.read_entries(), 1u);
+}
+
+TEST_F(GlobalBufferTest, LoadReturnsBufferedWrite) {
+  alignas(8) uint64_t x = 1;
+  spec_store(buf_, x, uint64_t{77});
+  EXPECT_EQ(spec_load(buf_, x), 77u);
+  EXPECT_EQ(x, 1u) << "store must not touch main memory before commit";
+}
+
+TEST_F(GlobalBufferTest, ReadSetKeepsFirstObservation) {
+  alignas(8) uint64_t x = 10;
+  EXPECT_EQ(spec_load(buf_, x), 10u);
+  x = 20;  // main memory changes behind the speculation
+  EXPECT_EQ(spec_load(buf_, x), 10u)
+      << "subsequent loads come from the read-set";
+}
+
+TEST_F(GlobalBufferTest, WriteThenReadDoesNotTouchReadSet) {
+  alignas(8) uint64_t x = 5;
+  spec_store(buf_, x, uint64_t{6});
+  EXPECT_EQ(spec_load(buf_, x), 6u);
+  EXPECT_EQ(buf_.read_entries(), 0u)
+      << "a fully written word carries no memory dependency";
+}
+
+TEST_F(GlobalBufferTest, ValidationSucceedsWhenMemoryUnchanged) {
+  alignas(8) uint64_t x = 42;
+  spec_load(buf_, x);
+  EXPECT_TRUE(buf_.validate_against_memory());
+}
+
+TEST_F(GlobalBufferTest, ValidationFailsWhenMemoryChanged) {
+  alignas(8) uint64_t x = 42;
+  spec_load(buf_, x);
+  x = 43;
+  EXPECT_FALSE(buf_.validate_against_memory());
+}
+
+TEST_F(GlobalBufferTest, CommitWritesWholeWords) {
+  alignas(8) uint64_t x = 0;
+  spec_store(buf_, x, uint64_t{0x1122334455667788ull});
+  buf_.commit_to_memory();
+  EXPECT_EQ(x, 0x1122334455667788ull);
+}
+
+TEST_F(GlobalBufferTest, SubWordStoreCommitsOnlyMarkedBytes) {
+  alignas(8) uint64_t x = 0xffffffffffffffffull;
+  auto* bytes = reinterpret_cast<uint8_t*>(&x);
+  uint8_t v = 0xab;
+  buf_.store_bytes(reinterpret_cast<uintptr_t>(bytes + 2), &v, 1);
+  buf_.commit_to_memory();
+  EXPECT_EQ(bytes[2], 0xab);
+  EXPECT_EQ(bytes[0], 0xff);
+  EXPECT_EQ(bytes[3], 0xff);
+}
+
+TEST_F(GlobalBufferTest, SubWordLoadBuffersWholeWord) {
+  alignas(8) uint32_t pair[2] = {111, 222};
+  uint32_t out;
+  buf_.load_bytes(reinterpret_cast<uintptr_t>(&pair[0]), &out, 4);
+  EXPECT_EQ(out, 111u);
+  pair[1] = 999;  // same word, other half changes
+  EXPECT_FALSE(buf_.validate_against_memory())
+      << "whole-word validation is conservative, as in the paper";
+}
+
+TEST_F(GlobalBufferTest, SubWordReadAfterSubWordWriteCombines) {
+  alignas(8) uint32_t pair[2] = {1, 2};
+  uint32_t nv = 10;
+  buf_.store_bytes(reinterpret_cast<uintptr_t>(&pair[0]), &nv, 4);
+  // Reading the other (unwritten) half must come from memory.
+  uint32_t out;
+  buf_.load_bytes(reinterpret_cast<uintptr_t>(&pair[1]), &out, 4);
+  EXPECT_EQ(out, 2u);
+  // Reading the written half must come from the write-set.
+  buf_.load_bytes(reinterpret_cast<uintptr_t>(&pair[0]), &out, 4);
+  EXPECT_EQ(out, 10u);
+}
+
+TEST_F(GlobalBufferTest, MultiWordAccessSplitsAcrossWords) {
+  alignas(8) std::array<uint64_t, 4> arr = {1, 2, 3, 4};
+  std::array<uint64_t, 3> nv = {11, 12, 13};
+  buf_.store_bytes(reinterpret_cast<uintptr_t>(&arr[0]), nv.data(),
+                   sizeof(nv));
+  std::array<uint64_t, 3> out{};
+  buf_.load_bytes(reinterpret_cast<uintptr_t>(&arr[0]), out.data(),
+                  sizeof(out));
+  EXPECT_EQ(out, nv);
+  buf_.commit_to_memory();
+  EXPECT_EQ(arr[0], 11u);
+  EXPECT_EQ(arr[1], 12u);
+  EXPECT_EQ(arr[2], 13u);
+  EXPECT_EQ(arr[3], 4u);
+}
+
+TEST_F(GlobalBufferTest, UnalignedAccessStraddlingWordsRoundTrips) {
+  alignas(8) std::array<uint8_t, 24> arr{};
+  for (size_t i = 0; i < arr.size(); ++i) arr[i] = static_cast<uint8_t>(i);
+  // 8-byte access at offset 5 crosses a word boundary.
+  uint64_t out = 0;
+  buf_.load_bytes(reinterpret_cast<uintptr_t>(arr.data() + 5), &out, 8);
+  uint64_t expect = 0;
+  std::memcpy(&expect, arr.data() + 5, 8);
+  EXPECT_EQ(out, expect);
+
+  uint64_t nv = 0xa0a1a2a3a4a5a6a7ull;
+  buf_.store_bytes(reinterpret_cast<uintptr_t>(arr.data() + 5), &nv, 8);
+  buf_.commit_to_memory();
+  uint64_t readback = 0;
+  std::memcpy(&readback, arr.data() + 5, 8);
+  EXPECT_EQ(readback, nv);
+  EXPECT_EQ(arr[4], 4u);
+  EXPECT_EQ(arr[13], 13u);
+}
+
+TEST_F(GlobalBufferTest, ResetDiscardsBufferedState) {
+  alignas(8) uint64_t x = 3;
+  spec_store(buf_, x, uint64_t{9});
+  spec_load(buf_, x);
+  buf_.reset();
+  EXPECT_EQ(buf_.read_entries(), 0u);
+  EXPECT_EQ(buf_.write_entries(), 0u);
+  buf_.commit_to_memory();
+  EXPECT_EQ(x, 3u) << "reset state must not commit anything";
+}
+
+TEST_F(GlobalBufferTest, DoomOnOverflowExhaustion) {
+  GlobalBuffer tiny;
+  tiny.init(4, 2);  // 16 slots, 2 overflow entries
+  alignas(8) static uint64_t arena[256];
+  // Store to 19 colliding words: slot + 2 overflow + 1 too many.
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = i;
+    tiny.store_bytes(reinterpret_cast<uintptr_t>(&arena[i * 16]), &v, 8);
+  }
+  EXPECT_TRUE(tiny.doomed());
+  EXPECT_GT(tiny.overflow_events, 0u);
+}
+
+// --- tree-form merge (speculative joiner) ---
+
+TEST_F(GlobalBufferTest, ValidateAgainstJoinerSeesJoinerWrites) {
+  alignas(8) uint64_t x = 100;
+  GlobalBuffer parent;
+  parent.init(8, 64);
+  // Parent speculatively wrote x = 200 before forking the child; the child
+  // read main memory (100) -- a conflict the tree validation must catch.
+  spec_store(parent, x, uint64_t{200});
+  GlobalBuffer child;
+  child.init(8, 64);
+  spec_load(child, x);
+  EXPECT_FALSE(child.validate_against(parent));
+  // If the parent's buffered value matches what the child read, it passes.
+  GlobalBuffer child2;
+  child2.init(8, 64);
+  spec_store(parent, x, uint64_t{100});
+  spec_load(child2, x);
+  EXPECT_TRUE(child2.validate_against(parent));
+}
+
+TEST_F(GlobalBufferTest, MergeOverlaysChildWritesOntoJoiner) {
+  alignas(8) uint64_t x = 0, y = 0;
+  GlobalBuffer parent, child;
+  parent.init(8, 64);
+  child.init(8, 64);
+  spec_store(parent, x, uint64_t{1});
+  spec_store(child, y, uint64_t{2});
+  child.merge_into(parent);
+  // Parent now holds both writes; committing publishes both.
+  parent.commit_to_memory();
+  EXPECT_EQ(x, 1u);
+  EXPECT_EQ(y, 2u);
+}
+
+TEST_F(GlobalBufferTest, MergeChildWriteWinsOverJoinerWrite) {
+  // The child is logically *later*, so its write supersedes the joiner's.
+  alignas(8) uint64_t x = 0;
+  GlobalBuffer parent, child;
+  parent.init(8, 64);
+  child.init(8, 64);
+  spec_store(parent, x, uint64_t{1});
+  spec_store(child, x, uint64_t{2});
+  child.merge_into(parent);
+  parent.commit_to_memory();
+  EXPECT_EQ(x, 2u);
+}
+
+TEST_F(GlobalBufferTest, MergePropagatesChildReadsForFinalValidation) {
+  alignas(8) uint64_t x = 7;
+  GlobalBuffer parent, child;
+  parent.init(8, 64);
+  child.init(8, 64);
+  spec_load(child, x);
+  child.merge_into(parent);
+  EXPECT_TRUE(parent.validate_against_memory());
+  x = 8;  // memory changes after the merge: the adopted read must fail
+  EXPECT_FALSE(parent.validate_against_memory());
+}
+
+TEST_F(GlobalBufferTest, MergeSkipsReadsFullyCoveredByJoinerWrites) {
+  alignas(8) uint64_t x = 7;
+  GlobalBuffer parent, child;
+  parent.init(8, 64);
+  child.init(8, 64);
+  spec_store(parent, x, uint64_t{7});  // full-word write, same value
+  spec_load(child, x);
+  child.merge_into(parent);
+  x = 99;  // adopted read carried no memory dependency -> still valid
+  EXPECT_TRUE(parent.validate_against_memory());
+}
+
+TEST_F(GlobalBufferTest, SubWordMergeCombinesMarks) {
+  alignas(8) uint64_t x = 0;
+  auto* b = reinterpret_cast<uint8_t*>(&x);
+  GlobalBuffer parent, child;
+  parent.init(8, 64);
+  child.init(8, 64);
+  uint8_t v1 = 0x11, v2 = 0x22;
+  parent.store_bytes(reinterpret_cast<uintptr_t>(b + 0), &v1, 1);
+  child.store_bytes(reinterpret_cast<uintptr_t>(b + 1), &v2, 1);
+  child.merge_into(parent);
+  parent.commit_to_memory();
+  EXPECT_EQ(b[0], 0x11);
+  EXPECT_EQ(b[1], 0x22);
+  EXPECT_EQ(b[2], 0x00);
+}
+
+}  // namespace
+}  // namespace mutls

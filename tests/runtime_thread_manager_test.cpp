@@ -1,0 +1,354 @@
+// Integration tests of the ThreadManager protocol: CPU pool, flag-based
+// barrier, forking-model admission, tree-form synchronize with NOSYNC and
+// child adoption (paper IV-D, IV-E, IV-F).
+#include "runtime/thread_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/spec_abort.h"
+
+namespace mutls {
+namespace {
+
+ManagerConfig small_config(int cpus = 2) {
+  ManagerConfig c;
+  c.num_cpus = cpus;
+  c.buffer_log2 = 8;
+  c.overflow_cap = 64;
+  return c;
+}
+
+TEST(ThreadManager, SpeculateRunsTaskAndCommits) {
+  ThreadManager mgr(small_config());
+  alignas(8) static uint64_t x;
+  x = 0;
+  mgr.register_space(&x, sizeof(x));
+
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    uint64_t v = 5;
+    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&x), &v, 8);
+  });
+  ASSERT_GT(rank, 0);
+  ChildRef ref = mgr.root().children.back();
+  auto r = mgr.synchronize(mgr.root(), ref);
+  EXPECT_EQ(r, ThreadManager::JoinResult::kCommit);
+  EXPECT_EQ(x, 5u);
+  EXPECT_EQ(mgr.live_threads(), 0);
+}
+
+TEST(ThreadManager, ConflictCausesRollbackAndNoCommit) {
+  ThreadManager mgr(small_config());
+  alignas(8) static uint64_t shared_val, out;
+  shared_val = 1;
+  out = 0;
+
+  std::atomic<bool> child_read{false};
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed,
+                           [&child_read](ThreadData& td) {
+    // Speculative read of shared_val, then dependent write to out.
+    uint64_t v;
+    td.gbuf.load_bytes(reinterpret_cast<uintptr_t>(&shared_val), &v, 8);
+    child_read = true;
+    uint64_t w = v * 10;
+    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&out), &w, 8);
+  });
+  ASSERT_GT(rank, 0);
+  ChildRef ref = mgr.root().children.back();
+  // Parent writes shared_val strictly after the speculative read: a
+  // guaranteed read conflict.
+  while (!child_read) std::this_thread::yield();
+  shared_val = 2;
+  auto r = mgr.synchronize(mgr.root(), ref);
+  EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
+  EXPECT_EQ(out, 0u) << "rolled-back writes must not reach memory";
+}
+
+TEST(ThreadManager, NoIdleCpuDeniesSpeculation) {
+  ThreadManager mgr(small_config(1));
+  std::atomic<bool> release{false};
+  int r1 = mgr.speculate(mgr.root(), ForkModel::kMixed, [&](ThreadData&) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  ASSERT_GT(r1, 0);
+  int r2 = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
+  EXPECT_EQ(r2, 0) << "no IDLE CPU left";
+  EXPECT_EQ(mgr.root().stats.fork_denied, 1u);
+  release = true;
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+}
+
+TEST(ThreadManager, CpuSlotIsReusedAfterJoin) {
+  ThreadManager mgr(small_config(1));
+  for (int i = 0; i < 5; ++i) {
+    int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
+    ASSERT_EQ(r, 1) << "single CPU must be reclaimed and reused";
+    auto jr = mgr.synchronize(mgr.root(), mgr.root().children.back());
+    EXPECT_EQ(jr, ThreadManager::JoinResult::kCommit);
+  }
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative_threads, 5u);
+}
+
+TEST(ThreadManager, SynchronizeStaleRefReturnsNotFound) {
+  ThreadManager mgr(small_config());
+  auto r = mgr.synchronize(mgr.root(), ChildRef{1, 123});
+  EXPECT_EQ(r, ThreadManager::JoinResult::kNotFound);
+}
+
+TEST(ThreadManager, ForceRollbackOverridesValidation) {
+  // Failed live-in validation (paper IV-G4) forces rollback even though
+  // the read-set is clean.
+  ThreadManager mgr(small_config());
+  alignas(8) static uint64_t y;
+  y = 0;
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    uint64_t v = 9;
+    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&y), &v, 8);
+  });
+  ASSERT_GT(rank, 0);
+  auto r = mgr.synchronize(mgr.root(), mgr.root().children.back(),
+                           /*force_rollback=*/true);
+  EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
+  EXPECT_EQ(y, 0u);
+}
+
+TEST(ThreadManager, DoomedTaskRollsBack) {
+  ThreadManager mgr(small_config());
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    td.gbuf.doom("synthetic doom");
+    throw SpecAbort{"synthetic doom"};
+  });
+  ASSERT_GT(rank, 0);
+  auto r = mgr.synchronize(mgr.root(), mgr.root().children.back());
+  EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
+}
+
+TEST(ThreadManager, UserExceptionDoomsSpeculation) {
+  ThreadManager mgr(small_config());
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed,
+                           [](ThreadData&) { throw 42; });
+  ASSERT_GT(rank, 0);
+  auto r = mgr.synchronize(mgr.root(), mgr.root().children.back());
+  EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
+}
+
+TEST(ThreadManager, NonConformingJoinNosyncsMismatchedChildren) {
+  // Fork A then B from the root; joining A first violates the mixed-model
+  // assumption (later-speculated = logically earlier), so B is NOSYNCed
+  // while the search continues to A (paper IV-F).
+  ThreadManager mgr(small_config(2));
+  alignas(8) static uint64_t a_out, b_out;
+  a_out = b_out = 0;
+
+  int ra = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    uint64_t v = 1;
+    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&a_out), &v, 8);
+  });
+  ASSERT_GT(ra, 0);
+  ChildRef ref_a = mgr.root().children.back();
+  int rb = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    uint64_t v = 1;
+    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&b_out), &v, 8);
+  });
+  ASSERT_GT(rb, 0);
+
+  auto r = mgr.synchronize(mgr.root(), ref_a);
+  EXPECT_EQ(r, ThreadManager::JoinResult::kCommit);
+  EXPECT_EQ(a_out, 1u);
+  EXPECT_EQ(mgr.root().children.size(), 0u);
+
+  // B self-frees after NOSYNC; wait for the pool to drain.
+  while (mgr.live_threads() != 0) std::this_thread::yield();
+  EXPECT_EQ(b_out, 0u) << "NOSYNCed child must not commit";
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative.nosyncs, 1u);
+}
+
+TEST(ThreadManager, JoinerAdoptsGrandchildren) {
+  // A child forks a grandchild and finishes without joining it; the joiner
+  // adopts the grandchild (paper IV-F: children are preserved).
+  ThreadManager mgr(small_config(2));
+  ThreadManager* m = &mgr;
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [m](ThreadData& td) {
+    m->speculate(td, ForkModel::kMixed, [](ThreadData&) {});
+  });
+  ASSERT_GT(rank, 0);
+  ChildRef child_ref = mgr.root().children.back();
+  // Wait until the grandchild exists before joining.
+  while (mgr.live_threads() != 2) std::this_thread::yield();
+  auto r = mgr.synchronize(mgr.root(), child_ref);
+  EXPECT_EQ(r, ThreadManager::JoinResult::kCommit);
+  ASSERT_EQ(mgr.root().children.size(), 1u) << "grandchild adopted";
+  auto r2 = mgr.synchronize(mgr.root(), mgr.root().children.back());
+  EXPECT_EQ(r2, ThreadManager::JoinResult::kCommit);
+}
+
+TEST(ThreadManager, NosyncChildrenAbortsSubtree) {
+  ThreadManager mgr(small_config(2));
+  std::atomic<bool> spinning{false};
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [&](ThreadData&) {
+    spinning = true;
+    // Task body: nothing. The thread parks at its barrier.
+  });
+  ASSERT_GT(rank, 0);
+  while (!spinning) std::this_thread::yield();
+  mgr.nosync_children(mgr.root());
+  while (mgr.live_threads() != 0) std::this_thread::yield();
+  EXPECT_TRUE(mgr.root().children.empty());
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative.nosyncs, 1u);
+}
+
+// --- forking-model admission (paper section II) ---
+
+TEST(ThreadManager, OutOfOrderDeniesSpeculativeForkers) {
+  ThreadManager mgr(small_config(2));
+  std::atomic<int> child_fork_rank{-1};
+  ThreadManager* m = &mgr;
+  int rank =
+      mgr.speculate(mgr.root(), ForkModel::kOutOfOrder, [&](ThreadData& td) {
+        child_fork_rank =
+            m->speculate(td, ForkModel::kOutOfOrder, [](ThreadData&) {});
+      });
+  ASSERT_GT(rank, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+  EXPECT_EQ(child_fork_rank.load(), 0)
+      << "out-of-order: speculative threads may not fork";
+}
+
+TEST(ThreadManager, InOrderAllowsOnlyMostSpeculativeThread) {
+  ThreadManager mgr(small_config(3));
+  std::atomic<int> child_fork_rank{-1};
+  std::atomic<bool> child_forked{false};
+  ThreadManager* m = &mgr;
+  int rank =
+      mgr.speculate(mgr.root(), ForkModel::kInOrder, [&](ThreadData& td) {
+        // This thread is the most speculative: it may extend the chain.
+        child_fork_rank =
+            m->speculate(td, ForkModel::kInOrder, [](ThreadData&) {});
+        child_forked = true;
+        if (child_fork_rank > 0) {
+          m->synchronize(td, td.children.back());
+        }
+      });
+  ASSERT_GT(rank, 0);
+  while (!child_forked) std::this_thread::yield();
+  // Root is no longer the most speculative thread: denied.
+  EXPECT_EQ(mgr.speculate(mgr.root(), ForkModel::kInOrder, [](ThreadData&) {}),
+            0);
+  EXPECT_GT(child_fork_rank.load(), 0)
+      << "in-order: the chain tail may fork";
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+}
+
+TEST(ThreadManager, InOrderRootMayForkWhenNoLiveThreads) {
+  ThreadManager mgr(small_config(2));
+  int r = mgr.speculate(mgr.root(), ForkModel::kInOrder, [](ThreadData&) {});
+  EXPECT_GT(r, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+  // After the chain drains, the root may start a new chain.
+  int r2 = mgr.speculate(mgr.root(), ForkModel::kInOrder, [](ThreadData&) {});
+  EXPECT_GT(r2, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+}
+
+TEST(ThreadManager, ModelOverrideForcesPolicy) {
+  ManagerConfig c = small_config(2);
+  c.model_override = ForkModel::kOutOfOrder;
+  ThreadManager mgr(c);
+  std::atomic<int> child_fork_rank{-1};
+  ThreadManager* m = &mgr;
+  // Fork point says mixed, but the override downgrades to out-of-order.
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [&](ThreadData& td) {
+    child_fork_rank = m->speculate(td, ForkModel::kMixed, [](ThreadData&) {});
+  });
+  ASSERT_GT(rank, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+  EXPECT_EQ(child_fork_rank.load(), 0);
+}
+
+TEST(ThreadManager, AdmissionAllowsQueries) {
+  ThreadManager mgr(small_config(2));
+  EXPECT_TRUE(mgr.admission_allows(mgr.root(), ForkModel::kMixed));
+  EXPECT_TRUE(mgr.admission_allows(mgr.root(), ForkModel::kInOrder));
+  EXPECT_TRUE(mgr.admission_allows(mgr.root(), ForkModel::kOutOfOrder));
+}
+
+// --- rollback injection (paper Fig. 11) ---
+
+TEST(ThreadManager, RollbackInjectionProbabilityOne) {
+  ManagerConfig c = small_config(2);
+  c.rollback_probability = 1.0;
+  ThreadManager mgr(c);
+  alignas(8) static uint64_t z;
+  z = 0;
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    uint64_t v = 1;
+    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&z), &v, 8);
+  });
+  ASSERT_GT(rank, 0);
+  auto r = mgr.synchronize(mgr.root(), mgr.root().children.back());
+  EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
+  EXPECT_EQ(z, 0u);
+}
+
+TEST(ThreadManager, RollbackInjectionIsDeterministicPerSeed) {
+  auto run_once = [](uint64_t seed) {
+    ManagerConfig c = small_config(1);
+    c.rollback_probability = 0.5;
+    c.seed = seed;
+    ThreadManager mgr(c);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 16; ++i) {
+      int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
+      EXPECT_GT(r, 0);
+      outcomes.push_back(mgr.synchronize(mgr.root(),
+                                         mgr.root().children.back()) ==
+                         ThreadManager::JoinResult::kCommit);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+// --- statistics plumbing ---
+
+TEST(ThreadManager, StatsAggregateAcrossThreads) {
+  ThreadManager mgr(small_config(2));
+  mgr.begin_run();
+  alignas(8) static uint64_t w;
+  w = 0;
+  int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+    uint64_t v;
+    td.gbuf.load_bytes(reinterpret_cast<uintptr_t>(&w), &v, 8);
+    ++td.stats.loads;
+  });
+  ASSERT_GT(rank, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+  mgr.end_run();
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative_threads, 1u);
+  EXPECT_EQ(rs.speculative.commits, 1u);
+  EXPECT_EQ(rs.speculative.loads, 1u);
+  EXPECT_EQ(rs.critical.forks, 1u);
+  EXPECT_GT(rs.critical.runtime_ns, 0u);
+  EXPECT_GT(rs.speculative.runtime_ns, 0u);
+  EXPECT_GE(rs.coverage(), 0.0);
+}
+
+TEST(ThreadManager, ResetStatsClears) {
+  ThreadManager mgr(small_config(1));
+  int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
+  ASSERT_GT(r, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+  mgr.reset_stats();
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative_threads, 0u);
+  EXPECT_EQ(rs.critical.forks, 0u);
+}
+
+}  // namespace
+}  // namespace mutls

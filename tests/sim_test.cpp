@@ -1,0 +1,242 @@
+// Tests of the discrete-event TLS simulator: conservation laws, policy
+// behaviour, and the qualitative shapes the paper's figures rely on.
+#include "sim/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/models.h"
+
+namespace mutls::sim {
+namespace {
+
+Simulator::Options opts(int cpus, ForkModel model = ForkModel::kMixed) {
+  Simulator::Options o;
+  o.num_cpus = cpus;
+  o.model = model;
+  return o;
+}
+
+SimModel single_task(double work) {
+  SimModel m;
+  SimNode* n = m.node();
+  n->own_work = work;
+  m.phases.push_back(n);
+  return m;
+}
+
+TEST(Simulator, SequentialTaskTakesItsWork) {
+  SimModel m = single_task(100);
+  SimResult r = Simulator(opts(1)).run(m);
+  EXPECT_DOUBLE_EQ(r.critical_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.sequential_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+  EXPECT_EQ(r.forks, 0u);
+}
+
+TEST(Simulator, TwoWaySplitHalvesTime) {
+  SimModel m;
+  SimNode* root = m.node();
+  SimNode* child = m.node();
+  child->own_work = 500;
+  root->own_work = 500;
+  root->forks.push_back(child);
+  m.phases.push_back(root);
+  SimResult r = Simulator(opts(2)).run(m);
+  EXPECT_GT(r.speedup(), 1.8);
+  EXPECT_LE(r.speedup(), 2.0);
+  EXPECT_EQ(r.forks, 1u);
+  EXPECT_EQ(r.commits, 1u);
+}
+
+TEST(Simulator, NoCpuMeansNoSpeedup) {
+  SimModel m;
+  SimNode* root = m.node();
+  SimNode* child = m.node();
+  child->own_work = 500;
+  root->own_work = 500;
+  root->forks.push_back(child);
+  m.phases.push_back(root);
+  // One CPU is reserved for speculation; with zero... minimum is 1, so use
+  // a chain long enough that one CPU saturates.
+  SimResult r = Simulator(opts(1)).run(m);
+  EXPECT_GT(r.speedup(), 1.5) << "one speculative CPU still helps";
+}
+
+TEST(Simulator, ChainScalesWithCpus) {
+  double prev = 0;
+  for (int cpus : {1, 2, 4, 8, 16, 32, 63}) {
+    SimModel m = model_threex(1e6, 64);
+    SimResult r = Simulator(opts(cpus)).run(m);
+    EXPECT_GT(r.speedup(), prev * 0.99) << cpus << " cpus";
+    prev = r.speedup();
+  }
+}
+
+TEST(Simulator, ChainPlateausBetweenHalfAndFullChunks) {
+  // The paper: with 64 chunks, speedups are stable between 32 and 63 CPUs
+  // and jump at 64 because at least two chunks run sequentially below 64.
+  // The paper's "N CPUs" includes the non-speculative thread, so N total
+  // CPUs = N-1 speculative slots.
+  SimModel m33 = model_threex(1e6, 64);
+  SimModel m63 = model_threex(1e6, 64);
+  SimModel m64 = model_threex(1e6, 64);
+  double s33 = Simulator(opts(32)).run(m33).speedup();
+  double s63 = Simulator(opts(62)).run(m63).speedup();
+  double s64 = Simulator(opts(63)).run(m64).speedup();
+  // "Generally stable" plateau (the model's chunk imbalance leaves some
+  // wobble, as in the paper's own curves), then the jump at 64.
+  EXPECT_NEAR(s33, s63, s33 * 0.2);
+  EXPECT_GT(s64, s63 * 1.5);
+}
+
+TEST(Simulator, RollbackInjectionCausesSlowdown) {
+  SimModel a = model_nqueen(10, 3, 200);
+  SimModel b = model_nqueen(10, 3, 200);
+  Simulator::Options o = opts(8);
+  double clean = Simulator(o).run(a).speedup();
+  o.rollback_probability = 0.5;
+  SimResult rb = Simulator(o).run(b);
+  EXPECT_GT(rb.rollbacks, 0u);
+  EXPECT_LT(rb.speedup(), clean);
+  EXPECT_GT(rb.speculative.wasted, 0.0);
+}
+
+TEST(Simulator, ConflictUnderSpecOnlyFiresForSpeculativeForkers) {
+  // A conflicting node forked by the root commits; forked by a speculative
+  // thread it rolls back.
+  {
+    SimModel m;
+    SimNode* root = m.node();
+    SimNode* child = m.node();
+    child->own_work = 100;
+    child->conflict_under_spec = true;
+    root->own_work = 100;
+    root->forks.push_back(child);
+    m.phases.push_back(root);
+    SimResult r = Simulator(opts(4)).run(m);
+    EXPECT_EQ(r.rollbacks, 0u);
+  }
+  {
+    SimModel m;
+    SimNode* root = m.node();
+    SimNode* mid = m.node();
+    SimNode* leaf = m.node();
+    leaf->own_work = 100;
+    leaf->conflict_under_spec = true;
+    mid->own_work = 100;
+    mid->forks.push_back(leaf);
+    root->own_work = 100;
+    root->forks.push_back(mid);
+    m.phases.push_back(root);
+    SimResult r = Simulator(opts(4)).run(m);
+    EXPECT_EQ(r.rollbacks, 1u);
+    EXPECT_EQ(r.commits, 1u);
+  }
+}
+
+TEST(Simulator, OutOfOrderBoundsLoopParallelismToTwo) {
+  // Section II: out-of-order cannot fork from speculative threads, so a
+  // loop chain degenerates to at most two active threads.
+  SimModel mixed_m = model_threex(1e6, 64);
+  SimModel ooo_m = model_threex(1e6, 64);
+  double mixed = Simulator(opts(16, ForkModel::kMixed)).run(mixed_m).speedup();
+  double ooo =
+      Simulator(opts(16, ForkModel::kOutOfOrder)).run(ooo_m).speedup();
+  EXPECT_GT(mixed, 10.0);
+  EXPECT_LT(ooo, 2.5);
+}
+
+TEST(Simulator, InOrderMatchesMixedOnPlainLoops) {
+  SimModel a = model_threex(1e6, 64);
+  SimModel b = model_threex(1e6, 64);
+  double in_order = Simulator(opts(16, ForkModel::kInOrder)).run(a).speedup();
+  double mixed = Simulator(opts(16, ForkModel::kMixed)).run(b).speedup();
+  EXPECT_NEAR(in_order, mixed, mixed * 0.05);
+}
+
+TEST(Simulator, MixedBeatsBothOnTreeRecursion) {
+  // The paper's headline claim (Fig. 10): for tree-form recursion with
+  // enough cores, mixed > in-order and mixed > out-of-order.
+  for (auto build : {model_nqueen, model_tsp}) {
+    SimModel m1 = build(12, 3, 300);
+    SimModel m2 = build(12, 3, 300);
+    SimModel m3 = build(12, 3, 300);
+    double mixed = Simulator(opts(32, ForkModel::kMixed)).run(m1).speedup();
+    double in_order =
+        Simulator(opts(32, ForkModel::kInOrder)).run(m2).speedup();
+    double ooo =
+        Simulator(opts(32, ForkModel::kOutOfOrder)).run(m3).speedup();
+    EXPECT_GT(mixed, in_order * 1.2);
+    EXPECT_GT(mixed, ooo * 1.2);
+  }
+}
+
+TEST(Simulator, WorkIsConservedAcrossPaths) {
+  // No work may be lost: for a flat fork set with no nesting, no inflation
+  // and no rollbacks, critical work + speculative work == sequential time.
+  SimModel m;
+  SimNode* root = m.node();
+  root->own_work = 100;
+  for (int i = 0; i < 3; ++i) {
+    SimNode* c = m.node();
+    c->own_work = 100;
+    root->forks.push_back(c);
+  }
+  m.phases.push_back(root);
+  SimResult r = Simulator(opts(4)).run(m);
+  EXPECT_EQ(r.rollbacks, 0u);
+  EXPECT_NEAR(r.critical.work + r.speculative.work, r.sequential_time,
+              r.sequential_time * 1e-6);
+}
+
+TEST(Simulator, InflatedWorkNeverUndercountsSequentialTime) {
+  // With buffering inflation and parent takeover the executed work can
+  // only exceed the sequential time, never fall short of it.
+  SimModel m = model_fft(14, 4, 0.01);
+  SimResult r = Simulator(opts(8)).run(m);
+  EXPECT_EQ(r.rollbacks, 0u);
+  EXPECT_GE(r.critical.work + r.speculative.work,
+            r.sequential_time * (1.0 - 1e-9));
+}
+
+TEST(Simulator, BreakdownSumsToRuntime) {
+  SimModel m = model_md(64, 10, 8, 1000);
+  SimResult r = Simulator(opts(4)).run(m);
+  double crit_sum = r.critical.total();
+  EXPECT_NEAR(crit_sum, r.critical_time, r.critical_time * 0.01);
+}
+
+TEST(Simulator, ComputeIntensiveBeatsMemoryIntensive) {
+  // Figures 3 vs 4: at 64 CPUs the compute-intensive models reach an order
+  // of magnitude higher speedup than the memory-intensive ones.
+  SimModel compute = model_threex();
+  SimModel memory = model_fft();
+  double sc = Simulator(opts(64)).run(compute).speedup();
+  double sm = Simulator(opts(64)).run(memory).speedup();
+  EXPECT_GT(sc, 30.0);
+  EXPECT_LT(sm, 10.0);
+  EXPECT_GT(sm, 1.5);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  SimModel a = model_matmult(256, 64, 2, 0.01);
+  SimModel b = model_matmult(256, 64, 2, 0.01);
+  SimResult r1 = Simulator(opts(8)).run(a);
+  SimResult r2 = Simulator(opts(8)).run(b);
+  EXPECT_DOUBLE_EQ(r1.critical_time, r2.critical_time);
+  EXPECT_EQ(r1.rollbacks, r2.rollbacks);
+}
+
+TEST(SimModels, AllPaperModelsBuildAndRun) {
+  for (const NamedModel& nm : paper_models()) {
+    SimModel m = nm.build();
+    ASSERT_FALSE(m.phases.empty()) << nm.name;
+    SimResult r = Simulator(opts(4)).run(m);
+    EXPECT_GT(r.sequential_time, 0.0) << nm.name;
+    EXPECT_GT(r.speedup(), 0.9) << nm.name;
+    EXPECT_GE(r.coverage(), 0.0) << nm.name;
+  }
+}
+
+}  // namespace
+}  // namespace mutls::sim

@@ -1,0 +1,216 @@
+// Tests of the speculator transformation pass (paper IV-C): the four
+// preparation steps, point blocks, tables, and SSA validity of the output.
+#include "speculator/pass.h"
+
+#include <gtest/gtest.h>
+
+namespace mutls::speculator {
+namespace {
+
+using namespace ir;
+
+const char* kAnnotated = R"(
+global @data : i64[64]
+func @helper(%x: i64) : i64 {
+entry:
+  %one = const i64 1
+  %r = add %x, %one
+  ret %r
+}
+func @work(%n: i64) : i64 {
+entry:
+  %zero = const i64 0
+  %one = const i64 1
+  %base = globaladdr @data
+  mutls.fork 0, mixed
+  br loop
+loop:
+  %i = phi i64 [%zero, entry], [%inc, loop]
+  %s = phi i64 [%zero, entry], [%s2, loop]
+  %h = call i64 @helper(%i)
+  %s2 = add %s, %h
+  %inc = add %i, %one
+  %c = icmp slt %inc, %n
+  condbr %c, loop, joinblk
+joinblk:
+  store %s2, %base
+  mutls.join 0
+  %p = gep %base, %one, 8
+  %v = load i64, %p
+  %w = add %v, %s2
+  store %w, %p
+  mutls.barrier 0
+  call @print_i64(%w)
+  ret %w
+}
+)";
+
+class SpeculatorPass : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Module m = parse_module(kAnnotated);
+    ASSERT_TRUE(verify_module(m).empty());
+    result_ = run_speculator_pass(m);
+  }
+  PassResult result_;
+};
+
+TEST_F(SpeculatorPass, GeneratesAllFourFunctions) {
+  // Untouched helper + transformed work + clone + proxy + stub.
+  EXPECT_NE(result_.module.find_function("helper"), nullptr);
+  EXPECT_NE(result_.module.find_function("work"), nullptr);
+  EXPECT_NE(result_.module.find_function("work.speculative"), nullptr);
+  EXPECT_NE(result_.module.find_function("work.proxy"), nullptr);
+  EXPECT_NE(result_.module.find_function("work.stub"), nullptr);
+  ASSERT_EQ(result_.reports.size(), 1u);
+  EXPECT_EQ(result_.reports[0].original, "work");
+}
+
+TEST_F(SpeculatorPass, OutputModuleIsWellFormed) {
+  std::vector<std::string> errs = verify_module(result_.module);
+  for (const std::string& e : errs) ADD_FAILURE() << e;
+  EXPECT_TRUE(errs.empty());
+}
+
+TEST_F(SpeculatorPass, CloneHasCounterAndRankParams) {
+  const Function* spec = result_.module.find_function("work.speculative");
+  ASSERT_NE(spec, nullptr);
+  ASSERT_EQ(spec->params.size(), 3u);  // %n + counter + rank
+  EXPECT_EQ(spec->params[1].name, "counter");
+  EXPECT_EQ(spec->params[2].name, "rank");
+}
+
+TEST_F(SpeculatorPass, CloneLoadsAndStoresAreRuntimeCalls) {
+  const Function* spec = result_.module.find_function("work.speculative");
+  ASSERT_NE(spec, nullptr);
+  int loads = 0, stores = 0, raw = 0;
+  for (const Block& b : spec->blocks) {
+    for (const Instr& in : b.instrs) {
+      if (in.op == Op::kLoad || in.op == Op::kStore) ++raw;
+      if (in.op == Op::kCall && in.sym.rfind("MUTLS_load_", 0) == 0) ++loads;
+      if (in.op == Op::kCall && in.sym.rfind("MUTLS_store_", 0) == 0) {
+        ++stores;
+      }
+    }
+  }
+  EXPECT_EQ(raw, 0) << "every access must go through the runtime";
+  EXPECT_GE(loads, 1);
+  EXPECT_GE(stores, 2);
+}
+
+TEST_F(SpeculatorPass, CloneEntryIsSpeculationTable) {
+  const Function* spec = result_.module.find_function("work.speculative");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->blocks[0].label, "spec.table");
+}
+
+TEST_F(SpeculatorPass, PointBlocksAreNumbered) {
+  const FunctionReport& r = result_.reports[0];
+  bool has_check = false, has_enter = false, has_terminate = false,
+       has_return = false, has_join = false, has_spec = false;
+  for (const PointBlockInfo& p : r.points) {
+    switch (p.kind) {
+      case PointBlockInfo::kCheck: has_check = true; break;
+      case PointBlockInfo::kEnter: has_enter = true; break;
+      case PointBlockInfo::kTerminate: has_terminate = true; break;
+      case PointBlockInfo::kReturn: has_return = true; break;
+      case PointBlockInfo::kJoin: has_join = true; break;
+      case PointBlockInfo::kSpeculation: has_spec = true; break;
+    }
+  }
+  EXPECT_TRUE(has_check) << "loop back edge must get a check point";
+  EXPECT_TRUE(has_enter) << "internal call must get an enter point";
+  EXPECT_TRUE(has_terminate) << "print_i64 must get a terminate point";
+  EXPECT_TRUE(has_return) << "ret must get a return point";
+  EXPECT_TRUE(has_join);
+  EXPECT_TRUE(has_spec);
+}
+
+TEST_F(SpeculatorPass, NonSpecForkLoweredToGetCpuAndProxy) {
+  const Function* work = result_.module.find_function("work");
+  ASSERT_NE(work, nullptr);
+  bool get_cpu = false, proxy_call = false, sync = false, marker = false;
+  for (const Block& b : work->blocks) {
+    for (const Instr& in : b.instrs) {
+      if (in.op == Op::kMutlsFork || in.op == Op::kMutlsJoin) marker = true;
+      if (in.op == Op::kCall && in.sym == "MUTLS_get_CPU") get_cpu = true;
+      if (in.op == Op::kCall && in.sym == "work.proxy") proxy_call = true;
+      if (in.op == Op::kCall && in.sym == "MUTLS_synchronize") sync = true;
+    }
+  }
+  EXPECT_FALSE(marker) << "annotations must be fully lowered";
+  EXPECT_TRUE(get_cpu);
+  EXPECT_TRUE(proxy_call);
+  EXPECT_TRUE(sync);
+}
+
+TEST_F(SpeculatorPass, ProxySavesArgsAndSpeculates) {
+  const Function* proxy = result_.module.find_function("work.proxy");
+  ASSERT_NE(proxy, nullptr);
+  bool set_regvar = false, speculate = false;
+  for (const Instr& in : proxy->blocks[0].instrs) {
+    if (in.op == Op::kCall && in.sym.rfind("MUTLS_set_regvar_", 0) == 0) {
+      set_regvar = true;
+    }
+    if (in.op == Op::kCall && in.sym == "MUTLS_speculate") speculate = true;
+  }
+  EXPECT_TRUE(set_regvar);
+  EXPECT_TRUE(speculate);
+}
+
+TEST_F(SpeculatorPass, StubRestoresArgsAndEntersClone) {
+  const Function* stub = result_.module.find_function("work.stub");
+  ASSERT_NE(stub, nullptr);
+  bool get_regvar = false, enters = false;
+  for (const Instr& in : stub->blocks[0].instrs) {
+    if (in.op == Op::kCall && in.sym.rfind("MUTLS_get_regvar_", 0) == 0) {
+      get_regvar = true;
+    }
+    if (in.op == Op::kCall && in.sym == "work.speculative") enters = true;
+  }
+  EXPECT_TRUE(get_regvar);
+  EXPECT_TRUE(enters);
+}
+
+TEST_F(SpeculatorPass, SaveRestoreCallsArePaired) {
+  // Every synchronization path must save live locals and restore them in
+  // restore blocks (preparation step 4).
+  int saves = 0, restores = 0;
+  for (const Function& f : result_.module.functions) {
+    for (const Block& b : f.blocks) {
+      for (const Instr& in : b.instrs) {
+        if (in.op != Op::kCall) continue;
+        if (in.sym.rfind("MUTLS_save_local_", 0) == 0) ++saves;
+        if (in.sym.rfind("MUTLS_restore_local_", 0) == 0) ++restores;
+      }
+    }
+  }
+  EXPECT_GT(saves, 0);
+  EXPECT_GT(restores, 0);
+  EXPECT_GT(result_.reports[0].live_slots, 0);
+}
+
+TEST_F(SpeculatorPass, UnannotatedFunctionsPassThroughUnchanged) {
+  Module m = parse_module(R"(
+func @plain(%x: i64) : i64 {
+entry:
+  %two = const i64 2
+  %r = mul %x, %two
+  ret %r
+}
+)");
+  PassResult r = run_speculator_pass(m);
+  EXPECT_TRUE(r.reports.empty());
+  ASSERT_EQ(r.module.functions.size(), 1u);
+  EXPECT_EQ(print_function(r.module.functions[0]),
+            print_function(m.functions[0]));
+}
+
+TEST_F(SpeculatorPass, TransformedModulePrintsAndReparses) {
+  std::string text = print_module(result_.module);
+  Module again = parse_module(text);
+  EXPECT_TRUE(verify_module(again).empty());
+}
+
+}  // namespace
+}  // namespace mutls::speculator

@@ -1,0 +1,167 @@
+// Unit tests for the address-space registration structure (paper IV-G1).
+#include "support/interval_set.h"
+
+#include <gtest/gtest.h>
+
+namespace mutls {
+namespace {
+
+TEST(IntervalSet, EmptyContainsNothing) {
+  IntervalSet s;
+  EXPECT_FALSE(s.contains(0x1000, 1));
+  EXPECT_EQ(s.span_count(), 0u);
+  EXPECT_EQ(s.total_bytes(), 0u);
+}
+
+TEST(IntervalSet, SingleSpanContainment) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  EXPECT_TRUE(s.contains(0x1000, 1));
+  EXPECT_TRUE(s.contains(0x10ff, 1));
+  EXPECT_TRUE(s.contains(0x1000, 0x100));
+  EXPECT_FALSE(s.contains(0xfff, 1));
+  EXPECT_FALSE(s.contains(0x1100, 1));
+  EXPECT_FALSE(s.contains(0x10ff, 2));  // straddles the end
+}
+
+TEST(IntervalSet, ZeroSizeQueriesAndInserts) {
+  IntervalSet s;
+  s.insert(0x1000, 0);  // no-op
+  EXPECT_EQ(s.span_count(), 0u);
+  EXPECT_TRUE(s.contains(0x1234, 0));  // empty range is trivially covered
+}
+
+TEST(IntervalSet, AdjacentSpansMerge) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  s.insert(0x1100, 0x100);  // exactly adjacent
+  EXPECT_EQ(s.span_count(), 1u);
+  EXPECT_TRUE(s.contains(0x1000, 0x200));
+}
+
+TEST(IntervalSet, OverlappingSpansMerge) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  s.insert(0x1080, 0x100);
+  EXPECT_EQ(s.span_count(), 1u);
+  EXPECT_TRUE(s.contains(0x1000, 0x180));
+  EXPECT_EQ(s.total_bytes(), 0x180u);
+}
+
+TEST(IntervalSet, InsertBridgingManySpans) {
+  IntervalSet s;
+  s.insert(0x1000, 0x10);
+  s.insert(0x2000, 0x10);
+  s.insert(0x3000, 0x10);
+  EXPECT_EQ(s.span_count(), 3u);
+  s.insert(0x1008, 0x2100);  // bridges all three
+  EXPECT_EQ(s.span_count(), 1u);
+  EXPECT_TRUE(s.contains(0x1000, 0x2010));
+}
+
+TEST(IntervalSet, DisjointSpansStayDisjoint) {
+  IntervalSet s;
+  s.insert(0x1000, 0x10);
+  s.insert(0x3000, 0x10);
+  EXPECT_EQ(s.span_count(), 2u);
+  EXPECT_FALSE(s.contains(0x2000, 1));
+  EXPECT_FALSE(s.contains(0x100f, 2));  // spans are not bridged
+}
+
+TEST(IntervalSet, EraseWholeSpan) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  s.erase(0x1000, 0x100);
+  EXPECT_EQ(s.span_count(), 0u);
+  EXPECT_FALSE(s.contains(0x1000, 1));
+}
+
+TEST(IntervalSet, EraseInteriorSplitsSpan) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  s.erase(0x1040, 0x10);
+  EXPECT_EQ(s.span_count(), 2u);
+  EXPECT_TRUE(s.contains(0x1000, 0x40));
+  EXPECT_FALSE(s.contains(0x1040, 1));
+  EXPECT_TRUE(s.contains(0x1050, 0xb0));
+}
+
+TEST(IntervalSet, ErasePrefixAndSuffix) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  s.erase(0x0f00, 0x140);  // clips the front
+  EXPECT_FALSE(s.contains(0x1000, 1));
+  EXPECT_TRUE(s.contains(0x1040, 1));
+  s.erase(0x10c0, 0x1000);  // clips the back
+  EXPECT_TRUE(s.contains(0x1040, 0x80));
+  EXPECT_FALSE(s.contains(0x10c0, 1));
+}
+
+TEST(IntervalSet, LookupReportsSpanBounds) {
+  IntervalSet s;
+  s.insert(0x1000, 0x100);
+  uintptr_t lo = 0, hi = 0;
+  ASSERT_TRUE(s.lookup(0x1040, 8, &lo, &hi));
+  EXPECT_EQ(lo, 0x1000u);
+  EXPECT_EQ(hi, 0x1100u);
+  EXPECT_FALSE(s.lookup(0x2000, 8, &lo, &hi));
+}
+
+TEST(IntervalSet, ClearEmptiesEverything) {
+  IntervalSet s;
+  s.insert(0x1000, 0x10);
+  s.insert(0x2000, 0x10);
+  s.clear();
+  EXPECT_EQ(s.span_count(), 0u);
+  EXPECT_FALSE(s.contains(0x1000, 1));
+}
+
+// Property sweep: random inserts into a model set must agree with the
+// IntervalSet on byte-level membership.
+class IntervalSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSetProperty, MatchesByteModel) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  uint64_t state = seed * 2654435761u + 12345;
+  auto rnd = [&state](uint64_t n) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % n;
+  };
+
+  constexpr uintptr_t kBase = 0x10000;
+  constexpr size_t kBytes = 4096;
+  std::vector<bool> model(kBytes, false);
+  IntervalSet s;
+
+  for (int op = 0; op < 200; ++op) {
+    uintptr_t off = rnd(kBytes - 64);
+    size_t len = 1 + rnd(64);
+    if (rnd(3) == 0) {
+      s.erase(kBase + off, len);
+      for (size_t i = 0; i < len; ++i) model[off + i] = false;
+    } else {
+      s.insert(kBase + off, len);
+      for (size_t i = 0; i < len; ++i) model[off + i] = true;
+    }
+  }
+
+  for (size_t i = 0; i < kBytes; ++i) {
+    EXPECT_EQ(s.contains(kBase + i, 1), model[i]) << "byte " << i;
+  }
+  // Span-level query: a random window is contained iff all bytes are set.
+  for (int q = 0; q < 100; ++q) {
+    uintptr_t off = rnd(kBytes - 32);
+    size_t len = 1 + rnd(32);
+    bool all = true;
+    for (size_t i = 0; i < len; ++i) all = all && model[off + i];
+    EXPECT_EQ(s.contains(kBase + off, len), all);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace mutls

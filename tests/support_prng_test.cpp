@@ -1,0 +1,78 @@
+#include "support/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mutls {
+namespace {
+
+TEST(Xorshift64, DeterministicForSameSeed) {
+  Xorshift64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xorshift64, DifferentSeedsDiverge) {
+  Xorshift64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xorshift64, ZeroSeedDoesNotDegenerate) {
+  Xorshift64 a(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(a.next());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Xorshift64, DoubleInUnitInterval) {
+  Xorshift64 a(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = a.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xorshift64, NextBelowInRange) {
+  Xorshift64 a(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.next_below(17), 17u);
+  }
+  EXPECT_EQ(a.next_below(0), 0u);
+}
+
+TEST(Xorshift64, BernoulliFrequencyTracksProbability) {
+  Xorshift64 a(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (a.bernoulli(0.25)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Xorshift64, BernoulliEdges) {
+  Xorshift64 a(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(a.bernoulli(0.0));
+    EXPECT_TRUE(a.bernoulli(1.0));
+  }
+}
+
+TEST(Xorshift64, ReseedRestartsSequence) {
+  Xorshift64 a(5);
+  uint64_t first = a.next();
+  a.next();
+  a.reseed(5);
+  EXPECT_EQ(a.next(), first);
+}
+
+}  // namespace
+}  // namespace mutls

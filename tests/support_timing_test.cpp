@@ -1,0 +1,86 @@
+#include "support/timing.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mutls {
+namespace {
+
+TEST(TimeLedger, StartsEmpty) {
+  TimeLedger l;
+  EXPECT_EQ(l.total(), 0u);
+  for (int i = 0; i < kTimeCatCount; ++i) {
+    EXPECT_EQ(l.get(static_cast<TimeCat>(i)), 0u);
+  }
+}
+
+TEST(TimeLedger, AddAccumulatesPerCategory) {
+  TimeLedger l;
+  l.add(TimeCat::kWork, 100);
+  l.add(TimeCat::kWork, 50);
+  l.add(TimeCat::kIdle, 7);
+  EXPECT_EQ(l.get(TimeCat::kWork), 150u);
+  EXPECT_EQ(l.get(TimeCat::kIdle), 7u);
+  EXPECT_EQ(l.total(), 157u);
+}
+
+TEST(TimeLedger, WasteWorkMovesWorkToWasted) {
+  TimeLedger l;
+  l.add(TimeCat::kWork, 120);
+  l.add(TimeCat::kWastedWork, 5);
+  l.waste_work();
+  EXPECT_EQ(l.get(TimeCat::kWork), 0u);
+  EXPECT_EQ(l.get(TimeCat::kWastedWork), 125u);
+  EXPECT_EQ(l.total(), 125u);
+}
+
+TEST(TimeLedger, PlusEqualsMergesAllCategories) {
+  TimeLedger a, b;
+  a.add(TimeCat::kFork, 1);
+  b.add(TimeCat::kFork, 2);
+  b.add(TimeCat::kCommit, 3);
+  a += b;
+  EXPECT_EQ(a.get(TimeCat::kFork), 3u);
+  EXPECT_EQ(a.get(TimeCat::kCommit), 3u);
+}
+
+TEST(TimeLedger, ClearResets) {
+  TimeLedger l;
+  l.add(TimeCat::kValidation, 9);
+  l.clear();
+  EXPECT_EQ(l.total(), 0u);
+}
+
+TEST(ScopedTimer, AttributesElapsedTime) {
+  TimeLedger l;
+  {
+    ScopedTimer t(l, TimeCat::kJoin);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(l.get(TimeCat::kJoin), 1'000'000u);  // at least 1ms recorded
+  EXPECT_EQ(l.get(TimeCat::kWork), 0u);
+}
+
+TEST(TimeCatNames, AllDistinctAndNonEmpty) {
+  for (int i = 0; i < kTimeCatCount; ++i) {
+    const char* n = time_cat_name(static_cast<TimeCat>(i));
+    ASSERT_NE(n, nullptr);
+    EXPECT_GT(std::string(n).size(), 0u);
+    for (int j = i + 1; j < kTimeCatCount; ++j) {
+      EXPECT_STRNE(n, time_cat_name(static_cast<TimeCat>(j)));
+    }
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(sw.elapsed_ns(), 1'000'000u);
+  EXPECT_GT(sw.elapsed_sec(), 0.0);
+  sw.restart();
+  EXPECT_LT(sw.elapsed_ns(), 1'000'000'000u);
+}
+
+}  // namespace
+}  // namespace mutls
