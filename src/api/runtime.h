@@ -302,9 +302,10 @@ class Runtime {
     mgr_.begin_run();
     Ctx root(*this, mgr_.root());
     f(root);
-    // NOSYNCed threads (in-order cascades, aborted subtrees) free their
-    // CPUs asynchronously at their next check point or barrier: give them
-    // a bounded window to drain before declaring a protocol violation.
+    // Joins and discards are synchronous handshakes, so a conforming run
+    // ends with no live speculation; the bounded drain below only covers
+    // protocol violations (a fork the user never joined) so they surface
+    // as a CHECK instead of a hang.
     uint64_t deadline = now_ns() + 5'000'000'000ull;
     while (mgr_.live_threads() != 0 && now_ns() < deadline) {
       std::this_thread::yield();

@@ -83,6 +83,10 @@ struct ThreadData {
     force_rollback = false;
     children.clear();
     gbuf.reset();
+    // The buffer's overflow count survives reset() (the settle paths read
+    // it after resetting); zero it here so a slot's next speculation does
+    // not re-report its predecessors' events.
+    gbuf.overflow_events = 0;
     lbuf.reset();
     stats.clear();
     user_tag = 0;

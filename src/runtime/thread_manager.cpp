@@ -169,6 +169,7 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
       std::lock_guard lock(policy_mu_);
       on_thread_finished_locked(td.rank);
     }
+    c.settled_epoch.store(td.epoch, std::memory_order_release);
     c.state.store(CpuState::kIdle, std::memory_order_release);
     return;
   }
@@ -226,6 +227,7 @@ ThreadManager::JoinResult ThreadManager::synchronize(
     uint64_t* out_tag, const std::function<void(ThreadData&)>& on_settled) {
   uint64_t t0 = now_ns();
   bool found = false;
+  std::vector<ChildRef> discarded;
   while (!joiner.children.empty()) {
     ChildRef ref = joiner.children.back();
     joiner.children.pop_back();
@@ -235,13 +237,11 @@ ThreadManager::JoinResult ThreadManager::synchronize(
     }
     // Non-conforming mixed-model usage (paper IV-F): NOSYNC the mismatched
     // child and keep searching. The child frees its own CPU.
-    Cpu& cc = cpu(ref.rank);
-    if (cc.data.epoch == ref.epoch) {
-      cc.data.sync_status.store(SyncStatus::kNoSync,
-                                std::memory_order_release);
-    }
+    signal_discard(ref);
+    discarded.push_back(ref);
   }
   if (!found) {
+    for (const ChildRef& ref : discarded) wait_discarded(ref);
     joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t0);
     return JoinResult::kNotFound;
   }
@@ -254,6 +254,10 @@ ThreadManager::JoinResult ThreadManager::synchronize(
   joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t0);
 
   c.data.sync_status.store(SyncStatus::kSync, std::memory_order_release);
+
+  // Drain the discarded mismatched children only after SYNC is raised, so
+  // their teardown overlaps the expected child's validate/commit.
+  for (const ChildRef& ref : discarded) wait_discarded(ref);
 
   uint64_t i0 = now_ns();
   ValidStatus v = spin_while_equal(c.data.valid_status, ValidStatus::kNone);
@@ -272,6 +276,7 @@ ThreadManager::JoinResult ThreadManager::synchronize(
     std::lock_guard lock(policy_mu_);
     on_thread_finished_locked(expect.rank);
   }
+  c.settled_epoch.store(c.data.epoch, std::memory_order_release);
   c.state.store(CpuState::kIdle, std::memory_order_release);
   joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t1);
   return v == ValidStatus::kCommit ? JoinResult::kCommit
@@ -279,15 +284,45 @@ ThreadManager::JoinResult ThreadManager::synchronize(
 }
 
 void ThreadManager::nosync_children(ThreadData& td, size_t keep) {
-  while (td.children.size() > keep) {
-    ChildRef ref = td.children.back();
-    td.children.pop_back();
-    Cpu& cc = cpu(ref.rank);
-    if (cc.data.epoch == ref.epoch) {
-      cc.data.sync_status.store(SyncStatus::kNoSync,
-                                std::memory_order_release);
-    }
+  if (td.children.size() <= keep) return;
+  // Signal every discarded child before waiting on any so their subtrees
+  // drain concurrently.
+  for (size_t i = keep; i < td.children.size(); ++i) {
+    signal_discard(td.children[i]);
   }
+  for (size_t i = keep; i < td.children.size(); ++i) {
+    wait_discarded(td.children[i]);
+  }
+  td.children.resize(keep);
+}
+
+void ThreadManager::signal_discard(const ChildRef& ref) {
+  Cpu& cc = cpu(ref.rank);
+  // The slot's occupant can only change after the speculation named by
+  // `ref` settles, and `ref` is owned by exactly one parent until then, so
+  // this epoch read is stable.
+  if (cc.data.epoch == ref.epoch) {
+    cc.data.sync_status.store(SyncStatus::kNoSync, std::memory_order_release);
+  }
+}
+
+void ThreadManager::wait_discarded(const ChildRef& ref) {
+  // Wait for the discarded task to settle. Without the handshake the task
+  // keeps running (until its next check point or barrier) after the caller
+  // has moved on — and its closure may capture stack frames the caller is
+  // about to destroy. settled_epoch is monotonic, so slot reuse after the
+  // settle cannot confuse the wait. The deadline turns a task that can
+  // never settle (blocked forever without a check point) into a
+  // diagnosable protocol violation instead of a silent hang.
+  Cpu& cc = cpu(ref.rank);
+  uint64_t timeout = config_.discard_settle_timeout_ns;
+  uint64_t deadline = now_ns() + timeout;
+  spin_until([&] {
+    MUTLS_CHECK(timeout == 0 || now_ns() < deadline,
+                "discarded speculative task failed to settle "
+                "(task blocked without a check point?)");
+    return cc.settled_epoch.load(std::memory_order_acquire) >= ref.epoch;
+  });
 }
 
 void ThreadManager::on_thread_finished_locked(int rank) {

@@ -44,6 +44,13 @@ struct ManagerConfig {
   // When set, overrides the model of every fork point (paper Fig. 10
   // compares in-order / out-of-order / mixed this way).
   std::optional<ForkModel> model_override;
+
+  // How long a discard handshake waits for the discarded task (and its
+  // subtree) to settle before declaring a protocol violation. Tasks are
+  // expected to reach a check point or barrier well within this window;
+  // raise it for workloads with genuinely long check-point-free stretches.
+  // 0 waits forever.
+  uint64_t discard_settle_timeout_ns = 30'000'000'000ull;
 };
 
 class ThreadManager {
@@ -87,6 +94,9 @@ class ThreadManager {
   // Aborts the remaining subtree of `td` down to `keep` children (used when
   // a speculative task unwinds without joining its children, and for
   // in-order chain cascades: cascading rollback stays within the subtree).
+  // Blocks until every discarded speculation has settled: on return none of
+  // the discarded tasks is still executing, so closures capturing the
+  // caller's stack frame are safe to destroy.
   void nosync_children(ThreadData& td, size_t keep = 0);
 
   // Address-space registration (paper IV-G1).
@@ -127,6 +137,11 @@ class ThreadManager {
     bool shutdown = false;   // guarded by mu
     std::atomic<CpuState> state{CpuState::kIdle};
     uint64_t next_epoch = 1;
+    // Epoch of the last speculation on this slot whose task has fully
+    // settled (committed, rolled back or NOSYNC-discarded). Monotonic per
+    // slot; the discard handshake spins on it, making a discard
+    // synchronous rather than a fire-and-forget signal.
+    std::atomic<uint64_t> settled_epoch{0};
   };
 
   void worker_loop(Cpu& cpu);
@@ -138,6 +153,15 @@ class ThreadManager {
   // Policy bookkeeping when a speculative thread finishes (either reclaimed
   // by a joiner or self-freed after NOSYNC).
   void on_thread_finished_locked(int rank);
+
+  // The two halves of the discard handshake. signal_discard raises NOSYNC
+  // on the child named by `ref` (if that speculation is still the slot's
+  // occupant); wait_discarded blocks until it has settled. Kept separate
+  // so a batch of discards can be signalled first and then waited on —
+  // the subtrees drain concurrently and teardown latency is the max of
+  // the drains, not their sum.
+  void signal_discard(const ChildRef& ref);
+  void wait_discarded(const ChildRef& ref);
 
   void aggregate_stats(ThreadData& td);
 
