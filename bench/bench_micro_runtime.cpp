@@ -1,10 +1,10 @@
 // Microbenchmarks of the runtime primitives: fork/join round trip,
-// buffered vs direct access, live-in transfer, address-space lookup.
-// These quantify the constant factors behind the paper's overhead
-// discussion (section V-B).
+// buffered vs direct access through the typed shared views, live-in
+// transfer, address-space lookup. These quantify the constant factors
+// behind the paper's overhead discussion (section V-B).
 #include <benchmark/benchmark.h>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 
 namespace {
 
@@ -23,12 +23,14 @@ void BM_ForkJoinRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_ForkJoinRoundTrip);
 
 void BM_DirectLoadStore(benchmark::State& state) {
+  // Non-speculative view access: the relaxed direct path.
   Runtime rt({.num_cpus = 1, .buffer_log2 = 10});
   SharedArray<uint64_t> data(rt, 1024, 0);
   rt.run([&](Ctx& ctx) {
+    SharedSpan<uint64_t> d = data.span(ctx);
     size_t i = 0;
     for (auto _ : state) {
-      ctx.store(&data[i & 1023], ctx.load(&data[i & 1023]) + 1);
+      d[i & 1023] += 1;
       ++i;
     }
   });
@@ -46,9 +48,9 @@ void BM_BufferedLoadStore(benchmark::State& state) {
       ++iters;
     }
     Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      SharedSpan<uint64_t> d = data.span(c);
       for (int64_t k = 0; k < iters; ++k) {
-        c.store(&data[static_cast<size_t>(k) & 1023],
-                c.load(&data[static_cast<size_t>(k) & 1023]) + 1);
+        d[static_cast<size_t>(k) & 1023] += 1;
       }
     });
     rt.join(ctx, s);
@@ -63,11 +65,10 @@ void BM_LiveInTransfer(benchmark::State& state) {
   rt.run([&](Ctx& ctx) {
     int64_t v = 42;
     for (auto _ : state) {
-      Spec s = rt.fork_predicted(
-          ctx, ForkModel::kMixed, {Prediction::of<int64_t>(&v, 42)},
+      Spec s = rt.fork(
+          ctx, ForkOpts{.predictions = {Prediction::of<int64_t>(&v, 42)}},
           [&](Ctx& c) {
-            c.store(&out[0],
-                    static_cast<uint64_t>(c.get_livein<int64_t>(0)));
+            out.at(c, 0) = static_cast<uint64_t>(c.get_livein<int64_t>(0));
           });
       JoinOutcome r = rt.join(ctx, s);
       benchmark::DoNotOptimize(r);

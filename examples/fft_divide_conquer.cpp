@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 #include "workloads/fft.h"
 
 int main(int argc, char** argv) {

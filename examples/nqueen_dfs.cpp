@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 #include "support/timing.h"
 #include "workloads/nqueen.h"
 

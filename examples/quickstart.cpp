@@ -1,13 +1,15 @@
-// Quickstart: parallelize a loop with MUTLS speculation in ~30 lines.
+// Quickstart: parallelize a loop with MUTLS speculation in ~20 lines.
 //
-// Mirrors the paper's Figure 1 usage: mark a fork point, let a speculative
-// thread run ahead from the join point, and let the runtime validate and
-// commit (or quietly re-execute) the speculated region.
+// Mirrors the paper's Figure 1 usage: mark a fork point, let speculative
+// threads run ahead, and let the runtime validate and commit (or quietly
+// re-execute). With the v2 embedding the whole pattern is one
+// par::reduce call — the chunking, forking, joining and partial-sum
+// plumbing live in the library.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 
 int main() {
   using namespace mutls;
@@ -15,36 +17,29 @@ int main() {
   // A runtime with 4 virtual CPUs for speculative threads.
   Runtime rt({.num_cpus = 4});
 
-  // Shared data must be registered with the runtime's address space so
-  // speculative accesses can be policed (paper IV-G1). SharedArray is the
-  // RAII helper for that.
-  constexpr int kN = 1'000'000;
-  SharedArray<uint64_t> partial(rt, 8, 0);
+  constexpr int64_t kN = 1'000'000;
+  uint64_t total = 0;
 
   RunStats stats = rt.run([&](Ctx& ctx) {
-    // spec_for is the paper's loop speculation: the range is split into
-    // chunks, a chain of speculative threads runs ahead, and this thread
-    // joins (validates + commits) each chunk in order.
-    spec_for(rt, ctx, 1, kN, 8, ForkModel::kMixed,
-             [&](Ctx& c, int chunk, int64_t lo, int64_t hi) {
-               uint64_t sum = 0;
-               for (int64_t i = lo; i < hi; ++i) {
-                 // Collatz trajectory length of i: pure computation.
-                 uint64_t x = static_cast<uint64_t>(i);
-                 while (x != 1) {
-                   x = (x & 1) ? 3 * x + 1 : x / 2;
-                   ++sum;
-                 }
-               }
-               // The only shared-memory write: one partial-sum slot.
-               c.store(&partial[static_cast<size_t>(chunk)], sum);
-             });
+    // Parallel reduction over 1..kN: the range is split into chunks, a
+    // chain of speculative threads runs ahead, and the calling thread
+    // joins (validates + commits) each chunk in order — the paper's loop
+    // speculation, as a one-liner.
+    total = par::reduce(rt, ctx, 1, kN + 1,
+                        {.chunks = 8, .checkpoint_every = 0x10000},
+                        uint64_t{0}, [](Ctx&, int64_t i) {
+                          // Collatz trajectory length of i: pure computation.
+                          uint64_t x = static_cast<uint64_t>(i), steps = 0;
+                          while (x != 1) {
+                            x = (x & 1) ? 3 * x + 1 : x / 2;
+                            ++steps;
+                          }
+                          return steps;
+                        });
   });
 
-  uint64_t total = 0;
-  for (size_t i = 0; i < partial.size(); ++i) total += partial[i];
-
-  std::printf("total 3x+1 steps for 1..%d: %llu\n", kN,
+  std::printf("total 3x+1 steps for 1..%lld: %llu\n",
+              static_cast<long long>(kN),
               static_cast<unsigned long long>(total));
   std::printf("speculative threads used: %llu, commits: %llu, rollbacks: %llu\n",
               static_cast<unsigned long long>(stats.speculative_threads),

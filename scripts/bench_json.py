@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Run the figure-reproduction benches and emit BENCH_results.json.
+
+Seeds and extends the repo's perf trajectory: each invocation runs the
+fig3..fig11 benches (plus the table2 harness) from a build directory,
+captures wall time, exit status and the printed MEASURED/SIMULATED rows,
+and writes one structured JSON document. Numeric-looking table rows are
+parsed into (label, values) pairs so later tooling can diff runs without
+re-parsing free text; the raw stdout is preserved verbatim as well.
+
+Usage:
+  scripts/bench_json.py --bench-dir build/bench [--out BENCH_results.json]
+                        [--mode quick|full|paper] [--no-sim|--no-measured]
+
+The CMake target `bench_json` wraps this with the default build tree.
+"""
+
+import argparse
+import datetime
+import json
+import platform
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+FIG_BENCHES = [
+    "bench_fig3_compute_speedup",
+    "bench_fig4_memory_speedup",
+    "bench_fig5_critical_efficiency",
+    "bench_fig6_speculative_efficiency",
+    "bench_fig7_power_efficiency",
+    "bench_fig8_critical_breakdown",
+    "bench_fig9_speculative_breakdown",
+    "bench_fig10_forking_models",
+    "bench_fig11_rollback_sensitivity",
+    "bench_table2_benchmarks",
+]
+
+NUM_RE = re.compile(r"^-?\d+(\.\d+)?[x%]?$")
+
+
+def parse_rows(stdout: str):
+    """Extract (label, [numbers]) rows from a bench's table output."""
+    rows = []
+    for line in stdout.splitlines():
+        tokens = line.split()
+        if len(tokens) < 2:
+            continue
+        values = []
+        for tok in tokens[1:]:
+            if NUM_RE.match(tok):
+                values.append(float(tok.rstrip("x%")))
+        # A data row has a non-numeric label and mostly numeric columns.
+        if values and not NUM_RE.match(tokens[0]) and \
+                len(values) >= (len(tokens) - 1) / 2:
+            rows.append({"label": " ".join(
+                t for t in tokens if not NUM_RE.match(t)), "values": values})
+    return rows
+
+
+def git_rev(repo: Path) -> str:
+    try:
+        rev = subprocess.run(
+            ["git", "-C", str(repo), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10).stdout.strip()
+        return rev or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench-dir", required=True,
+                    help="directory containing the built bench binaries")
+    ap.add_argument("--out", default="BENCH_results.json")
+    ap.add_argument("--mode", choices=["quick", "full", "paper"],
+                    default="quick",
+                    help="workload sizes: quick (CI smoke), full, paper")
+    ap.add_argument("--no-sim", action="store_true")
+    ap.add_argument("--no-measured", action="store_true")
+    ap.add_argument("--timeout", type=int, default=1800,
+                    help="per-bench timeout in seconds")
+    args = ap.parse_args()
+
+    bench_dir = Path(args.bench_dir)
+    flags = []
+    if args.mode == "quick":
+        flags.append("--quick")
+    elif args.mode == "paper":
+        flags.append("--paper")
+    if args.no_sim:
+        flags.append("--no-sim")
+    if args.no_measured:
+        flags.append("--no-measured")
+
+    repo = Path(__file__).resolve().parent.parent
+    results = []
+    for name in FIG_BENCHES:
+        exe = bench_dir / name
+        if not exe.exists():
+            results.append({"bench": name, "status": "missing"})
+            print(f"[bench_json] {name}: MISSING", file=sys.stderr)
+            continue
+        start = time.monotonic()
+        try:
+            proc = subprocess.run([str(exe), *flags], capture_output=True,
+                                  text=True, timeout=args.timeout)
+            status = "ok" if proc.returncode == 0 else "failed"
+            entry = {
+                "bench": name,
+                "status": status,
+                "exit_code": proc.returncode,
+                "seconds": round(time.monotonic() - start, 3),
+                "rows": parse_rows(proc.stdout),
+                "stdout": proc.stdout.splitlines(),
+            }
+            if proc.stderr.strip():
+                entry["stderr"] = proc.stderr.splitlines()
+        except subprocess.TimeoutExpired:
+            entry = {"bench": name, "status": "timeout",
+                     "seconds": round(time.monotonic() - start, 3)}
+        results.append(entry)
+        print(f"[bench_json] {name}: {entry['status']} "
+              f"({entry.get('seconds', 0)}s)", file=sys.stderr)
+
+    doc = {
+        "schema": "mutls-bench-results/1",
+        "generated_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": git_rev(repo),
+        "mode": args.mode,
+        "flags": flags,
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "release": platform.release(),
+        },
+        "benches": results,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"[bench_json] wrote {args.out}", file=sys.stderr)
+    failed = [r["bench"] for r in results if r.get("status") != "ok"]
+    if failed:
+        print(f"[bench_json] FAILED: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+// Execution context of the native MUTLS embedding (API v2, layer 1 of 4).
+//
+// `Ctx` is the per-thread view of shared memory: every shared access inside
+// a speculated region routes through it, hitting the speculative buffer map
+// (paper IV-G2) when the thread is speculative and the relaxed direct path
+// otherwise. Ctx::load/store are the raw MUTLS_load_*/MUTLS_store_*
+// wrappers; application code should prefer the typed views of
+// "api/shared.h" (`Shared<T>`, `SharedSpan<T>`, `shared()`), which wrap
+// these calls behind ordinary `a[i] += x` syntax.
+//
+// Layering: ctx.h (this file) -> spec.h (fork/join/Runtime) -> shared.h
+// (typed views) -> parallel.h (loop drivers + mutls::par algorithms), all
+// re-exported by the "mutls/mutls.h" umbrella.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "api/scalar_access.h"
+#include "runtime/spec_abort.h"
+#include "runtime/thread_data.h"
+
+namespace mutls {
+
+class Runtime;
+
+// Execution context of one thread (speculative or not). Every shared-memory
+// access inside a speculated region must go through this wrapper.
+class Ctx {
+ public:
+  bool speculative() const { return td_->is_speculative(); }
+  int rank() const { return td_->rank; }
+  Runtime& runtime() const { return *rt_; }
+  ThreadData& thread_data() const { return *td_; }
+
+  template <typename T>
+  T load(const T* p) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++td_->stats.loads;
+    if (!td_->is_speculative()) {
+      return relaxed_load_scalar(p);
+    }
+    uintptr_t a = reinterpret_cast<uintptr_t>(p);
+    check_registered(a, sizeof(T));
+    T out;
+    td_->gbuf.load_bytes(a, &out, sizeof(T));
+    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+    return out;
+  }
+
+  template <typename T>
+  void store(T* p, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++td_->stats.stores;
+    if (!td_->is_speculative()) {
+      relaxed_store_scalar(p, v);
+      return;
+    }
+    uintptr_t a = reinterpret_cast<uintptr_t>(p);
+    check_registered(a, sizeof(T));
+    td_->gbuf.store_bytes(a, &v, sizeof(T));
+    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+  }
+
+  // Read-modify-write convenience.
+  template <typename T>
+  void add(T* p, T v) {
+    store(p, static_cast<T>(load(p) + v));
+  }
+
+  // MUTLS_check_point: polls the synchronization flags. Inserted inside
+  // loops and before calls so a speculative thread notices abort signals
+  // promptly (paper IV-E).
+  void check_point() {
+    if (!td_->is_speculative()) return;
+    SyncStatus s = td_->sync_status.load(std::memory_order_acquire);
+    if (s == SyncStatus::kNoSync) {
+      throw SpecAbort{"NOSYNC received at check point"};
+    }
+    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+  }
+
+  // Live-in value stored at fork (paper IV-G3): reads slot `offset` of this
+  // thread's RegisterBuffer.
+  template <typename T>
+  T get_livein(int offset) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    uint64_t raw = 0;
+    if (!td_->lbuf.top().regs.get(offset, raw)) {
+      td_->gbuf.doom("register buffer offset out of range");
+      throw SpecAbort{"register buffer offset out of range"};
+    }
+    T out;
+    std::memcpy(&out, &raw, sizeof(T));
+    return out;
+  }
+
+ private:
+  friend class Runtime;
+  Ctx(Runtime& rt, ThreadData& td) : rt_(&rt), td_(&td) {}
+
+  void check_registered(uintptr_t a, size_t n);
+
+  Runtime* rt_;
+  ThreadData* td_;
+  // Small cache of recent address-space lookups: workloads typically touch
+  // a handful of registered arrays in rotation, so a few entries remove
+  // the shared-mutex lookup from the speculative hot path entirely.
+  static constexpr int kSpanCache = 4;
+  uintptr_t span_lo_[kSpanCache] = {1, 1, 1, 1};
+  uintptr_t span_hi_[kSpanCache] = {0, 0, 0, 0};
+  int span_next_ = 0;
+  // Address-space epoch the cache entries were filled under; a mismatch
+  // (some region was unregistered since) flushes them.
+  uint64_t span_epoch_ = 0;
+};
+
+}  // namespace mutls

@@ -1,0 +1,341 @@
+// Parallel-algorithms layer of the native MUTLS embedding (API v2, layer 4
+// of 4).
+//
+// Two levels live here:
+//
+//  * the raw loop drivers `spec_for` / `spec_for_nested` — the paper's
+//    loop-speculation patterns (section II) expressed directly on
+//    fork/join, kept public for ablation and for nesting inside other
+//    speculated regions;
+//  * `mutls::par` — `for_each`, `reduce`, `divide_and_conquer`, `pipeline`:
+//    one-liner entry points for the paper's three program shapes (loop,
+//    divide and conquer, depth-first/staged work), built on the drivers and
+//    the tree-form fork so a new scenario needs no protocol code at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "api/ctx.h"
+#include "api/shared.h"
+#include "api/spec.h"
+#include "support/check.h"
+
+namespace mutls {
+
+// Nested in-order loop driver: each chain link runs one chunk and joins the
+// speculated remainder itself. Simple, but a link whose fork was denied
+// executes the whole remaining range inline while earlier links wait at
+// their barriers — parallelism collapses when chunks exceed CPUs. Kept for
+// comparison (ablation) and for nesting inside other speculated regions.
+// The body receives (ctx, chunk_index, lo, hi).
+template <typename BodyFn>
+void spec_for_nested(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
+                     int chunks, ForkModel model, const BodyFn& body) {
+  if (begin >= end || chunks <= 0) return;
+  struct Driver {
+    Runtime& rt;
+    int64_t begin, end;
+    int chunks;
+    ForkModel model;
+    const BodyFn& body;
+
+    int64_t bound(int i) const {
+      return begin + (end - begin) * i / chunks;
+    }
+
+    void run(Ctx& c, int i) const {
+      if (i + 1 >= chunks) {
+        body(c, i, bound(i), bound(i + 1));
+        return;
+      }
+      Spec s = rt.fork(c, model, [this, i](Ctx& cc) { run(cc, i + 1); });
+      body(c, i, bound(i), bound(i + 1));
+      rt.join(c, s);
+    }
+  };
+  Driver d{rt, begin, end, chunks, model, body};
+  d.run(ctx, 0);
+}
+
+// In-order loop speculation driver (the paper's loop pattern, section II):
+// splits [begin, end) into `chunks` contiguous pieces. Every chain link
+// forks the continuation *detached* and executes its chunk; the calling
+// thread then joins the chain link by link, adopting each link's child
+// (paper IV-F: children survive the join). Each join frees a virtual CPU,
+// which the chain tail immediately reuses — reproducing the steady-state
+// redistribution of the paper's counter-based resumption, where with 64
+// chunks speedup plateaus from 32 to 63 CPUs and jumps at 64. A link whose
+// fork is denied simply continues the chain itself; a rolled-back link
+// cascades (the rest of the chain is NOSYNCed and re-executed inline), the
+// classic in-order rollback behaviour.
+// The body receives (ctx, chunk_index, lo, hi).
+template <typename BodyFn>
+void spec_for(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end, int chunks,
+              ForkModel model, const BodyFn& body) {
+  if (begin >= end || chunks <= 0) return;
+  struct Driver {
+    Runtime& rt;
+    int64_t begin, end;
+    int chunks;
+    ForkModel model;
+    const BodyFn& body;
+
+    int64_t bound(int i) const {
+      return begin + (end - begin) * i / chunks;
+    }
+
+    // Runs chunks starting at `i`: forks the continuation (detached) and
+    // runs one chunk; on fork denial, keeps the chain alive by continuing
+    // with the next chunk itself.
+    void chain(Ctx& c, int i) const {
+      while (true) {
+        bool forked = false;
+        if (i + 1 < chunks) {
+          int next = i + 1;
+          Spec s = rt.fork(
+              c,
+              ForkOpts{.model = model,
+                       .tag = static_cast<uint64_t>(next),
+                       .detached = true},
+              [this, next](Ctx& cc) { chain(cc, next); });
+          forked = s.speculated();
+        }
+        body(c, i, bound(i), bound(i + 1));
+        c.check_point();
+        if (forked || i + 1 >= chunks) return;
+        ++i;
+      }
+    }
+  };
+  Driver d{rt, begin, end, chunks, model, body};
+
+  size_t base_children = ctx.thread_data().children.size();
+  d.chain(ctx, 0);
+  // Join the chain in logical order, adopting each link's child.
+  while (ctx.thread_data().children.size() > base_children) {
+    Runtime::AdoptedJoin j = rt.join_next(ctx);
+    MUTLS_CHECK(j.joined, "loop chain lost a child");
+    if (j.outcome == JoinOutcome::kRolledBack) {
+      // In-order cascade: everything after the failed link is discarded
+      // and re-executed inline from the failed link's first chunk.
+      rt.manager().nosync_children(ctx.thread_data(), base_children);
+      d.chain(ctx, static_cast<int>(j.tag));
+    }
+  }
+}
+
+namespace par {
+
+// Options shared by the loop-shaped algorithms.
+struct LoopOpts {
+  // Number of contiguous chunks the range is split into. 0 picks twice the
+  // virtual-CPU count, the steady-state redistribution sweet spot.
+  int chunks = 0;
+
+  ForkModel model = ForkModel::kMixed;
+
+  // Use the nested chain driver instead of the adoption chain (ablation,
+  // or when the loop itself runs inside a deeply speculated region).
+  bool nested = false;
+
+  // When > 0, poll Ctx::check_point every this many elements inside a
+  // chunk (element-wise algorithms only); the drivers always poll at chunk
+  // boundaries.
+  int64_t checkpoint_every = 0;
+};
+
+inline int resolve_chunks(const Runtime& rt, const LoopOpts& opts) {
+  return opts.chunks > 0 ? opts.chunks : 2 * rt.num_cpus();
+}
+
+// Chunk-wise parallel loop: body(ctx, chunk_index, lo, hi) over [begin,
+// end) split into opts.chunks pieces, speculated as an in-order chain.
+template <typename BodyFn>
+void for_each_chunk(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
+                    const LoopOpts& opts, const BodyFn& body) {
+  int chunks = resolve_chunks(rt, opts);
+  if (opts.nested) {
+    spec_for_nested(rt, ctx, begin, end, chunks, opts.model, body);
+  } else {
+    spec_for(rt, ctx, begin, end, chunks, opts.model, body);
+  }
+}
+
+// Element-wise parallel loop: body(ctx, i) for every i in [begin, end).
+template <typename BodyFn>
+void for_each(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
+              const LoopOpts& opts, const BodyFn& body) {
+  for_each_chunk(rt, ctx, begin, end, opts,
+                 [&](Ctx& c, int, int64_t lo, int64_t hi) {
+                   int64_t since = 0;
+                   for (int64_t i = lo; i < hi; ++i) {
+                     body(c, i);
+                     if (opts.checkpoint_every > 0 &&
+                         ++since >= opts.checkpoint_every) {
+                       since = 0;
+                       c.check_point();
+                     }
+                   }
+                 });
+}
+
+// Parallel reduction: combine(init, map(ctx, i) for i in [begin, end)).
+// `init` must be the identity of `combine` (0 for +, +inf for min, ...):
+// each chunk starts its accumulator from it. Chunk partials land in a
+// registered scratch array (one slot per chunk, no conflicts) and are
+// folded in chunk order, so the result is exactly the sequential fold for
+// any associative combine.
+template <typename T, typename MapFn, typename CombineFn = std::plus<T>>
+T reduce(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
+         const LoopOpts& opts, T init, const MapFn& map,
+         const CombineFn& combine = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (begin >= end) return init;
+  if (ctx.speculative()) {
+    // Inside a speculated region the scratch array below would be freed
+    // (and unregistered) before the enclosing speculation validates and
+    // commits the buffered accesses to it — so compute inline instead.
+    // The caller is already one arm of the speculation tree; nested
+    // reduction parallelism is not worth a dangling commit.
+    T acc = init;
+    int64_t since = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      acc = combine(acc, map(ctx, i));
+      if (opts.checkpoint_every > 0 && ++since >= opts.checkpoint_every) {
+        since = 0;
+        ctx.check_point();
+      }
+    }
+    return acc;
+  }
+  LoopOpts o = opts;
+  o.chunks = resolve_chunks(rt, opts);
+  SharedArray<T> partial(rt, static_cast<size_t>(o.chunks), init);
+  for_each_chunk(rt, ctx, begin, end, o,
+                 [&](Ctx& c, int chunk, int64_t lo, int64_t hi) {
+                   T acc = init;
+                   int64_t since = 0;
+                   for (int64_t i = lo; i < hi; ++i) {
+                     acc = combine(acc, map(c, i));
+                     if (o.checkpoint_every > 0 &&
+                         ++since >= o.checkpoint_every) {
+                       since = 0;
+                       c.check_point();
+                     }
+                   }
+                   partial.at(c, static_cast<size_t>(chunk)) = acc;
+                 });
+  // The speculative-context case returned above, so the caller is the
+  // non-speculative thread here and every chunk has been joined: the
+  // partials are plain committed memory.
+  T acc = init;
+  for (size_t i = 0; i < partial.size(); ++i) {
+    acc = combine(acc, partial[i]);
+  }
+  return acc;
+}
+
+// Options for the divide-and-conquer shape.
+struct DncOpts {
+  ForkModel model = ForkModel::kMixed;
+  // Tree depth down to which sibling subproblems are speculated; below it
+  // the recursion runs inline. With the mixed model the speculative
+  // children fork further, unfolding the top of the tree (paper section
+  // II).
+  int fork_levels = 4;
+};
+
+// Generic tree-form divide and conquer over problems of type P:
+//
+//   if (is_leaf(p))  leaf(ctx, p)
+//   else             subs = split(p); recurse on each, in order;
+//                    then post(ctx, p)   // the combine step
+//
+// While depth < fork_levels, subproblems after the first are speculated
+// (the parent descends into subs[0] itself) and joined LIFO via ScopedSpec
+// scope order — the paper's tree-form pattern, where only the mixed model
+// unfolds the whole tree. Sequential semantics are preserved for any
+// split/leaf/post that is correct sequentially.
+template <typename P, typename IsLeafFn, typename SplitFn, typename LeafFn,
+          typename PostFn>
+void divide_and_conquer(Runtime& rt, Ctx& ctx, const P& p,
+                        const DncOpts& opts, const IsLeafFn& is_leaf,
+                        const SplitFn& split, const LeafFn& leaf,
+                        const PostFn& post, int level = 0) {
+  if (is_leaf(p)) {
+    leaf(ctx, p);
+    return;
+  }
+  std::vector<P> subs = split(p);
+  if (level < opts.fork_levels && subs.size() > 1) {
+    // Each sibling's ScopedSpec is a true stack local of one recursion
+    // frame (not a container element — ~ScopedSpec may throw SpecAbort,
+    // which library containers may not survive): fork subs[1..k-1] on the
+    // way down, descend into subs[0] at the bottom, and join LIFO on the
+    // way back up — the mixed-model order.
+    auto fork_rest = [&](auto&& self, size_t i) -> void {
+      if (i >= subs.size()) {
+        divide_and_conquer(rt, ctx, subs[0], opts, is_leaf, split, leaf,
+                           post, level + 1);
+        ctx.check_point();
+        return;
+      }
+      P sub = subs[i];
+      ScopedSpec s = rt.fork_scoped(
+          ctx, ForkOpts{.model = opts.model}, [&, sub, level](Ctx& c) {
+            divide_and_conquer(rt, c, sub, opts, is_leaf, split, leaf, post,
+                               level + 1);
+          });
+      self(self, i + 1);
+    };  // sibling i joins here, after siblings i+1..k-1
+    fork_rest(fork_rest, 1);
+  } else {
+    for (const P& sub : subs) {
+      divide_and_conquer(rt, ctx, sub, opts, is_leaf, split, leaf, post,
+                         level + 1);
+    }
+  }
+  post(ctx, p);
+}
+
+// Overload without a combine step.
+template <typename P, typename IsLeafFn, typename SplitFn, typename LeafFn>
+void divide_and_conquer(Runtime& rt, Ctx& ctx, const P& p,
+                        const DncOpts& opts, const IsLeafFn& is_leaf,
+                        const SplitFn& split, const LeafFn& leaf) {
+  divide_and_conquer(rt, ctx, p, opts, is_leaf, split, leaf,
+                     [](Ctx&, const P&) {});
+}
+
+// Speculative pipeline: runs `stages` (in order) on every item in
+// [0, items), speculating ahead across item blocks with the in-order
+// chain. Cross-item flow dependencies — a stage reading what an earlier
+// item's stage wrote — are not forbidden: the buffer map detects the
+// violated read and the chain cascades and re-executes, so results stay
+// exactly sequential; dependency-light pipelines simply overlap.
+using PipelineStage = std::function<void(Ctx&, int64_t)>;
+
+inline void pipeline(Runtime& rt, Ctx& ctx, int64_t items,
+                     const std::vector<PipelineStage>& stages,
+                     LoopOpts opts = {}) {
+  if (items <= 0 || stages.empty()) return;
+  if (opts.chunks <= 0) {
+    int64_t def = resolve_chunks(rt, opts);
+    opts.chunks = static_cast<int>(items < def ? items : def);
+  }
+  for_each_chunk(rt, ctx, 0, items, opts,
+                 [&](Ctx& c, int, int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     for (const PipelineStage& stage : stages) {
+                       stage(c, i);
+                     }
+                     c.check_point();
+                   }
+                 });
+}
+
+}  // namespace par
+
+}  // namespace mutls

@@ -1,8 +1,20 @@
-#include "api/runtime.h"
+#include "api/ctx.h"
+
+#include "api/spec.h"
 
 namespace mutls {
 
 void Ctx::check_registered(uintptr_t a, size_t n) {
+  // A cached positive lookup must not outlive the registration it proved:
+  // any unregistration bumps the manager's epoch and flushes the cache.
+  uint64_t epoch = rt_->manager().space_epoch();
+  if (epoch != span_epoch_) {
+    span_epoch_ = epoch;
+    for (int i = 0; i < kSpanCache; ++i) {
+      span_lo_[i] = 1;
+      span_hi_[i] = 0;
+    }
+  }
   for (int i = 0; i < kSpanCache; ++i) {
     if (a >= span_lo_[i] && a + n <= span_hi_[i]) return;
   }
@@ -16,7 +28,7 @@ void Ctx::check_registered(uintptr_t a, size_t n) {
   span_hi_[slot] = 0;
   // Wild speculative access (paper IV-G1): roll back instead of faulting.
   td_->gbuf.doom("access outside the registered address space");
-  throw SpecAbort{"access outside the registered address space"};
+  throw SpecAbort{td_->gbuf.doom_reason()};
 }
 
 }  // namespace mutls

@@ -49,6 +49,18 @@ T relaxed_load_scalar(const T* p) {
   }
 }
 
+// Byte-wise relaxed copy out of shared memory for accesses whose size is
+// only known at runtime (live-in prediction validation). Torn values are
+// acceptable: a torn read differs from the predicted value and simply
+// forces a rollback.
+inline void relaxed_load_bytes(const void* p, void* out, size_t n) {
+  const auto* src = static_cast<const uint8_t*>(p);
+  auto* dst = static_cast<uint8_t*>(out);
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = __atomic_load_n(src + i, __ATOMIC_RELAXED);
+  }
+}
+
 template <typename T>
 void relaxed_store_scalar(T* p, T v) {
   static_assert(std::is_trivially_copyable_v<T>);

@@ -355,6 +355,9 @@ void ThreadManager::register_space(const void* p, size_t n) {
 
 void ThreadManager::unregister_space(const void* p, size_t n) {
   space_.erase(reinterpret_cast<uintptr_t>(p), n);
+  // Invalidate every Ctx's cached positive lookups: a span that was
+  // registered when cached may cover this region.
+  space_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool ThreadManager::space_contains(const void* p, size_t n) const {

@@ -5,6 +5,7 @@
 // a joined child's children.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -105,6 +106,13 @@ class ThreadManager {
   bool space_contains(const void* p, size_t n) const;
   const IntervalSet& address_space() const { return space_; }
 
+  // Bumped on every unregistration; per-Ctx span caches compare it so a
+  // cached positive lookup cannot outlive the registration it proved
+  // (memory can be unregistered mid-run, e.g. algorithm-local scratch).
+  uint64_t space_epoch() const {
+    return space_epoch_.load(std::memory_order_acquire);
+  }
+
   // Number of speculative threads currently live.
   int live_threads() const;
 
@@ -184,6 +192,7 @@ class ThreadManager {
   uint64_t run_start_ns_ = 0;
 
   IntervalSet space_;
+  std::atomic<uint64_t> space_epoch_{0};
 };
 
 }  // namespace mutls

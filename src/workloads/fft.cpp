@@ -49,35 +49,40 @@ struct SpecFft {
   ForkModel model;
 
   // `level` counts tree depth from the root; the top fork_levels levels
-  // speculate their second recursive call.
+  // speculate their second recursive call. The ScopedSpec block is the
+  // paper's "fork a thread to execute the second recursive call and
+  // barrier it after the call": the join happens at scope exit, before the
+  // butterfly consumes both halves.
   void run(Ctx& ctx, double* bre, double* bim, double* ore, double* oim,
            size_t n, size_t step, int level) const {
     if (step >= n) return;
     if (level < p.fork_levels) {
-      Spec s = rt.fork(ctx, model, [=, this](Ctx& c) {
+      ScopedSpec s = rt.fork_scoped(ctx, model, [=, this](Ctx& c) {
         run(c, ore + step, oim + step, bre + step, bim + step, n, step * 2,
             level + 1);
       });
       run(ctx, ore, oim, bre, bim, n, step * 2, level + 1);
-      rt.join(ctx, s);
+      s.join();
     } else {
       run(ctx, ore, oim, bre, bim, n, step * 2, level + 1);
       run(ctx, ore + step, oim + step, bre + step, bim + step, n, step * 2,
           level + 1);
     }
     ctx.check_point();
+    SharedSpan<double> b_re(ctx, bre, n), b_im(ctx, bim, n),
+        o_re(ctx, ore, n), o_im(ctx, oim, n);
     for (size_t i = 0; i < n; i += 2 * step) {
       double ang = -std::numbers::pi * static_cast<double>(i) /
                    static_cast<double>(n);
       double wr = std::cos(ang), wi = std::sin(ang);
-      double xr = ctx.load(&ore[i + step]), xi = ctx.load(&oim[i + step]);
+      double xr = o_re[i + step], xi = o_im[i + step];
       double tr = wr * xr - wi * xi;
       double ti = wr * xi + wi * xr;
-      double er = ctx.load(&ore[i]), ei = ctx.load(&oim[i]);
-      ctx.store(&bre[i / 2], er + tr);
-      ctx.store(&bim[i / 2], ei + ti);
-      ctx.store(&bre[(i + n) / 2], er - tr);
-      ctx.store(&bim[(i + n) / 2], ei - ti);
+      double er = o_re[i], ei = o_im[i];
+      b_re[i / 2] = er + tr;
+      b_im[i / 2] = ei + ti;
+      b_re[(i + n) / 2] = er - tr;
+      b_im[(i + n) / 2] = ei - ti;
     }
   }
 };

@@ -35,21 +35,22 @@ SpecRun Mandelbrot::run_spec(Runtime& rt, const Params& p, ForkModel model) {
   SharedArray<int> img(rt, static_cast<size_t>(p.width) * p.height, 0);
   Stopwatch sw;
   RunStats stats = rt.run([&](Ctx& ctx) {
-    // Speculate over row blocks: each pixel is pure compute; the single
-    // shared store per pixel writes a distinct image cell.
-    spec_for(rt, ctx, 0, p.height, p.chunks, model,
-             [&](Ctx& c, int, int64_t row_lo, int64_t row_hi) {
-               for (int64_t y = row_lo; y < row_hi; ++y) {
-                 double ci = p.y0 + (p.y1 - p.y0) * static_cast<double>(y) /
-                                        p.height;
-                 for (int x = 0; x < p.width; ++x) {
-                   double cr = p.x0 + (p.x1 - p.x0) * x / p.width;
-                   c.store(&img[static_cast<size_t>(y) * p.width + x],
-                           escape_iters(cr, ci, p.max_iter));
-                 }
-                 c.check_point();
-               }
-             });
+    // Speculate over rows: each pixel is pure compute; the single shared
+    // store per pixel writes a distinct image cell.
+    par::for_each(
+        rt, ctx, 0, p.height,
+        par::LoopOpts{.chunks = p.chunks, .model = model,
+                      .checkpoint_every = 1},
+        [&](Ctx& c, int64_t y) {
+          SharedSpan<int> out = img.span(c);
+          double ci = p.y0 + (p.y1 - p.y0) * static_cast<double>(y) /
+                                 p.height;
+          for (int x = 0; x < p.width; ++x) {
+            double cr = p.x0 + (p.x1 - p.x0) * x / p.width;
+            out[static_cast<size_t>(y) * p.width + x] =
+                escape_iters(cr, ci, p.max_iter);
+          }
+        });
   });
   double secs = sw.elapsed_sec();
   return SpecRun{checksum_image(img.data(), img.size()), secs, stats};

@@ -70,11 +70,11 @@ struct SpecMm {
                bool accumulate) const {
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
-        double acc = accumulate ? ctx.load(c.at(i, j)) : 0.0;
+        double acc = accumulate ? shared(ctx, c.at(i, j)).get() : 0.0;
         for (int k = 0; k < n; ++k) {
-          acc += ctx.load(a.at(i, k)) * ctx.load(b.at(k, j));
+          acc += shared(ctx, a.at(i, k)) * shared(ctx, b.at(k, j));
         }
-        ctx.store(c.at(i, j), acc);
+        shared(ctx, c.at(i, j)) = acc;
       }
       ctx.check_point();
     }
@@ -97,20 +97,18 @@ struct SpecMm {
     int h = n / 2;
     if (level < p.fork_levels) {
       // Parent computes quadrant (0,0); three speculative children compute
-      // the rest. LIFO joins keep the mixed-model assumption intact.
-      Spec s01 = rt.fork(ctx, model, [=, this](Ctx& cc) {
+      // the rest. Reverse declaration order of the scopes joins s11, s10,
+      // s01 — LIFO, keeping the mixed-model assumption intact.
+      ScopedSpec s01 = rt.fork_scoped(ctx, model, [=, this](Ctx& cc) {
         quad_task(cc, c, a, b, 0, 1, h, accumulate, level + 1);
       });
-      Spec s10 = rt.fork(ctx, model, [=, this](Ctx& cc) {
+      ScopedSpec s10 = rt.fork_scoped(ctx, model, [=, this](Ctx& cc) {
         quad_task(cc, c, a, b, 1, 0, h, accumulate, level + 1);
       });
-      Spec s11 = rt.fork(ctx, model, [=, this](Ctx& cc) {
+      ScopedSpec s11 = rt.fork_scoped(ctx, model, [=, this](Ctx& cc) {
         quad_task(cc, c, a, b, 1, 1, h, accumulate, level + 1);
       });
       quad_task(ctx, c, a, b, 0, 0, h, accumulate, level + 1);
-      rt.join(ctx, s11);
-      rt.join(ctx, s10);
-      rt.join(ctx, s01);
     } else {
       for (int qr = 0; qr < 2; ++qr) {
         for (int qc = 0; qc < 2; ++qc) {

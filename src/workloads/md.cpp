@@ -91,28 +91,32 @@ SpecRun MolecularDynamics::run_spec(Runtime& rt, const Params& p,
       // Parallel force phase: every speculative chunk reads all positions
       // but writes only its own force rows -> no conflicts, as the paper's
       // md exhibits.
-      spec_for(rt, ctx, 0, p.n, p.chunks, model,
-               [&](Ctx& c, int, int64_t lo, int64_t hi) {
-                 for (int64_t i = lo; i < hi; ++i) {
-                   double f[3];
-                   force_on(static_cast<int>(i), p.n,
-                            [&](int k) {
-                              return c.load(&pos[static_cast<size_t>(k)]);
-                            },
-                            f);
-                   for (int d = 0; d < 3; ++d) {
-                     c.store(&force[static_cast<size_t>(3 * i + d)], f[d]);
-                   }
-                   c.check_point();
-                 }
-               });
+      par::for_each(
+          rt, ctx, 0, p.n,
+          par::LoopOpts{.chunks = p.chunks, .model = model,
+                        .checkpoint_every = 1},
+          [&](Ctx& c, int64_t i) {
+            SharedSpan<double> ps = pos.span(c);
+            SharedSpan<double> fs = force.span(c);
+            double f[3];
+            force_on(static_cast<int>(i), p.n,
+                     [&](int k) -> double {
+                       return ps[static_cast<size_t>(k)];
+                     },
+                     f);
+            for (int d = 0; d < 3; ++d) {
+              fs[static_cast<size_t>(3 * i + d)] = f[d];
+            }
+          });
       // Sequential integration on the critical path.
+      SharedSpan<double> ps = pos.span(ctx);
+      SharedSpan<double> vs = vel.span(ctx);
+      SharedSpan<double> fs = force.span(ctx);
       for (int i = 0; i < 3 * p.n; ++i) {
-        double v = ctx.load(&vel[static_cast<size_t>(i)]) +
-                   p.dt * ctx.load(&force[static_cast<size_t>(i)]);
-        ctx.store(&vel[static_cast<size_t>(i)], v);
-        ctx.store(&pos[static_cast<size_t>(i)],
-                  ctx.load(&pos[static_cast<size_t>(i)]) + p.dt * v);
+        size_t k = static_cast<size_t>(i);
+        double v = vs[k] + p.dt * fs[k];
+        vs[k] = v;
+        ps[k] += p.dt * v;
       }
     }
   });

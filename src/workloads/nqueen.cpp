@@ -60,13 +60,16 @@ struct SpecNq {
 
     uint64_t rest_count = 0;
     size_t slot = slot_for(id, ordinal);
-    bool forked = false;
+    // Conditional fork: a plain (move-only) Spec with an explicit join —
+    // wrapping ScopedSpec in std::optional would put a potentially
+    // throwing destructor inside ~optional (noexcept), a terminate trap.
     Spec s;
+    bool forked = false;
     if (rest != 0 && slot < slot_count) {
       s = rt.fork(ctx, model, [=, this](Ctx& c) {
         uint64_t v = count_candidates(c, cols, d1, d2, rest, depth, id,
                                       ordinal + 1);
-        c.store(&slots[slot], v);
+        shared(c, &slots[slot]) = v;
       });
       forked = true;
     }
@@ -75,7 +78,7 @@ struct SpecNq {
     ctx.check_point();
     if (forked) {
       rt.join(ctx, s);
-      rest_count = ctx.load(&slots[slot]);
+      rest_count = shared(ctx, &slots[slot]);
     } else if (rest != 0) {
       rest_count =
           count_candidates(ctx, cols, d1, d2, rest, depth, id, ordinal + 1);

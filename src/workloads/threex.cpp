@@ -12,23 +12,18 @@ SeqRun ThreeX::run_seq(const Params& p) {
 }
 
 SpecRun ThreeX::run_spec(Runtime& rt, const Params& p, ForkModel model) {
-  SharedArray<uint64_t> partial(rt, static_cast<size_t>(p.chunks), 0);
   Stopwatch sw;
+  uint64_t total = 0;
   RunStats stats = rt.run([&](Ctx& ctx) {
-    spec_for(rt, ctx, 1, p.n + 1, p.chunks, model,
-             [&](Ctx& c, int chunk, int64_t lo, int64_t hi) {
-               uint64_t sum = 0;
-               for (int64_t i = lo; i < hi; ++i) {
-                 sum += trajectory(static_cast<uint64_t>(i));
-                 if ((i & 0xffff) == 0) c.check_point();
-               }
-               // One shared write per chunk: the partial-sum slot.
-               c.store(&partial[static_cast<size_t>(chunk)], sum);
-             });
+    total = par::reduce(
+        rt, ctx, 1, p.n + 1,
+        par::LoopOpts{.chunks = p.chunks,
+                      .model = model,
+                      .checkpoint_every = 0x10000},
+        uint64_t{0},
+        [](Ctx&, int64_t i) { return trajectory(static_cast<uint64_t>(i)); });
   });
   double secs = sw.elapsed_sec();
-  uint64_t total = 0;
-  for (size_t i = 0; i < partial.size(); ++i) total += partial[i];
   return SpecRun{hash_mix(hash_begin(), total), secs, stats};
 }
 

@@ -65,7 +65,7 @@ struct SpecTsp {
   }
 
   double edge(Ctx& ctx, int i, int j) const {
-    return ctx.load(&dist[static_cast<size_t>(i) * n + j]);
+    return shared(ctx, &dist[static_cast<size_t>(i) * n + j]);
   }
 
   double descend(Ctx& ctx, int last, uint32_t visited, double len, int depth,
@@ -95,13 +95,15 @@ struct SpecTsp {
                         static_cast<uint64_t>(city) + 1;
 
     size_t slot = slot_for(id, ordinal);
-    bool forked = false;
+    // Conditional fork: plain Spec + explicit join (see nqueen.cpp for why
+    // not std::optional<ScopedSpec>).
     Spec s;
+    bool forked = false;
     if (rest != 0 && slot < slot_count) {
       s = rt.fork(ctx, model, [=, this](Ctx& c) {
         double v =
             min_candidates(c, last, visited, len, rest, depth, id, ordinal + 1);
-        c.store(&slots[slot], v);
+        shared(c, &slots[slot]) = v;
       });
       forked = true;
     }
@@ -111,7 +113,7 @@ struct SpecTsp {
     double rest_min = kInf;
     if (forked) {
       rt.join(ctx, s);
-      rest_min = ctx.load(&slots[slot]);
+      rest_min = shared(ctx, &slots[slot]);
     } else if (rest != 0) {
       rest_min =
           min_candidates(ctx, last, visited, len, rest, depth, id, ordinal + 1);

@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <string>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 #include "runtime/stats.h"
 #include "support/timing.h"
 

@@ -1,0 +1,278 @@
+// Tests of the mutls::par algorithms layer: for_each / reduce over all
+// forking models, divide_and_conquer (with and without a combine step),
+// pipeline (independent and cross-item-dependent stages), and exactness
+// under injected rollbacks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mutls/mutls.h"
+
+namespace mutls {
+namespace {
+
+Runtime::Options small_opts(int cpus = 2) {
+  Runtime::Options o;
+  o.num_cpus = cpus;
+  o.buffer_log2 = 12;
+  o.overflow_cap = 1024;
+  return o;
+}
+
+TEST(ParForEach, ComputesEveryElementOnce) {
+  for (ForkModel m : {ForkModel::kInOrder, ForkModel::kOutOfOrder,
+                      ForkModel::kMixed}) {
+    Runtime rt(small_opts());
+    constexpr size_t kN = 200;
+    SharedArray<uint64_t> out(rt, kN, 0);
+    rt.run([&](Ctx& ctx) {
+      par::for_each(rt, ctx, 0, static_cast<int64_t>(kN),
+                    {.chunks = 8, .model = m}, [&](Ctx& c, int64_t i) {
+                      out.span(c)[static_cast<size_t>(i)] =
+                          static_cast<uint64_t>(i * i);
+                    });
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], static_cast<uint64_t>(i) * i)
+          << fork_model_name(m) << " index " << i;
+    }
+  }
+}
+
+TEST(ParForEach, DefaultChunkCountAndEmptyRange) {
+  Runtime rt(small_opts());
+  SharedArray<uint64_t> out(rt, 64, 0);
+  rt.run([&](Ctx& ctx) {
+    par::for_each(rt, ctx, 0, 64, {}, [&](Ctx& c, int64_t i) {
+      out.span(c)[static_cast<size_t>(i)] = 1;
+    });
+    par::for_each(rt, ctx, 5, 5, {}, [&](Ctx&, int64_t) {
+      ADD_FAILURE() << "body must not run for an empty range";
+    });
+  });
+  for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], 1u);
+}
+
+TEST(ParForEach, NestedDriverInsideSpeculatedRegion) {
+  Runtime rt(small_opts(4));
+  SharedArray<uint64_t> out(rt, 8, 0);
+  rt.run([&](Ctx& ctx) {
+    ScopedSpec s = rt.fork_scoped(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      par::for_each(rt, c, 0, 8, {.chunks = 4, .nested = true},
+                    [&](Ctx& cc, int64_t i) {
+                      out.span(cc)[static_cast<size_t>(i)] =
+                          static_cast<uint64_t>(i + 100);
+                    });
+    });
+  });
+  for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i + 100);
+}
+
+TEST(ParReduce, SumMatchesClosedForm) {
+  for (ForkModel m : {ForkModel::kInOrder, ForkModel::kOutOfOrder,
+                      ForkModel::kMixed}) {
+    Runtime rt(small_opts());
+    uint64_t total = 0;
+    rt.run([&](Ctx& ctx) {
+      total = par::reduce(rt, ctx, 0, 1000, {.chunks = 8, .model = m},
+                          uint64_t{0}, [](Ctx&, int64_t i) {
+                            return static_cast<uint64_t>(i);
+                          });
+    });
+    EXPECT_EQ(total, 499500u) << fork_model_name(m);
+  }
+}
+
+TEST(ParReduce, CustomCombineMin) {
+  Runtime rt(small_opts());
+  double best = 0.0;
+  rt.run([&](Ctx& ctx) {
+    best = par::reduce(
+        rt, ctx, 0, 500, {.chunks = 8}, 1e300,
+        [](Ctx&, int64_t i) {
+          double x = static_cast<double>(i) - 250.5;
+          return x * x;
+        },
+        [](double a, double b) { return std::min(a, b); });
+  });
+  EXPECT_DOUBLE_EQ(best, 0.25);
+}
+
+TEST(ParReduce, ExactUnderInjectedRollbacks) {
+  Runtime::Options o = small_opts();
+  o.rollback_probability = 0.5;
+  o.seed = 99;
+  Runtime rt(o);
+  uint64_t total = 0;
+  RunStats rs = rt.run([&](Ctx& ctx) {
+    total = par::reduce(rt, ctx, 0, 400, {.chunks = 16}, uint64_t{0},
+                        [](Ctx&, int64_t i) {
+                          return static_cast<uint64_t>(i) * 3;
+                        });
+  });
+  EXPECT_EQ(total, 3u * (399u * 400u / 2));
+  EXPECT_GT(rs.speculative.rollbacks, 0u);
+}
+
+TEST(ParReduce, InsideSpeculatedRegionComputesInline) {
+  // From a speculative context reduce must not allocate registered scratch
+  // (it would be freed before the enclosing speculation commits); it
+  // computes inline instead — and the result must still be exact after
+  // the enclosing join, including across a rollback re-execution.
+  Runtime rt(small_opts(2));
+  SharedArray<uint64_t> out(rt, 1, 0);
+  rt.run([&](Ctx& ctx) {
+    ScopedSpec s = rt.fork_scoped(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      uint64_t t = par::reduce(rt, c, 0, 300, {.chunks = 4}, uint64_t{0},
+                               [](Ctx&, int64_t i) {
+                                 return static_cast<uint64_t>(i);
+                               });
+      out.at(c, 0) = t;
+    });
+  });
+  EXPECT_EQ(out[0], 299u * 300u / 2);
+}
+
+// --- divide and conquer ----------------------------------------------------
+
+struct Range {
+  int64_t lo, hi;
+};
+
+TEST(ParDivideAndConquer, LeafWritesCoverTheRange) {
+  for (int fork_levels : {0, 2, 8}) {
+    Runtime rt(small_opts(4));
+    constexpr size_t kN = 128;
+    SharedArray<uint64_t> out(rt, kN, 0);
+    rt.run([&](Ctx& ctx) {
+      par::divide_and_conquer(
+          rt, ctx, Range{0, kN},
+          {.model = ForkModel::kMixed, .fork_levels = fork_levels},
+          [](const Range& r) { return r.hi - r.lo <= 8; },
+          [](const Range& r) {
+            int64_t mid = r.lo + (r.hi - r.lo) / 2;
+            return std::vector<Range>{{r.lo, mid}, {mid, r.hi}};
+          },
+          [&](Ctx& c, const Range& r) {
+            SharedSpan<uint64_t> o = out.span(c);
+            for (int64_t i = r.lo; i < r.hi; ++i) {
+              o[static_cast<size_t>(i)] = static_cast<uint64_t>(i) + 7;
+            }
+          });
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], i + 7) << "fork_levels " << fork_levels;
+    }
+  }
+}
+
+TEST(ParDivideAndConquer, CombineStepRunsAfterChildren) {
+  // Segment-tree maximum: post() combines child results, so it must see
+  // both halves' writes — commit ordering through the tree is the point.
+  Runtime rt(small_opts(4));
+  constexpr size_t kN = 64;
+  SharedArray<uint64_t> vals(rt, kN, 0);
+  SharedArray<uint64_t> seg(rt, 4 * kN, 0);
+  for (size_t i = 0; i < kN; ++i) {
+    vals[i] = (i * 2654435761u) % 1000;
+  }
+  struct Node {
+    int64_t lo, hi;
+    size_t idx;
+  };
+  rt.run([&](Ctx& ctx) {
+    par::divide_and_conquer(
+        rt, ctx, Node{0, kN, 1}, {.fork_levels = 3},
+        [](const Node& n) { return n.hi - n.lo == 1; },
+        [](const Node& n) {
+          int64_t mid = n.lo + (n.hi - n.lo) / 2;
+          return std::vector<Node>{{n.lo, mid, 2 * n.idx},
+                                   {mid, n.hi, 2 * n.idx + 1}};
+        },
+        [&](Ctx& c, const Node& n) {
+          seg.at(c, n.idx) = vals.span(c)[static_cast<size_t>(n.lo)].get();
+        },
+        [&](Ctx& c, const Node& n) {
+          SharedSpan<uint64_t> s = seg.span(c);
+          uint64_t l = s[2 * n.idx], r = s[2 * n.idx + 1];
+          s[n.idx] = l > r ? l : r;
+        });
+  });
+  uint64_t expect = 0;
+  for (size_t i = 0; i < kN; ++i) expect = std::max(expect, vals[i]);
+  EXPECT_EQ(seg[1], expect);
+}
+
+// --- pipeline --------------------------------------------------------------
+
+TEST(ParPipeline, StagesRunInOrderPerItem) {
+  Runtime rt(small_opts());
+  constexpr size_t kN = 64;
+  SharedArray<uint64_t> a(rt, kN, 0), b(rt, kN, 0), c3(rt, kN, 0);
+  rt.run([&](Ctx& ctx) {
+    par::pipeline(rt, ctx, kN,
+                  {
+                      [&](Ctx& c, int64_t i) {
+                        a.span(c)[static_cast<size_t>(i)] =
+                            static_cast<uint64_t>(i) + 1;
+                      },
+                      [&](Ctx& c, int64_t i) {
+                        b.span(c)[static_cast<size_t>(i)] =
+                            a.span(c)[static_cast<size_t>(i)] * 10;
+                      },
+                      [&](Ctx& c, int64_t i) {
+                        c3.span(c)[static_cast<size_t>(i)] =
+                            b.span(c)[static_cast<size_t>(i)] + 5;
+                      },
+                  },
+                  {.chunks = 8});
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(c3[i], (i + 1) * 10 + 5) << i;
+  }
+}
+
+TEST(ParPipeline, CrossItemDependencyStaysExact) {
+  // Stage 2 computes a prefix sum: item i reads item i-1's output — the
+  // classic flow dependency speculation must detect (or order) so results
+  // stay exactly sequential.
+  for (ForkModel m : {ForkModel::kInOrder, ForkModel::kMixed}) {
+    Runtime rt(small_opts());
+    constexpr size_t kN = 48;
+    SharedArray<uint64_t> raw(rt, kN, 0), prefix(rt, kN, 0);
+    rt.run([&](Ctx& ctx) {
+      par::pipeline(rt, ctx, kN,
+                    {
+                        [&](Ctx& c, int64_t i) {
+                          raw.span(c)[static_cast<size_t>(i)] =
+                              static_cast<uint64_t>(i) * 2 + 1;
+                        },
+                        [&](Ctx& c, int64_t i) {
+                          SharedSpan<uint64_t> p = prefix.span(c);
+                          uint64_t prev =
+                              i == 0 ? 0
+                                     : p[static_cast<size_t>(i - 1)].get();
+                          p[static_cast<size_t>(i)] =
+                              prev + raw.span(c)[static_cast<size_t>(i)];
+                        },
+                    },
+                    {.chunks = 12, .model = m});
+    });
+    // prefix[i] = sum of first i+1 odd numbers = (i+1)^2.
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(prefix[i], (i + 1) * (i + 1)) << fork_model_name(m) << " " << i;
+    }
+  }
+}
+
+TEST(ParPipeline, EmptyAndDegenerate) {
+  Runtime rt(small_opts());
+  rt.run([&](Ctx& ctx) {
+    par::pipeline(rt, ctx, 0,
+                  {[](Ctx&, int64_t) { ADD_FAILURE() << "no items"; }});
+    par::pipeline(rt, ctx, 4, {});  // no stages: nothing to do
+  });
+}
+
+}  // namespace
+}  // namespace mutls

@@ -1,7 +1,9 @@
 // End-to-end tests of the native embedding API: fork/join semantics,
 // buffered accesses, conflicts, nesting (tree-form model), live-in
-// prediction, spec_for, and address-space policing.
-#include "api/runtime.h"
+// prediction, spec_for, and address-space policing. The raw Ctx::load /
+// Ctx::store calls here are deliberate — this suite tests the access layer
+// the typed views of api/shared.h are built on.
+#include "mutls/mutls.h"
 
 #include <gtest/gtest.h>
 
@@ -175,8 +177,9 @@ TEST(ApiRuntime, LiveInPredictionValidates) {
   SharedArray<uint64_t> data(rt, 1, 0);
   rt.run([&](Ctx& ctx) {
     int64_t i = 0;
-    Spec s = rt.fork_predicted(
-        ctx, ForkModel::kMixed, {Prediction::of<int64_t>(&i, 10)},
+    Spec s = rt.fork(
+        ctx,
+        ForkOpts{.predictions = {Prediction::of<int64_t>(&i, 10)}},
         [&](Ctx& c) {
           int64_t start = c.get_livein<int64_t>(0);
           c.store(&data[0], static_cast<uint64_t>(start * 2));
@@ -193,8 +196,9 @@ TEST(ApiRuntime, MispredictedLiveInForcesRollback) {
   SharedArray<uint64_t> data(rt, 1, 0);
   rt.run([&](Ctx& ctx) {
     int64_t i = 0;
-    Spec s = rt.fork_predicted(
-        ctx, ForkModel::kMixed, {Prediction::of<int64_t>(&i, 10)},
+    Spec s = rt.fork(
+        ctx,
+        ForkOpts{.predictions = {Prediction::of<int64_t>(&i, 10)}},
         [&](Ctx& c) {
           // On re-execution the live-in fetch is meaningless, so read the
           // parent's actual variable non-speculatively via capture.

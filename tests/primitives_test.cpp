@@ -3,7 +3,7 @@
 // join_next, user tags, merge-induced dooms).
 #include <gtest/gtest.h>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 #include "runtime/memory.h"
 
 namespace mutls {
@@ -101,9 +101,10 @@ TEST(AdoptionProtocol, JoinNextConsumesChainInOrder) {
       SharedArray<uint64_t>& out;
       void run(Ctx& c, int i) const {
         if (i + 1 < 3) {
-          rt.fork_tagged(c, ForkModel::kMixed,
-                         static_cast<uint64_t>(i + 1),
-                         [this, i](Ctx& cc) { run(cc, i + 1); });
+          rt.fork(c,
+                  ForkOpts{.tag = static_cast<uint64_t>(i + 1),
+                           .detached = true},
+                  [this, i](Ctx& cc) { run(cc, i + 1); });
         }
         c.store(&out[static_cast<size_t>(i)], static_cast<uint64_t>(i + 10));
       }
@@ -142,10 +143,9 @@ TEST(AdoptionProtocol, RolledBackLinkReportsItsTag) {
   Runtime rt(o);
   SharedArray<uint64_t> out(rt, 1, 0);
   rt.run([&](Ctx& ctx) {
-    bool forked = rt.fork_tagged(ctx, ForkModel::kMixed, 77, [&](Ctx& c) {
-      c.store(&out[0], uint64_t{5});
-    });
-    if (!forked) return;
+    Spec s = rt.fork(ctx, ForkOpts{.tag = 77, .detached = true},
+                     [&](Ctx& c) { c.store(&out[0], uint64_t{5}); });
+    if (!s.speculated()) return;
     Runtime::AdoptedJoin j = rt.join_next(ctx);
     ASSERT_TRUE(j.joined);
     EXPECT_EQ(j.outcome, JoinOutcome::kRolledBack);

@@ -6,7 +6,7 @@
 
 #include <map>
 
-#include "api/runtime.h"
+#include "mutls/mutls.h"
 #include "support/prng.h"
 
 namespace mutls {
