@@ -1,7 +1,15 @@
-// Ablation — the GlobalBuffer static hash map vs std::unordered_map
-// (design claim of paper section IV-G2: "Normal hash maps frequently
-// increase in size as data is inserted, causing dynamic memory allocation
-// and deallocation. Our design is instead to use static memory.").
+// Ablation — the SpecBuffer backends side by side, plus std::unordered_map
+// as the dynamic-allocation strawman (design claim of paper section IV-G2:
+// "Normal hash maps frequently increase in size as data is inserted,
+// causing dynamic memory allocation and deallocation. Our design is
+// instead to use static memory.").
+//
+// Every buffered benchmark runs once per backend (arg 0: 0 = static-hash,
+// 1 = growable-log), so the overflow-doom vs resize trade shows up as a
+// side-by-side comparison in one report. The SpecBufferStats counters are
+// attached to each run (resizes, average probe length, validated words,
+// overflow exhaustions) so a throughput difference carries its cost
+// breakdown.
 //
 // Measures buffered store+load streams and the validate/commit/finalize
 // cycle for thread footprints of various sizes.
@@ -10,11 +18,33 @@
 #include <unordered_map>
 #include <vector>
 
-#include "runtime/global_buffer.h"
+#include "runtime/spec_buffer.h"
 
 namespace {
 
 using namespace mutls;
+
+BufferBackend backend_of(const benchmark::State& state) {
+  return static_cast<BufferBackend>(state.range(0));
+}
+
+// Labels runs with the backend and attaches the cost counters. The event
+// counters accumulate across benchmark iterations (the stats survive
+// reset() by design), so they are reported per iteration — comparable
+// across runs whose auto-chosen iteration counts differ; avg_probe_len is
+// already a ratio.
+void attach_counters(benchmark::State& state, const SpecBuffer& buf) {
+  state.SetLabel(buffer_backend_name(buf.backend()));
+  const SpecBufferStats& s = buf.stats();
+  using benchmark::Counter;
+  state.counters["resizes"] =
+      Counter(static_cast<double>(s.resize_events), Counter::kAvgIterations);
+  state.counters["overflow_dooms"] =
+      Counter(static_cast<double>(s.overflow_events), Counter::kAvgIterations);
+  state.counters["validated_words"] =
+      Counter(static_cast<double>(s.validated_words), Counter::kAvgIterations);
+  state.counters["avg_probe_len"] = s.avg_probe_length();
+}
 
 std::vector<uint64_t>& arena() {
   static std::vector<uint64_t> a(1 << 20, 1);
@@ -36,11 +66,11 @@ std::vector<uintptr_t> make_addresses(size_t n) {
   return addrs;
 }
 
-void BM_GlobalBufferStoreLoad(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
+void BM_SpecBufferStoreLoad(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(1));
   auto addrs = make_addresses(n);
-  GlobalBuffer buf;
-  buf.init(18, 65536);
+  SpecBuffer buf;
+  buf.init(backend_of(state), 18, 65536);
   for (auto _ : state) {
     for (uintptr_t a : addrs) {
       uint64_t v = a;
@@ -54,8 +84,11 @@ void BM_GlobalBufferStoreLoad(benchmark::State& state) {
     buf.reset();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * n));
+  attach_counters(state, buf);
 }
-BENCHMARK(BM_GlobalBufferStoreLoad)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_SpecBufferStoreLoad)
+    ->ArgNames({"backend", "n"})
+    ->ArgsProduct({{0, 1}, {64, 1024, 16384}});
 
 void BM_UnorderedMapStoreLoad(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -75,10 +108,10 @@ void BM_UnorderedMapStoreLoad(benchmark::State& state) {
 BENCHMARK(BM_UnorderedMapStoreLoad)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_ValidateCommitCycle(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
+  size_t n = static_cast<size_t>(state.range(1));
   auto addrs = make_addresses(n);
-  GlobalBuffer buf;
-  buf.init(18, 65536);
+  SpecBuffer buf;
+  buf.init(backend_of(state), 18, 65536);
   for (auto _ : state) {
     uint64_t v = 7;
     for (uintptr_t a : addrs) {
@@ -91,22 +124,62 @@ void BM_ValidateCommitCycle(benchmark::State& state) {
     buf.reset();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  attach_counters(state, buf);
 }
-BENCHMARK(BM_ValidateCommitCycle)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ValidateCommitCycle)
+    ->ArgNames({"backend", "n"})
+    ->ArgsProduct({{0, 1}, {64, 1024, 16384}});
 
-// The offsets stack is what keeps small-footprint threads fast even with a
-// large static map: reset cost must scale with entries used, not capacity.
+// The offsets stack (static hash) / dense log (growable log) is what keeps
+// small-footprint threads fast even with a large table: reset cost must
+// scale with entries used, not capacity.
 void BM_ResetSmallFootprintLargeMap(benchmark::State& state) {
-  GlobalBuffer buf;
-  buf.init(20, 65536);  // 1M-slot map
+  SpecBuffer buf;
+  buf.init(backend_of(state), 20, 65536);  // 1M-slot map
   auto addrs = make_addresses(16);
   for (auto _ : state) {
     uint64_t v = 1;
     for (uintptr_t a : addrs) buf.store_bytes(a, &v, 8);
     buf.reset();
   }
+  attach_counters(state, buf);
 }
-BENCHMARK(BM_ResetSmallFootprintLargeMap);
+BENCHMARK(BM_ResetSmallFootprintLargeMap)
+    ->ArgNames({"backend"})
+    ->Arg(0)
+    ->Arg(1);
+
+// Where the backends genuinely diverge: a footprint far beyond the
+// configured capacity. The static hash dooms (the whole stream after the
+// exhaustion is wasted work destined for rollback); the growable log
+// resizes and completes. Runs both from the same tiny 2^8 table.
+void BM_OverCapacityStream(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(1));
+  auto addrs = make_addresses(n);
+  SpecBuffer buf;
+  buf.init(backend_of(state), 8, 256);
+  uint64_t dooms = 0;
+  int64_t issued = 0;  // only stores actually executed count as items:
+                       // the static hash dooms early and skips the rest
+  for (auto _ : state) {
+    for (uintptr_t a : addrs) {
+      uint64_t v = a;
+      buf.store_bytes(a, &v, 8);
+      ++issued;
+      if (buf.doomed()) break;  // a real runtime stops at its check point
+    }
+    dooms += buf.doomed() ? 1 : 0;
+    buf.reset();
+  }
+  state.SetItemsProcessed(issued);
+  attach_counters(state, buf);
+  // Fraction of iterations that ended doomed (0 or 1 per iteration).
+  state.counters["doom_rate"] = benchmark::Counter(
+      static_cast<double>(dooms), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_OverCapacityStream)
+    ->ArgNames({"backend", "n"})
+    ->ArgsProduct({{0, 1}, {4096, 65536}});
 
 }  // namespace
 

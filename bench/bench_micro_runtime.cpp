@@ -37,27 +37,81 @@ void BM_DirectLoadStore(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectLoadStore);
 
+// Attaches the per-backend buffer cost counters (SpecBufferStats folded
+// into ThreadStats at settle) so backend comparisons carry their cost
+// breakdown alongside raw throughput. Event counters span the whole run,
+// so they are reported per iteration (comparable across runs whose
+// auto-chosen iteration counts differ); avg_probe_len is already a ratio.
+void attach_buffer_counters(benchmark::State& state, const RunStats& rs) {
+  const SpecBufferStats& b = rs.speculative.buffer;
+  using benchmark::Counter;
+  state.counters["resize_events"] =
+      Counter(static_cast<double>(b.resize_events), Counter::kAvgIterations);
+  state.counters["overflow_events"] =
+      Counter(static_cast<double>(b.overflow_events), Counter::kAvgIterations);
+  state.counters["validated_words"] =
+      Counter(static_cast<double>(b.validated_words), Counter::kAvgIterations);
+  state.counters["avg_probe_len"] = b.avg_probe_length();
+}
+
 void BM_BufferedLoadStore(benchmark::State& state) {
-  // Measures the speculative access path by running the loop inside a
-  // speculative region (single iteration batches to amortize fork cost).
-  Runtime rt({.num_cpus = 1, .buffer_log2 = 16});
+  // Measures the speculative access path: each iteration forks one
+  // speculation doing a fixed batch of buffered read-modify-writes (the
+  // fork/join round trip amortizes over the batch), once per SpecBuffer
+  // backend (arg: 0 = static-hash, 1 = growable-log).
+  auto backend = static_cast<BufferBackend>(state.range(0));
+  constexpr int64_t kBatch = 4096;
+  Runtime rt({.num_cpus = 1, .buffer_log2 = 16, .buffer_backend = backend});
   SharedArray<uint64_t> data(rt, 1024, 0);
+  RunStats rs = rt.run([&](Ctx& ctx) {
+    for (auto _ : state) {
+      Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+        SharedSpan<uint64_t> d = data.span(c);
+        for (int64_t k = 0; k < kBatch; ++k) {
+          d[static_cast<size_t>(k) & 1023] += 1;
+        }
+      });
+      rt.join(ctx, s);
+    }
+  });
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel(buffer_backend_name(backend));
+  attach_buffer_counters(state, rs);
+}
+BENCHMARK(BM_BufferedLoadStore)->ArgNames({"backend"})->Arg(0)->Arg(1);
+
+void BM_BufferedLargeFootprint(benchmark::State& state) {
+  // A speculative footprint larger than the configured table (2^8 slots,
+  // 16K words touched): the static hash dooms and rolls back, the growable
+  // log resizes and commits — this is the trade the backend choice buys.
+  auto backend = static_cast<BufferBackend>(state.range(0));
+  Runtime rt({.num_cpus = 1,
+              .buffer_log2 = 8,
+              .overflow_cap = 256,
+              .buffer_backend = backend});
+  constexpr size_t kN = 16384;
+  SharedArray<uint64_t> data(rt, kN, 0);
   int64_t iters = 0;
-  rt.run([&](Ctx& ctx) {
+  RunStats rs = rt.run([&](Ctx& ctx) {
     for (auto _ : state) {
       ++iters;
+      Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+        SharedSpan<uint64_t> d = data.span(c);
+        for (size_t k = 0; k < kN; ++k) {
+          c.check_point();  // a doomed run stops here, as real code would
+          d[k] += 1;
+        }
+      });
+      rt.join(ctx, s);
     }
-    Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
-      SharedSpan<uint64_t> d = data.span(c);
-      for (int64_t k = 0; k < iters; ++k) {
-        d[static_cast<size_t>(k) & 1023] += 1;
-      }
-    });
-    rt.join(ctx, s);
   });
-  state.SetItemsProcessed(iters);
+  state.SetItemsProcessed(iters * static_cast<int64_t>(kN));
+  state.SetLabel(buffer_backend_name(backend));
+  attach_buffer_counters(state, rs);
+  state.counters["rollbacks"] = static_cast<double>(rs.speculative.rollbacks);
+  state.counters["commits"] = static_cast<double>(rs.speculative.commits);
 }
-BENCHMARK(BM_BufferedLoadStore);
+BENCHMARK(BM_BufferedLargeFootprint)->ArgNames({"backend"})->Arg(0)->Arg(1);
 
 void BM_LiveInTransfer(benchmark::State& state) {
   Runtime rt({.num_cpus = 1, .buffer_log2 = 10});

@@ -38,6 +38,13 @@ FIG_BENCHES = [
     "bench_table2_benchmarks",
 ]
 
+# Google-Benchmark binary whose buffered benches sweep the SpecBuffer
+# backends; its per-run counters (resize_events, avg_probe_len,
+# validated_words, overflow_events) are the cost breakdown behind any
+# backend comparison, so they ride along in the JSON document.
+MICRO_BENCH = "bench_micro_runtime"
+MICRO_FILTER = "Buffered"
+
 NUM_RE = re.compile(r"^-?\d+(\.\d+)?[x%]?$")
 
 
@@ -60,6 +67,49 @@ def parse_rows(stdout: str):
     return rows
 
 
+def run_micro(bench_dir: Path, timeout: int, quick: bool):
+    """Run the backend-sweeping microbenches, returning counter rows."""
+    exe = bench_dir / MICRO_BENCH
+    entry = {"bench": MICRO_BENCH, "status": "missing"}
+    if not exe.exists():
+        return entry
+    cmd = [str(exe), f"--benchmark_filter={MICRO_FILTER}",
+           "--benchmark_format=json"]
+    if quick:
+        # Plain double, not "0.05s": old libbenchmark rejects the suffix
+        # while 1.8+ merely warns about the missing one.
+        cmd.append("--benchmark_min_time=0.05")
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+        entry["seconds"] = round(time.monotonic() - start, 3)
+        entry["exit_code"] = proc.returncode
+        if proc.returncode != 0:
+            entry["status"] = "failed"
+            entry["stderr"] = proc.stderr.splitlines()
+            return entry
+        doc = json.loads(proc.stdout)
+        runs = []
+        for b in doc.get("benchmarks", []):
+            run = {"name": b.get("name"), "backend": b.get("label")}
+            for key in ("items_per_second", "resize_events",
+                        "overflow_events", "validated_words",
+                        "avg_probe_len", "rollbacks", "commits"):
+                if key in b:
+                    run[key] = b[key]
+            runs.append(run)
+        entry["status"] = "ok"
+        entry["runs"] = runs
+    except subprocess.TimeoutExpired:
+        entry["status"] = "timeout"
+        entry["seconds"] = round(time.monotonic() - start, 3)
+    except (json.JSONDecodeError, OSError) as e:
+        entry["status"] = "failed"
+        entry["error"] = str(e)
+    return entry
+
+
 def git_rev(repo: Path) -> str:
     try:
         rev = subprocess.run(
@@ -80,6 +130,8 @@ def main() -> int:
                     help="workload sizes: quick (CI smoke), full, paper")
     ap.add_argument("--no-sim", action="store_true")
     ap.add_argument("--no-measured", action="store_true")
+    ap.add_argument("--no-micro", action="store_true",
+                    help="skip the backend-sweeping microbench counters")
     ap.add_argument("--timeout", type=int, default=1800,
                     help="per-bench timeout in seconds")
     args = ap.parse_args()
@@ -123,6 +175,12 @@ def main() -> int:
                      "seconds": round(time.monotonic() - start, 3)}
         results.append(entry)
         print(f"[bench_json] {name}: {entry['status']} "
+              f"({entry.get('seconds', 0)}s)", file=sys.stderr)
+
+    if not args.no_micro:
+        entry = run_micro(bench_dir, args.timeout, args.mode == "quick")
+        results.append(entry)
+        print(f"[bench_json] {MICRO_BENCH}: {entry['status']} "
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
     doc = {

@@ -44,8 +44,8 @@ class Ctx {
     uintptr_t a = reinterpret_cast<uintptr_t>(p);
     check_registered(a, sizeof(T));
     T out;
-    td_->gbuf.load_bytes(a, &out, sizeof(T));
-    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+    td_->sbuf.load_bytes(a, &out, sizeof(T));
+    if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
     return out;
   }
 
@@ -59,8 +59,8 @@ class Ctx {
     }
     uintptr_t a = reinterpret_cast<uintptr_t>(p);
     check_registered(a, sizeof(T));
-    td_->gbuf.store_bytes(a, &v, sizeof(T));
-    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+    td_->sbuf.store_bytes(a, &v, sizeof(T));
+    if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
   }
 
   // Read-modify-write convenience.
@@ -78,7 +78,7 @@ class Ctx {
     if (s == SyncStatus::kNoSync) {
       throw SpecAbort{"NOSYNC received at check point"};
     }
-    if (td_->gbuf.doomed()) throw SpecAbort{td_->gbuf.doom_reason()};
+    if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
   }
 
   // Live-in value stored at fork (paper IV-G3): reads slot `offset` of this
@@ -88,7 +88,7 @@ class Ctx {
     static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
     uint64_t raw = 0;
     if (!td_->lbuf.top().regs.get(offset, raw)) {
-      td_->gbuf.doom("register buffer offset out of range");
+      td_->sbuf.doom("register buffer offset out of range");
       throw SpecAbort{"register buffer offset out of range"};
     }
     T out;

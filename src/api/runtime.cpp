@@ -27,8 +27,8 @@ void Ctx::check_registered(uintptr_t a, size_t n) {
   span_lo_[slot] = 1;
   span_hi_[slot] = 0;
   // Wild speculative access (paper IV-G1): roll back instead of faulting.
-  td_->gbuf.doom("access outside the registered address space");
-  throw SpecAbort{td_->gbuf.doom_reason()};
+  td_->sbuf.doom("access outside the registered address space");
+  throw SpecAbort{td_->sbuf.doom_reason()};
 }
 
 }  // namespace mutls

@@ -179,6 +179,10 @@ class Runtime {
     int num_cpus = 4;
     int buffer_log2 = 16;
     size_t overflow_cap = 4096;
+    // Speculative-buffer backend (see "Choosing a buffer backend" in the
+    // README): kStaticHash dooms the speculation on overflow pressure,
+    // kGrowableLog resizes instead.
+    BufferBackend buffer_backend = BufferBackend::kStaticHash;
     int register_slots = 256;
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
@@ -189,9 +193,7 @@ class Runtime {
   };
 
   explicit Runtime(const Options& opt)
-      : mgr_(ManagerConfig{opt.num_cpus, opt.buffer_log2, opt.overflow_cap,
-                           opt.register_slots, opt.rollback_probability,
-                           opt.seed, opt.model_override}),
+      : mgr_(manager_config_from(opt, opt.register_slots)),
         missing_join_timeout_ns_(opt.missing_join_timeout_ns) {}
 
   // __builtin_MUTLS_fork: attempts to speculate `body` (the code that

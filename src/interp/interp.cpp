@@ -51,9 +51,7 @@ uint32_t skip_phis(const Block& b) {
 
 Interpreter::Interpreter(Module module, const Options& opt)
     : module_(std::move(module)),
-      mgr_(ManagerConfig{opt.num_cpus, opt.buffer_log2, opt.overflow_cap,
-                         /*register_slots=*/64, opt.rollback_probability,
-                         opt.seed, opt.model_override}) {
+      mgr_(manager_config_from(opt, /*register_slots=*/64)) {
   for (const Global& g : module_.globals) {
     size_t bytes = type_size(g.elem_type) * g.count;
     bytes = (bytes + 7) & ~size_t{7};
@@ -123,7 +121,7 @@ std::pair<uint32_t, uint32_t> Interpreter::join_position(
 void Interpreter::check_space(ThreadData& td, uint64_t addr, size_t n) {
   if (!td.is_speculative()) return;
   if (!mgr_.space_contains(reinterpret_cast<void*>(addr), n)) {
-    td.gbuf.doom("speculative access outside the registered address space");
+    td.sbuf.doom("speculative access outside the registered address space");
     throw SpecAbort{"wild speculative access"};
   }
 }
@@ -138,8 +136,8 @@ void Interpreter::load_mem(ThreadData& td, uint64_t addr, void* out,
     return;
   }
   check_space(td, addr, n);
-  td.gbuf.load_bytes(addr, out, n);
-  if (td.gbuf.doomed()) throw SpecAbort{td.gbuf.doom_reason()};
+  td.sbuf.load_bytes(addr, out, n);
+  if (td.sbuf.doomed()) throw SpecAbort{td.sbuf.doom_reason()};
 }
 
 void Interpreter::store_mem(ThreadData& td, uint64_t addr, const void* src,
@@ -152,8 +150,8 @@ void Interpreter::store_mem(ThreadData& td, uint64_t addr, const void* src,
     return;
   }
   check_space(td, addr, n);
-  td.gbuf.store_bytes(addr, src, n);
-  if (td.gbuf.doomed()) throw SpecAbort{td.gbuf.doom_reason()};
+  td.sbuf.store_bytes(addr, src, n);
+  if (td.sbuf.doomed()) throw SpecAbort{td.sbuf.doom_reason()};
 }
 
 uint64_t Interpreter::external_call(ThreadData& td, const Instr& in,

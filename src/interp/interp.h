@@ -10,8 +10,9 @@
 //    prediction, paper IV-G4). Register reads that precede any child-side
 //    definition are recorded and validated against the joiner's registers
 //    at the join (validate_local).
-//  * Speculative loads/stores go through the thread's GlobalBuffer; wild
-//    addresses, overflow and abort signals doom the speculation.
+//  * Speculative loads/stores go through the thread's SpecBuffer (any
+//    configured backend); wild addresses, capacity doom and abort signals
+//    doom the speculation.
 //  * A speculative thread stops at its barrier point (mutls.barrier p), at
 //    a return point (before ret of its entry function), at a terminate
 //    point (before an external call), or at a check point (loop back edge)
@@ -48,6 +49,8 @@ class Interpreter {
     int num_cpus = 4;
     int buffer_log2 = 14;
     size_t overflow_cap = 4096;
+    // Speculative-buffer backend of every virtual CPU (SpecBuffer API).
+    BufferBackend buffer_backend = BufferBackend::kStaticHash;
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;

@@ -1,0 +1,42 @@
+// Cost counters of a speculative-buffer backend.
+//
+// Every SpecBuffer backend accumulates the same counter set so backend
+// comparisons (bench_ablation_buffer_map, bench_micro_runtime) carry their
+// cost breakdown: a static-hash run reports overflow exhaustions, a
+// growable-log run reports rehashes and probe lengths, and both report how
+// many words validation had to compare. The counters survive reset() — the
+// settle paths read them after resetting the buffer — and are zeroed by
+// clear_stats() when a virtual-CPU slot is re-armed for a new speculation.
+#pragma once
+
+#include <cstdint>
+
+namespace mutls {
+
+struct SpecBufferStats {
+  uint64_t overflow_events = 0;  // static-hash: bounded-overflow exhaustions
+  uint64_t resize_events = 0;    // growable-log: index rehashes
+  uint64_t probe_steps = 0;      // open-addressing steps beyond the home slot
+  uint64_t probe_ops = 0;        // probed lookups (avg length = steps / ops)
+  uint64_t validated_words = 0;  // read-set words compared at validation
+
+  void clear() { *this = SpecBufferStats{}; }
+
+  // Average open-addressing probe length per lookup (0 when none ran).
+  double avg_probe_length() const {
+    return probe_ops ? static_cast<double>(probe_steps) /
+                           static_cast<double>(probe_ops)
+                     : 0.0;
+  }
+
+  SpecBufferStats& operator+=(const SpecBufferStats& o) {
+    overflow_events += o.overflow_events;
+    resize_events += o.resize_events;
+    probe_steps += o.probe_steps;
+    probe_ops += o.probe_ops;
+    validated_words += o.validated_words;
+    return *this;
+  }
+};
+
+}  // namespace mutls

@@ -20,6 +20,28 @@ inline const char* fork_model_name(ForkModel m) {
   return "?";
 }
 
+// Speculative-buffer backends (runtime IV-G2 and beyond). The backend is a
+// property of the whole ThreadManager (every virtual CPU's SpecBuffer is
+// configured identically), resolved once at construction; the per-access
+// dispatch in SpecBuffer is a single predictable branch, never a virtual
+// call.
+enum class BufferBackend : int {
+  // The paper's static hash map: one slot per key, bounded overflow
+  // ("temporary buffer"); exhausting the overflow dooms the thread.
+  kStaticHash = 0,
+  // Open-addressed growable index over an append-only log: capacity
+  // pressure triggers a resize instead of a rollback.
+  kGrowableLog = 1,
+};
+
+inline const char* buffer_backend_name(BufferBackend b) {
+  switch (b) {
+    case BufferBackend::kStaticHash: return "static-hash";
+    case BufferBackend::kGrowableLog: return "growable-log";
+  }
+  return "?";
+}
+
 // Virtual CPU states (paper section IV-D).
 enum class CpuState : int {
   kIdle = 0,

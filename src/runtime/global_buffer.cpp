@@ -4,7 +4,8 @@
 
 namespace mutls {
 
-void BufferMap::init(int log2_entries, size_t overflow_cap, bool with_marks) {
+void BufferMap::init(int log2_entries, size_t overflow_cap, bool with_marks,
+                     SpecBufferStats* stats) {
   MUTLS_CHECK(log2_entries >= 4 && log2_entries <= 28,
               "buffer log2 size out of range");
   size_t n = size_t{1} << log2_entries;
@@ -18,11 +19,13 @@ void BufferMap::init(int log2_entries, size_t overflow_cap, bool with_marks) {
   overflow_.reserve(std::min<size_t>(overflow_cap, 1024));
   mask_ = n - 1;
   overflow_cap_ = overflow_cap;
+  stats_ = stats;
 }
 
 BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
   MUTLS_DCHECK((word_addr & kWordMask) == 0, "unaligned word address");
   size_t idx = slot_index(word_addr);
+  if (stats_) ++stats_->probe_ops;
   if (addresses_[idx] == word_addr) {
     out.data = &buffer_[idx];
     out.mark = marks_ ? &marks_[idx] : nullptr;
@@ -37,8 +40,10 @@ BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
     out.mark = marks_ ? &marks_[idx] : nullptr;
     return Find::kInserted;
   }
-  // Slot collision: the paper's "temporary buffer" path.
+  // Slot collision: the paper's "temporary buffer" path. The linear scan is
+  // this map's probe sequence.
   for (OverflowEntry& e : overflow_) {
+    if (stats_) ++stats_->probe_steps;
     if (e.word_addr == word_addr) {
       out.data = &e.data;
       out.mark = marks_ ? &e.mark : nullptr;
@@ -56,6 +61,7 @@ BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
 
 bool BufferMap::find(uintptr_t word_addr, Slot& out) {
   size_t idx = slot_index(word_addr);
+  if (stats_) ++stats_->probe_ops;
   if (addresses_[idx] == word_addr) {
     out.data = &buffer_[idx];
     out.mark = marks_ ? &marks_[idx] : nullptr;
@@ -63,6 +69,7 @@ bool BufferMap::find(uintptr_t word_addr, Slot& out) {
   }
   if (addresses_[idx] == 0) return false;
   for (OverflowEntry& e : overflow_) {
+    if (stats_) ++stats_->probe_steps;
     if (e.word_addr == word_addr) {
       out.data = &e.data;
       out.mark = marks_ ? &e.mark : nullptr;
@@ -79,8 +86,8 @@ void BufferMap::clear() {
 }
 
 void GlobalBuffer::init(int log2_entries, size_t overflow_cap) {
-  read_set_.init(log2_entries, overflow_cap, /*with_marks=*/false);
-  write_set_.init(log2_entries, overflow_cap, /*with_marks=*/true);
+  read_set_.init(log2_entries, overflow_cap, /*with_marks=*/false, &stats_);
+  write_set_.init(log2_entries, overflow_cap, /*with_marks=*/true, &stats_);
 }
 
 uint64_t GlobalBuffer::read_word_view(uintptr_t word_addr) {
@@ -103,7 +110,7 @@ uint64_t GlobalBuffer::read_word_view(uintptr_t word_addr) {
     case BufferMap::Find::kFull:
     default:
       doom("read-set overflow buffer full");
-      ++overflow_events;
+      ++stats_.overflow_events;
       base = atomic_word_load(word_addr);
       break;
   }
@@ -133,103 +140,48 @@ uint64_t GlobalBuffer::peek_word_view(uintptr_t word_addr) {
   return base;
 }
 
-void GlobalBuffer::load_bytes(uintptr_t addr, void* out, size_t size) {
-  char* dst = static_cast<char*>(out);
-  while (size > 0) {
-    uintptr_t word_addr = word_align_down(addr);
-    size_t off = addr - word_addr;
-    size_t n = std::min(kWordSize - off, size);
-    uint64_t w = read_word_view(word_addr);
-    copy_from_word(w, off, n, dst);
-    addr += n;
-    dst += n;
-    size -= n;
+void GlobalBuffer::write_word(uintptr_t word_addr, uint64_t value,
+                              uint64_t mask) {
+  BufferMap::Slot w;
+  if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
+    doom("write-set overflow buffer full");
+    ++stats_.overflow_events;
+    return;
   }
+  *w.data = (*w.data & ~mask) | (value & mask);
+  *w.mark |= mask;
 }
 
-void GlobalBuffer::store_bytes(uintptr_t addr, const void* src, size_t size) {
-  const char* s = static_cast<const char*>(src);
-  while (size > 0) {
-    uintptr_t word_addr = word_align_down(addr);
-    size_t off = addr - word_addr;
-    size_t n = std::min(kWordSize - off, size);
-    BufferMap::Slot w;
-    if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
-      doom("write-set overflow buffer full");
-      ++overflow_events;
-      return;
-    }
-    copy_into_word(*w.data, off, n, s);
-    *w.mark |= byte_mask(off, n);
-    addr += n;
-    s += n;
-    size -= n;
+void GlobalBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
+                               uint64_t mark) {
+  BufferMap::Slot w;
+  if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
+    doom("write-set overflow while adopting a child commit");
+    ++stats_.overflow_events;
+    return;
   }
+  *w.data = (*w.data & ~mark) | (data & mark);
+  *w.mark |= mark;
 }
 
-bool GlobalBuffer::validate_against_memory() {
-  bool ok = true;
-  read_set_.for_each([&](uintptr_t word_addr, uint64_t& data, uint64_t&) {
-    if (atomic_word_load(word_addr) != data) ok = false;
-  });
-  return ok;
-}
-
-bool GlobalBuffer::validate_against(GlobalBuffer& joiner) {
-  bool ok = true;
-  read_set_.for_each([&](uintptr_t word_addr, uint64_t& data, uint64_t&) {
-    if (joiner.peek_word_view(word_addr) != data) ok = false;
-  });
-  return ok;
-}
-
-void GlobalBuffer::commit_to_memory() {
-  write_set_.for_each([](uintptr_t word_addr, uint64_t& data, uint64_t& mark) {
-    if (mark == kFullMark) {
-      atomic_word_store(word_addr, data);
-      return;
-    }
-    const char* bytes = reinterpret_cast<const char*>(&data);
-    for (size_t b = 0; b < kWordSize; ++b) {
-      if (mark & (0xffull << (8 * b))) {
-        atomic_byte_store(word_addr + b, static_cast<uint8_t>(bytes[b]));
-      }
-    }
-  });
-}
-
-void GlobalBuffer::merge_into(GlobalBuffer& joiner) {
-  write_set_.for_each([&](uintptr_t word_addr, uint64_t& data,
-                          uint64_t& mark) {
-    BufferMap::Slot w;
-    if (joiner.write_set_.find_or_insert(word_addr, w) ==
-        BufferMap::Find::kFull) {
-      joiner.doom("write-set overflow while adopting a child commit");
-      ++joiner.overflow_events;
-      return;
-    }
-    *w.data = (*w.data & ~mark) | (data & mark);
-    *w.mark |= mark;
-  });
-  read_set_.for_each([&](uintptr_t word_addr, uint64_t& data, uint64_t&) {
-    // Reads fully satisfied by the joiner's own writes carry no main-memory
-    // dependency; everything else must survive until the joiner's own
-    // validation, so it joins the joiner's read-set (first value wins).
-    BufferMap::Slot w;
-    if (joiner.write_set_.find(word_addr, w) && *w.mark == kFullMark) return;
-    BufferMap::Slot r;
-    switch (joiner.read_set_.find_or_insert(word_addr, r)) {
-      case BufferMap::Find::kFound:
-        break;  // the joiner's earlier observation wins
-      case BufferMap::Find::kInserted:
-        *r.data = data;
-        break;
-      case BufferMap::Find::kFull:
-        joiner.doom("read-set overflow while adopting a child commit");
-        ++joiner.overflow_events;
-        break;
-    }
-  });
+void GlobalBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
+  // Reads fully satisfied by this buffer's own writes carry no main-memory
+  // dependency; everything else must survive until this thread's own
+  // validation, so it joins the read-set (first value wins).
+  BufferMap::Slot w;
+  if (write_set_.find(word_addr, w) && *w.mark == kFullMark) return;
+  BufferMap::Slot r;
+  switch (read_set_.find_or_insert(word_addr, r)) {
+    case BufferMap::Find::kFound:
+      break;  // the earlier observation wins
+    case BufferMap::Find::kInserted:
+      *r.data = data;
+      break;
+    case BufferMap::Find::kFull:
+      doom("read-set overflow while adopting a child commit");
+      ++stats_.overflow_events;
+      break;
+  }
 }
 
 void GlobalBuffer::reset() {
@@ -237,7 +189,8 @@ void GlobalBuffer::reset() {
   write_set_.clear();
   doomed_ = false;
   doom_reason_ = "";
-  // overflow_events intentionally survives reset: it is a statistic.
+  // stats_ intentionally survives reset: the settle paths read the counters
+  // after resetting; clear_stats() re-arms them per speculation.
 }
 
 }  // namespace mutls

@@ -1,6 +1,7 @@
-// Speculative memory buffering (paper section IV-G2).
+// Static-hash speculative buffering backend (paper section IV-G2), the
+// kStaticHash backend of the SpecBuffer API ("runtime/spec_buffer.h").
 //
-// Each speculative thread owns one GlobalBuffer holding a read-set and a
+// Each speculative thread owns one buffer holding a read-set and a
 // write-set over main-memory words. Both sets use the paper's *static* map:
 //
 //   buffer    — N words of data
@@ -15,19 +16,19 @@
 // thread is doomed: it stops at its next check point / barrier and reports
 // ROLLBACK at synchronization.
 //
-// Loads resolve in the order write-set (marked bytes) -> read-set -> main
-// memory (first touch inserts the whole containing word into the read-set,
-// as the paper does for sub-word accesses). Validation compares every
-// read-set word against the joiner's view: main memory for the
-// non-speculative joiner, the joiner's own buffer chain for a speculative
-// joiner (tree-form nesting, section IV-F). Commit writes marked bytes back,
-// whole words at once when a mark word is saturated.
+// This class provides the word-granular backend primitives; the byte-level
+// load/store splitting, validation, commit and tree-form merge algorithms
+// live once in SpecBuffer, generic over the backend. Loads resolve in the
+// order write-set (marked bytes) -> read-set -> main memory (first touch
+// inserts the whole containing word into the read-set, as the paper does
+// for sub-word accesses).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "runtime/buffer_stats.h"
 #include "runtime/memory.h"
 #include "support/check.h"
 
@@ -47,10 +48,12 @@ class BufferMap {
 
   // `log2_entries` fixes the static size N = 2^log2_entries;
   // `overflow_cap` bounds the temporary buffer; `with_marks` is true for
-  // the write-set.
-  void init(int log2_entries, size_t overflow_cap, bool with_marks);
+  // the write-set. `stats`, when given, receives probe counters (the
+  // overflow scan is this map's probe sequence).
+  void init(int log2_entries, size_t overflow_cap, bool with_marks,
+            SpecBufferStats* stats = nullptr);
 
-  bool initialized() const { return mask_ != 0 || !addresses_; }
+  bool initialized() const { return addresses_ != nullptr; }
 
   // Finds the slot for `word_addr`, inserting (zeroed) if absent.
   Find find_or_insert(uintptr_t word_addr, Slot& out);
@@ -96,36 +99,56 @@ class BufferMap {
   size_t mask_ = 0;
   size_t overflow_cap_ = 0;
   uint64_t dummy_mark_ = kFullMark;
+  SpecBufferStats* stats_ = nullptr;
 };
 
 class GlobalBuffer {
  public:
+  GlobalBuffer() = default;
+  // After init the maps hold a pointer to this object's stats_ member, so
+  // a copied/moved buffer would count into the original. Never needed.
+  GlobalBuffer(const GlobalBuffer&) = delete;
+  GlobalBuffer& operator=(const GlobalBuffer&) = delete;
+
   void init(int log2_entries, size_t overflow_cap);
 
-  // --- speculative access path (runs on the owning speculative thread) ---
+  // --- word-granular backend primitives (driven by SpecBuffer) ---
 
-  // Reads `size` bytes of the thread's speculative view of `addr`.
-  void load_bytes(uintptr_t addr, void* out, size_t size);
+  // The thread's current view of one whole word: write-set marked bytes
+  // over the read-set observation over main memory. First touch inserts
+  // the word into the read-set; overflow exhaustion dooms the thread and
+  // falls back to the main-memory value.
+  uint64_t read_word_view(uintptr_t word_addr);
 
-  // Buffers a write of `size` bytes at `addr`.
-  void store_bytes(uintptr_t addr, const void* src, size_t size);
+  // Like read_word_view but never inserts into the read-set (used when a
+  // speculative joiner evaluates a child's validation).
+  uint64_t peek_word_view(uintptr_t word_addr);
 
-  // --- join-time operations (both threads stopped at the flag barrier) ---
+  // Overlays the bytes selected by `mask` onto the buffered word; dooms on
+  // overflow exhaustion.
+  void write_word(uintptr_t word_addr, uint64_t value, uint64_t mask);
 
-  // Validates the read-set against main memory (non-speculative joiner).
-  bool validate_against_memory();
+  // Adoption twins of write_word/first-read-insert, used by the tree-form
+  // merge: same overlay/first-wins semantics, but an overflow exhaustion
+  // dooms with a merge-specific reason so a joiner's rollback points at
+  // the adopted child commit rather than its own access path.
+  void adopt_write(uintptr_t word_addr, uint64_t data, uint64_t mark);
+  void adopt_read(uintptr_t word_addr, uint64_t data);
 
-  // Validates the read-set against a speculative joiner's buffered view.
-  bool validate_against(GlobalBuffer& joiner);
+  // Visits every read-set entry as fn(word_addr, data).
+  template <typename Fn>
+  void for_each_read(Fn&& fn) {
+    read_set_.for_each(
+        [&](uintptr_t addr, uint64_t& data, uint64_t&) { fn(addr, data); });
+  }
 
-  // Commits marked write-set bytes to main memory.
-  void commit_to_memory();
-
-  // Merges this buffer into a *speculative* joiner: writes overlay the
-  // joiner's write-set; reads not fully covered by the joiner's writes
-  // join the joiner's read-set so the eventual non-speculative validation
-  // still covers them.
-  void merge_into(GlobalBuffer& joiner);
+  // Visits every write-set entry as fn(word_addr, data, mark).
+  template <typename Fn>
+  void for_each_write(Fn&& fn) {
+    write_set_.for_each([&](uintptr_t addr, uint64_t& data, uint64_t& mark) {
+      fn(addr, data, mark);
+    });
+  }
 
   // Discards all buffered state; clears doom.
   void reset();
@@ -137,29 +160,24 @@ class GlobalBuffer {
     doom_reason_ = reason;
   }
 
-  bool overflow_pressure() const {
+  // Capacity pressure: accesses are landing in the bounded overflow map.
+  bool pressure() const {
     return read_set_.overflow_pressure() || write_set_.overflow_pressure();
   }
 
   size_t read_entries() const { return read_set_.entry_count(); }
   size_t write_entries() const { return write_set_.entry_count(); }
 
-  uint64_t overflow_events = 0;
+  const SpecBufferStats& stats() const { return stats_; }
+  SpecBufferStats& stats_mutable() { return stats_; }
+  void clear_stats() { stats_.clear(); }
 
  private:
-  // The thread's current view of one whole word.
-  uint64_t read_word_view(uintptr_t word_addr);
-
-  // Like read_word_view but never inserts into the read-set (used when a
-  // speculative joiner evaluates a child's validation).
-  uint64_t peek_word_view(uintptr_t word_addr);
-
   BufferMap read_set_;
   BufferMap write_set_;
   bool doomed_ = false;
   const char* doom_reason_ = "";
-
-  friend class BufferMergeTestPeer;
+  SpecBufferStats stats_;
 };
 
 }  // namespace mutls

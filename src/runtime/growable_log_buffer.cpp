@@ -1,0 +1,189 @@
+#include "runtime/growable_log_buffer.h"
+
+namespace mutls {
+
+void GrowableSet::init(int log2_entries, SpecBufferStats* stats) {
+  MUTLS_CHECK(log2_entries >= 4 && log2_entries <= 28,
+              "buffer log2 size out of range");
+  log2_ = log2_entries;
+  shift_ = 64 - log2_;
+  index_.assign(size_t{1} << log2_, 0);
+  log_.clear();
+  log_.reserve(1024);
+  resized_this_epoch_ = false;
+  stats_ = stats;
+}
+
+GrowableSet::Entry& GrowableSet::find_or_insert(uintptr_t word_addr,
+                                                bool& inserted) {
+  MUTLS_DCHECK((word_addr & kWordMask) == 0, "unaligned word address");
+  MUTLS_DCHECK(!at_hard_capacity(),
+               "insert into a growable set at hard capacity (the owning "
+               "buffer must doom first)");
+  const size_t mask = capacity() - 1;
+  size_t idx = home_slot(word_addr);
+  ++stats_->probe_ops;
+  while (true) {
+    uint32_t pos = index_[idx];
+    if (pos == 0) {
+      // Insert path only: keep the load factor at or below 3/4 so probe
+      // sequences stay short (a lookup hit must never pay a rehash); past
+      // kMaxLog2 the factor rises instead (the caller dooms before the
+      // table could actually fill).
+      if (log_.size() + 1 > capacity() - capacity() / 4 &&
+          log2_ < kMaxLog2) {
+        grow();
+        // Re-probe for the empty slot in the grown index.
+        const size_t grown_mask = capacity() - 1;
+        idx = home_slot(word_addr);
+        while (index_[idx] != 0) idx = (idx + 1) & grown_mask;
+      }
+      log_.push_back(Entry{word_addr, 0, 0, static_cast<uint32_t>(idx)});
+      index_[idx] = static_cast<uint32_t>(log_.size());
+      inserted = true;
+      return log_.back();
+    }
+    Entry& e = log_[pos - 1];
+    if (e.word_addr == word_addr) {
+      inserted = false;
+      return e;
+    }
+    ++stats_->probe_steps;
+    idx = (idx + 1) & mask;
+  }
+}
+
+GrowableSet::Entry* GrowableSet::find(uintptr_t word_addr) {
+  if (index_.empty()) return nullptr;
+  const size_t mask = capacity() - 1;
+  size_t idx = home_slot(word_addr);
+  ++stats_->probe_ops;
+  while (true) {
+    uint32_t pos = index_[idx];
+    if (pos == 0) return nullptr;
+    Entry& e = log_[pos - 1];
+    if (e.word_addr == word_addr) return &e;
+    ++stats_->probe_steps;
+    idx = (idx + 1) & mask;
+  }
+}
+
+void GrowableSet::grow() {
+  ++log2_;
+  shift_ = 64 - log2_;
+  resized_this_epoch_ = true;
+  ++stats_->resize_events;
+  index_.assign(size_t{1} << log2_, 0);
+  const size_t mask = capacity() - 1;
+  // Rehash from the dense log; re-probe costs are part of the resize, not
+  // the per-access probe counters.
+  for (uint32_t i = 0; i < log_.size(); ++i) {
+    size_t idx = home_slot(log_[i].word_addr);
+    while (index_[idx] != 0) idx = (idx + 1) & mask;
+    index_[idx] = i + 1;
+    log_[i].slot = static_cast<uint32_t>(idx);
+  }
+}
+
+void GrowableSet::clear() {
+  for (const Entry& e : log_) index_[e.slot] = 0;
+  log_.clear();
+  resized_this_epoch_ = false;
+}
+
+void GrowableLogBuffer::init(int log2_entries, size_t overflow_cap) {
+  (void)overflow_cap;  // no bounded overflow in this backend
+  read_set_.init(log2_entries, &stats_);
+  write_set_.init(log2_entries, &stats_);
+}
+
+uint64_t GrowableLogBuffer::read_word_view(uintptr_t word_addr) {
+  GrowableSet::Entry* w = write_set_.find(word_addr);
+  if (w && w->mark == kFullMark) return w->data;
+
+  if (read_set_.at_hard_capacity()) {
+    // ~2^28 distinct words: past the point where resizing can help. Doom
+    // like the static hash does on exhaustion instead of aborting.
+    doom("read-set exhausted the maximum growable index");
+    uint64_t base = atomic_word_load(word_addr);
+    if (w) base = (base & ~w->mark) | (w->data & w->mark);
+    return base;
+  }
+  bool inserted = false;
+  GrowableSet::Entry& r = read_set_.find_or_insert(word_addr, inserted);
+  if (inserted) {
+    // First touch: load the whole word from main memory and remember it
+    // for validation.
+    r.data = atomic_word_load(word_addr);
+  }
+  uint64_t base = r.data;
+  if (w) {
+    // Overlay the bytes this thread already wrote. `w` points into the
+    // write set's log, untouched by the read-set insertion above.
+    base = (base & ~w->mark) | (w->data & w->mark);
+  }
+  return base;
+}
+
+uint64_t GrowableLogBuffer::peek_word_view(uintptr_t word_addr) {
+  GrowableSet::Entry* w = write_set_.find(word_addr);
+  if (w && w->mark == kFullMark) return w->data;
+  GrowableSet::Entry* r = read_set_.find(word_addr);
+  uint64_t base = r ? r->data : atomic_word_load(word_addr);
+  if (w) {
+    base = (base & ~w->mark) | (w->data & w->mark);
+  }
+  return base;
+}
+
+void GrowableLogBuffer::write_word(uintptr_t word_addr, uint64_t value,
+                                   uint64_t mask) {
+  if (write_set_.at_hard_capacity()) {
+    doom("write-set exhausted the maximum growable index");
+    return;
+  }
+  bool inserted = false;
+  GrowableSet::Entry& e = write_set_.find_or_insert(word_addr, inserted);
+  e.data = (e.data & ~mask) | (value & mask);
+  e.mark |= mask;
+}
+
+void GrowableLogBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
+                                    uint64_t mark) {
+  if (write_set_.at_hard_capacity()) {
+    doom("write-set exhausted the maximum growable index while adopting a "
+         "child commit");
+    return;
+  }
+  bool inserted = false;
+  GrowableSet::Entry& e = write_set_.find_or_insert(word_addr, inserted);
+  e.data = (e.data & ~mark) | (data & mark);
+  e.mark |= mark;
+}
+
+void GrowableLogBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
+  // Reads fully satisfied by this buffer's own writes carry no main-memory
+  // dependency; everything else must survive until this thread's own
+  // validation, so it joins the read-set (first value wins).
+  GrowableSet::Entry* w = write_set_.find(word_addr);
+  if (w && w->mark == kFullMark) return;
+  if (read_set_.at_hard_capacity()) {
+    doom("read-set exhausted the maximum growable index while adopting a "
+         "child commit");
+    return;
+  }
+  bool inserted = false;
+  GrowableSet::Entry& r = read_set_.find_or_insert(word_addr, inserted);
+  if (inserted) r.data = data;
+}
+
+void GrowableLogBuffer::reset() {
+  read_set_.clear();
+  write_set_.clear();
+  doomed_ = false;
+  doom_reason_ = "";
+  // stats_ intentionally survives reset: the settle paths read the counters
+  // after resetting; clear_stats() re-arms them per speculation.
+}
+
+}  // namespace mutls

@@ -1,0 +1,176 @@
+// Growable-log speculative buffering backend, the kGrowableLog backend of
+// the SpecBuffer API ("runtime/spec_buffer.h").
+//
+// Trades the paper's static-hash design point the other way: instead of a
+// fixed table with a bounded overflow map that dooms the thread when it
+// fills (rollback on capacity pressure), each set is an append-only log of
+// (word, data, mark) entries indexed by an open-addressed, linearly-probed
+// hash table that *resizes* under load. A speculation can therefore never
+// fail for capacity reasons — the cost moves into occasional rehashes and
+// longer probe sequences, which the SpecBufferStats counters expose so the
+// trade can be measured (bench_ablation_buffer_map).
+//
+//   log   — densely packed entries in insertion order: validation, commit
+//           and merge walk the log linearly, never the sparse index
+//   index — power-of-two open-addressed table of log positions (+1, 0 =
+//           empty), grown at 3/4 load factor; Fibonacci-mixed home slots
+//           keep strided word addresses from clustering
+//
+// Capacity grows but never shrinks across reset(): a virtual-CPU slot that
+// once ran a large speculation keeps its table, amortizing the rehashes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/buffer_stats.h"
+#include "runtime/memory.h"
+#include "support/check.h"
+
+namespace mutls {
+
+// One growable set (either the read-set or the write-set).
+class GrowableSet {
+ public:
+  struct Entry {
+    uintptr_t word_addr;
+    uint64_t data;
+    uint64_t mark;
+    uint32_t slot;  // index_ slot holding this entry, for O(entries) clear
+  };
+
+  // `log2_entries` fixes the *initial* index capacity; `stats` receives
+  // probe and resize counters.
+  void init(int log2_entries, SpecBufferStats* stats);
+
+  bool initialized() const { return !index_.empty(); }
+
+  // The index never grows past 2^kMaxLog2 slots. At that size the load
+  // factor is allowed to rise until one empty slot remains (probe
+  // termination needs it); the owning buffer dooms the speculation before
+  // the next insert instead of aborting the process.
+  static constexpr int kMaxLog2 = 28;
+  bool at_hard_capacity() const {
+    return log2_ >= kMaxLog2 && entry_count() + 1 >= capacity();
+  }
+
+  // Finds the entry for `word_addr`, appending a zeroed one (and growing
+  // the index if needed) when absent. Never fails. The reference stays
+  // valid until the next find_or_insert on this set.
+  Entry& find_or_insert(uintptr_t word_addr, bool& inserted);
+
+  // Finds without inserting; null if absent.
+  Entry* find(uintptr_t word_addr);
+
+  // Visits every entry in insertion order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Entry& e : log_) fn(e);
+  }
+
+  size_t entry_count() const { return log_.size(); }
+  size_t capacity() const { return index_.size(); }
+  bool resized_this_epoch() const { return resized_this_epoch_; }
+
+  // Empties the set in O(entries), not O(capacity); keeps the grown index.
+  void clear();
+
+ private:
+  // Fibonacci hashing: multiplicative mix, top bits select the home slot.
+  // Linear probing needs scattered home slots even for the strided word
+  // addresses block-based workloads produce.
+  size_t home_slot(uintptr_t word_addr) const {
+    return static_cast<size_t>(
+        ((word_addr >> 3) * 0x9e3779b97f4a7c15ull) >> shift_);
+  }
+
+  void grow();
+
+  std::vector<Entry> log_;
+  std::vector<uint32_t> index_;  // log position + 1; 0 = empty
+  int log2_ = 0;
+  int shift_ = 64;  // 64 - log2_
+  bool resized_this_epoch_ = false;
+  SpecBufferStats* stats_ = nullptr;
+};
+
+class GrowableLogBuffer {
+ public:
+  GrowableLogBuffer() = default;
+  // After init the sets hold a pointer to this object's stats_ member, so
+  // a copied/moved buffer would count into the original. Never needed.
+  GrowableLogBuffer(const GrowableLogBuffer&) = delete;
+  GrowableLogBuffer& operator=(const GrowableLogBuffer&) = delete;
+
+  // Matches the static-hash init signature so SpecBuffer can configure
+  // either backend uniformly; `overflow_cap` has no meaning here (there is
+  // no bounded overflow to cap).
+  void init(int log2_entries, size_t overflow_cap);
+
+  // --- word-granular backend primitives (driven by SpecBuffer) ---
+
+  // The thread's current view of one whole word: write-set marked bytes
+  // over the read-set observation over main memory. First touch inserts
+  // the word into the read-set. Dooms only at GrowableSet::kMaxLog2 hard
+  // capacity (~2^28 distinct words), where resizing can no longer help.
+  uint64_t read_word_view(uintptr_t word_addr);
+
+  // Like read_word_view but never inserts into the read-set.
+  uint64_t peek_word_view(uintptr_t word_addr);
+
+  // Overlays the bytes selected by `mask` onto the buffered word.
+  void write_word(uintptr_t word_addr, uint64_t value, uint64_t mask);
+
+  // Adoption twins of write_word/first-read-insert, used by the tree-form
+  // merge: same semantics, merge-specific doom reason at hard capacity.
+  void adopt_write(uintptr_t word_addr, uint64_t data, uint64_t mark);
+  void adopt_read(uintptr_t word_addr, uint64_t data);
+
+  // Visits every read-set entry as fn(word_addr, data).
+  template <typename Fn>
+  void for_each_read(Fn&& fn) {
+    read_set_.for_each(
+        [&](GrowableSet::Entry& e) { fn(e.word_addr, e.data); });
+  }
+
+  // Visits every write-set entry as fn(word_addr, data, mark).
+  template <typename Fn>
+  void for_each_write(Fn&& fn) {
+    write_set_.for_each(
+        [&](GrowableSet::Entry& e) { fn(e.word_addr, e.data, e.mark); });
+  }
+
+  // Discards all buffered state; clears doom. Grown index capacity is kept.
+  void reset();
+
+  // This backend dooms itself only at the 2^kMaxLog2 hard capacity (no
+  // realistic speculation reaches it); external conditions — wild
+  // accesses, escaped exceptions, abort signals — still doom through here.
+  bool doomed() const { return doomed_; }
+  const char* doom_reason() const { return doom_reason_; }
+  void doom(const char* reason) {
+    doomed_ = true;
+    doom_reason_ = reason;
+  }
+
+  // Capacity pressure: the current speculation forced at least one resize.
+  bool pressure() const {
+    return read_set_.resized_this_epoch() || write_set_.resized_this_epoch();
+  }
+
+  size_t read_entries() const { return read_set_.entry_count(); }
+  size_t write_entries() const { return write_set_.entry_count(); }
+
+  const SpecBufferStats& stats() const { return stats_; }
+  SpecBufferStats& stats_mutable() { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+ private:
+  GrowableSet read_set_;
+  GrowableSet write_set_;
+  bool doomed_ = false;
+  const char* doom_reason_ = "";
+  SpecBufferStats stats_;
+};
+
+}  // namespace mutls

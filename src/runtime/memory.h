@@ -12,7 +12,7 @@
 
 namespace mutls {
 
-// The WORD granularity of the GlobalBuffer maps (paper section IV-G2).
+// The WORD granularity of the speculative buffer maps (paper IV-G2).
 constexpr size_t kWordSize = 8;
 constexpr uintptr_t kWordMask = kWordSize - 1;
 

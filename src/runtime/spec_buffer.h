@@ -1,0 +1,232 @@
+// SpecBuffer — the runtime's pluggable speculative-buffer backend API.
+//
+// This is the contract between the speculation protocol (ThreadManager,
+// Ctx, the IR interpreter) and speculative memory buffering: everything
+// above the runtime talks to SpecBuffer, never to a concrete backend, so a
+// new buffering strategy is a drop-in backend rather than a rewrite.
+//
+// Backends (see BufferBackend in "runtime/enums.h"):
+//   kStaticHash  — the paper's static hash + bounded overflow map
+//                  ("runtime/global_buffer.h"); capacity exhaustion dooms
+//                  the speculation.
+//   kGrowableLog — open-addressed growable index over an append-only log
+//                  ("runtime/growable_log_buffer.h"); capacity pressure
+//                  resizes instead of dooming.
+//
+// Dispatch is static: the backend enum is resolved once when the owning
+// virtual CPU is configured, and every operation branches once to a fully
+// inlined backend body — no virtual call on the load/store hot path. The
+// byte-splitting load/store loops and the set algorithms (validation,
+// commit, tree-form merge of paper IV-F) are written once here as
+// templates over the backend primitives:
+//
+//   read_word_view / peek_word_view / write_word / adopt_read
+//   for_each_read / for_each_write
+//   reset / doom / pressure / entry counts / SpecBufferStats
+//
+// The double dispatch in validate_against/merge_into makes the join-time
+// pairings generic, so buffers of *different* backends compose (exercised
+// by the cross-backend tests even though a ThreadManager configures all
+// its buffers uniformly).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "runtime/buffer_stats.h"
+#include "runtime/enums.h"
+#include "runtime/global_buffer.h"
+#include "runtime/growable_log_buffer.h"
+#include "runtime/memory.h"
+
+namespace mutls {
+
+class SpecBuffer {
+  // The whole API funnels through these two: one predictable branch on the
+  // enum fixed at init, then a fully inlined backend body. Defined before
+  // first use — their deduced return types must be visible to the inline
+  // methods below.
+  template <typename Fn>
+  decltype(auto) dispatch(Fn&& fn) {
+    return backend_ == BufferBackend::kGrowableLog ? fn(growable_log_)
+                                                   : fn(static_hash_);
+  }
+  template <typename Fn>
+  decltype(auto) dispatch(Fn&& fn) const {
+    return backend_ == BufferBackend::kGrowableLog ? fn(growable_log_)
+                                                   : fn(static_hash_);
+  }
+
+  BufferBackend backend_ = BufferBackend::kStaticHash;
+  GlobalBuffer static_hash_;
+  GrowableLogBuffer growable_log_;
+
+ public:
+  SpecBuffer() = default;
+  // The backends are self-referential after init (their maps point at the
+  // owner's stats); copying/moving a buffer is never needed and is deleted
+  // down the whole stack.
+  SpecBuffer(const SpecBuffer&) = delete;
+  SpecBuffer& operator=(const SpecBuffer&) = delete;
+
+  // Configures the selected backend. `log2_entries` sizes the table (the
+  // static size for kStaticHash, the initial size for kGrowableLog);
+  // `overflow_cap` bounds kStaticHash's temporary buffer and is ignored by
+  // kGrowableLog.
+  void init(BufferBackend backend, int log2_entries, size_t overflow_cap) {
+    backend_ = backend;
+    dispatch([&](auto& b) { b.init(log2_entries, overflow_cap); });
+  }
+
+  BufferBackend backend() const { return backend_; }
+
+  // --- speculative access path (runs on the owning speculative thread) ---
+
+  // Reads `size` bytes of the thread's speculative view of `addr`.
+  void load_bytes(uintptr_t addr, void* out, size_t size) {
+    dispatch([&](auto& b) {
+      char* dst = static_cast<char*>(out);
+      uintptr_t a = addr;
+      size_t left = size;
+      while (left > 0) {
+        uintptr_t word_addr = word_align_down(a);
+        size_t off = a - word_addr;
+        size_t n = std::min(kWordSize - off, left);
+        uint64_t w = b.read_word_view(word_addr);
+        copy_from_word(w, off, n, dst);
+        a += n;
+        dst += n;
+        left -= n;
+      }
+    });
+  }
+
+  // Buffers a write of `size` bytes at `addr`.
+  void store_bytes(uintptr_t addr, const void* src, size_t size) {
+    dispatch([&](auto& b) {
+      const char* s = static_cast<const char*>(src);
+      uintptr_t a = addr;
+      size_t left = size;
+      while (left > 0) {
+        uintptr_t word_addr = word_align_down(a);
+        size_t off = a - word_addr;
+        size_t n = std::min(kWordSize - off, left);
+        uint64_t v = 0;
+        copy_into_word(v, off, n, s);
+        b.write_word(word_addr, v, byte_mask(off, n));
+        if (b.doomed()) return;
+        a += n;
+        s += n;
+        left -= n;
+      }
+    });
+  }
+
+  // --- join-time operations (both threads stopped at the flag barrier) ---
+
+  // Validates the read-set against main memory (non-speculative joiner).
+  bool validate_against_memory() {
+    return dispatch([&](auto& b) {
+      bool ok = true;
+      uint64_t words = 0;
+      b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
+        ++words;
+        if (atomic_word_load(word_addr) != data) ok = false;
+      });
+      b.stats_mutable().validated_words += words;
+      return ok;
+    });
+  }
+
+  // Validates the read-set against a speculative joiner's buffered view.
+  bool validate_against(SpecBuffer& joiner) {
+    return dispatch([&](auto& b) {
+      return joiner.dispatch([&](auto& j) {
+        bool ok = true;
+        uint64_t words = 0;
+        b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
+          ++words;
+          if (j.peek_word_view(word_addr) != data) ok = false;
+        });
+        b.stats_mutable().validated_words += words;
+        return ok;
+      });
+    });
+  }
+
+  // Commits marked write-set bytes to main memory.
+  void commit_to_memory() {
+    dispatch([&](auto& b) {
+      b.for_each_write([](uintptr_t word_addr, uint64_t data, uint64_t mark) {
+        if (mark == kFullMark) {
+          atomic_word_store(word_addr, data);
+          return;
+        }
+        const char* bytes = reinterpret_cast<const char*>(&data);
+        for (size_t i = 0; i < kWordSize; ++i) {
+          if (mark & (0xffull << (8 * i))) {
+            atomic_byte_store(word_addr + i, static_cast<uint8_t>(bytes[i]));
+          }
+        }
+      });
+    });
+  }
+
+  // Merges this buffer into a *speculative* joiner: writes overlay the
+  // joiner's write-set (this thread is logically later, so its bytes win);
+  // reads not fully covered by the joiner's writes join the joiner's
+  // read-set so the eventual non-speculative validation still covers them.
+  void merge_into(SpecBuffer& joiner) {
+    dispatch([&](auto& b) {
+      joiner.dispatch([&](auto& j) {
+        b.for_each_write([&](uintptr_t word_addr, uint64_t data,
+                             uint64_t mark) { j.adopt_write(word_addr, data, mark); });
+        b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
+          j.adopt_read(word_addr, data);
+        });
+      });
+    });
+  }
+
+  // --- lifecycle, doom and pressure signals, statistics ---
+
+  // Discards all buffered state; clears doom.
+  void reset() {
+    dispatch([](auto& b) { b.reset(); });
+  }
+
+  bool doomed() const {
+    return dispatch([](const auto& b) { return b.doomed(); });
+  }
+  const char* doom_reason() const {
+    return dispatch([](const auto& b) { return b.doom_reason(); });
+  }
+  void doom(const char* reason) {
+    dispatch([&](auto& b) { b.doom(reason); });
+  }
+
+  // Backend-defined capacity pressure: the static hash is spilling into its
+  // bounded overflow map, or the growable log resized this speculation.
+  bool pressure() const {
+    return dispatch([](const auto& b) { return b.pressure(); });
+  }
+
+  size_t read_entries() const {
+    return dispatch([](const auto& b) { return b.read_entries(); });
+  }
+  size_t write_entries() const {
+    return dispatch([](const auto& b) { return b.write_entries(); });
+  }
+
+  // Cost-counter snapshot. Survives reset(); zeroed by clear_stats() when a
+  // virtual-CPU slot is re-armed for a new speculation.
+  const SpecBufferStats& stats() const {
+    return dispatch(
+        [](const auto& b) -> const SpecBufferStats& { return b.stats(); });
+  }
+  void clear_stats() {
+    dispatch([](auto& b) { b.clear_stats(); });
+  }
+};
+
+}  // namespace mutls

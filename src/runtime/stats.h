@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "runtime/buffer_stats.h"
 #include "support/timing.h"
 
 namespace mutls {
@@ -22,8 +23,13 @@ struct ThreadStats {
   uint64_t commits = 0;
   uint64_t rollbacks = 0;
   uint64_t nosyncs = 0;
-  uint64_t overflow_events = 0;
   uint64_t runtime_ns = 0;  // total wall time attributed to this thread
+
+  // Per-backend buffer cost counters, accumulated at each settle: overflow
+  // exhaustions (static-hash), index rehashes (growable-log), probe
+  // lengths and validation word counts (both). These carry the cost
+  // breakdown behind backend comparisons.
+  SpecBufferStats buffer;
 
   void clear() { *this = ThreadStats{}; }
 
@@ -36,7 +42,7 @@ struct ThreadStats {
     commits += o.commits;
     rollbacks += o.rollbacks;
     nosyncs += o.nosyncs;
-    overflow_events += o.overflow_events;
+    buffer += o.buffer;
     runtime_ns += o.runtime_ns;
     return *this;
   }

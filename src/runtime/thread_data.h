@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "runtime/enums.h"
-#include "runtime/global_buffer.h"
 #include "runtime/local_buffer.h"
+#include "runtime/spec_buffer.h"
 #include "runtime/stats.h"
 #include "support/prng.h"
 
@@ -45,7 +45,7 @@ struct ThreadData {
   // Children stack of the tree-form mixed model (paper IV-F).
   std::vector<ChildRef> children;
 
-  GlobalBuffer gbuf;
+  SpecBuffer sbuf;
   LocalBuffer lbuf;
   ThreadStats stats;
   Xorshift64 rng;
@@ -68,7 +68,7 @@ struct ThreadData {
 
   bool is_speculative() const { return rank != 0; }
 
-  bool doomed() const { return gbuf.doomed(); }
+  bool doomed() const { return sbuf.doomed(); }
 
   // Re-arms this slot for a new speculation.
   void reset_for_speculation(int parent, uint64_t parent_ep,
@@ -82,11 +82,11 @@ struct ThreadData {
     joiner = nullptr;
     force_rollback = false;
     children.clear();
-    gbuf.reset();
-    // The buffer's overflow count survives reset() (the settle paths read
-    // it after resetting); zero it here so a slot's next speculation does
-    // not re-report its predecessors' events.
-    gbuf.overflow_events = 0;
+    sbuf.reset();
+    // The buffer's cost counters survive reset() (the settle paths read
+    // them after resetting); zero them here so a slot's next speculation
+    // does not re-report its predecessors' events.
+    sbuf.clear_stats();
     lbuf.reset();
     stats.clear();
     user_tag = 0;

@@ -6,6 +6,17 @@
 
 namespace mutls {
 
+namespace {
+
+// Folds the buffer backend's cost counters into the thread's statistics at
+// settle time. The buffer's counters survive reset() and are zeroed when
+// the slot is re-armed, so each settle reports exactly one speculation.
+void accumulate_buffer_stats(ThreadData& td) {
+  td.stats.buffer += td.sbuf.stats();
+}
+
+}  // namespace
+
 ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
   MUTLS_CHECK(config_.num_cpus >= 1, "need at least one virtual CPU");
   root_.rank = 0;
@@ -15,7 +26,8 @@ ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
     cpus_.push_back(std::make_unique<Cpu>());
     Cpu& c = *cpus_.back();
     c.data.rank = r;
-    c.data.gbuf.init(config_.buffer_log2, config_.overflow_cap);
+    c.data.sbuf.init(config_.buffer_backend, config_.buffer_log2,
+                     config_.overflow_cap);
     c.data.lbuf.init(config_.register_slots);
   }
   // Workers start after all slots exist so worker_loop may index any cpu.
@@ -127,11 +139,11 @@ void ThreadManager::worker_loop(Cpu& c) {
     try {
       task(td);
     } catch (const SpecAbort& a) {
-      if (!td.gbuf.doomed()) td.gbuf.doom(a.reason);
+      if (!td.sbuf.doomed()) td.sbuf.doom(a.reason);
     } catch (...) {
       // A user exception escaping a speculative task dooms it; the joiner
       // re-executes inline, where the exception surfaces normally.
-      td.gbuf.doom("exception escaped speculative task");
+      td.sbuf.doom("exception escaped speculative task");
     }
     if (td.doomed()) {
       // Cascading rollback stays inside this subtree (paper IV-F).
@@ -154,7 +166,7 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
     nosync_children(td);
     ++td.stats.nosyncs;
     uint64_t f0 = now_ns();
-    td.gbuf.reset();
+    td.sbuf.reset();
     td.stats.ledger.add(TimeCat::kFinalize, now_ns() - f0);
     uint64_t end = now_ns();
     td.stats.runtime_ns = end - td.task_start_ns;
@@ -163,7 +175,7 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
                         td.stats.runtime_ns > accounted
                             ? td.stats.runtime_ns - accounted
                             : 0);
-    td.stats.overflow_events += td.gbuf.overflow_events;
+    accumulate_buffer_stats(td);
     aggregate_stats(td);
     {
       std::lock_guard lock(policy_mu_);
@@ -184,9 +196,9 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
     if (td.doomed() || td.force_rollback || td.inject_rollback) {
       valid = false;
     } else if (j->rank == 0) {
-      valid = td.gbuf.validate_against_memory();
+      valid = td.sbuf.validate_against_memory();
     } else {
-      valid = td.gbuf.validate_against(j->gbuf);
+      valid = td.sbuf.validate_against(j->sbuf);
     }
     td.stats.ledger.add(TimeCat::kValidation, now_ns() - v0);
   }
@@ -194,9 +206,9 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
   if (valid) {
     uint64_t c0 = now_ns();
     if (j->rank == 0) {
-      td.gbuf.commit_to_memory();
+      td.sbuf.commit_to_memory();
     } else {
-      td.gbuf.merge_into(j->gbuf);
+      td.sbuf.merge_into(j->sbuf);
     }
     td.stats.ledger.add(TimeCat::kCommit, now_ns() - c0);
     ++td.stats.commits;
@@ -205,8 +217,8 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
   }
 
   uint64_t f0 = now_ns();
-  td.stats.overflow_events += td.gbuf.overflow_events;
-  td.gbuf.reset();
+  accumulate_buffer_stats(td);
+  td.sbuf.reset();
   td.stats.ledger.add(TimeCat::kFinalize, now_ns() - f0);
 
   uint64_t end = now_ns();

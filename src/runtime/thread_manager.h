@@ -1,4 +1,4 @@
-// The ThreadManager (paper section IV-B): owns one ThreadData, GlobalBuffer
+// The ThreadManager (paper section IV-B): owns one ThreadData, SpecBuffer
 // and LocalBuffer per virtual CPU, launches speculative threads at fork
 // points, and implements the tree-form mixed-model synchronization of
 // section IV-F, including NOSYNC of non-conforming children and adoption of
@@ -27,11 +27,18 @@ struct ManagerConfig {
   // rank range 1..N). The non-speculative thread is extra.
   int num_cpus = 4;
 
-  // log2 of the entry count of each read/write set (paper IV-G2).
+  // log2 of the entry count of each read/write set (paper IV-G2). For the
+  // growable-log backend this is the *initial* capacity.
   int buffer_log2 = 16;
 
-  // Capacity of the temporary (overflow) buffer per set.
+  // Capacity of the temporary (overflow) buffer per set (static-hash
+  // backend only; the growable-log backend resizes instead).
   size_t overflow_cap = 4096;
+
+  // Speculative-buffer backend for every virtual CPU (see BufferBackend in
+  // "runtime/enums.h"): the paper's static hash with overflow-doom, or the
+  // growable log that resizes under capacity pressure.
+  BufferBackend buffer_backend = BufferBackend::kStaticHash;
 
   // RegisterBuffer slots per frame (paper IV-G3).
   int register_slots = 256;
@@ -53,6 +60,24 @@ struct ManagerConfig {
   // 0 waits forever.
   uint64_t discard_settle_timeout_ns = 30'000'000'000ull;
 };
+
+// The one mapping from an embedding's options struct (Runtime::Options,
+// interp::Interpreter::Options, ...) to a ManagerConfig. Kept here, next
+// to ManagerConfig, so a new common field is threaded through exactly one
+// place instead of drifting across per-embedding copies.
+template <typename Opts>
+ManagerConfig manager_config_from(const Opts& opt, int register_slots) {
+  ManagerConfig c;
+  c.num_cpus = opt.num_cpus;
+  c.buffer_log2 = opt.buffer_log2;
+  c.overflow_cap = opt.overflow_cap;
+  c.buffer_backend = opt.buffer_backend;
+  c.register_slots = register_slots;
+  c.rollback_probability = opt.rollback_probability;
+  c.seed = opt.seed;
+  c.model_override = opt.model_override;
+  return c;
+}
 
 class ThreadManager {
  public:

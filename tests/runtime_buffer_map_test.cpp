@@ -1,10 +1,13 @@
-// Unit tests for the static hash map underlying the read/write sets
-// (paper IV-G2): single-slot hashing, offsets stack, overflow buffer.
+// Unit tests for the map structures underlying the SpecBuffer backends:
+// the paper's static hash map (single-slot hashing, offsets stack, overflow
+// buffer — IV-G2) and the growable-log backend's open-addressed
+// GrowableSet (probing, resize, O(entries) clear).
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "runtime/global_buffer.h"
+#include "runtime/growable_log_buffer.h"
 
 namespace mutls {
 namespace {
@@ -26,6 +29,16 @@ TEST(BufferMap, InsertThenFind) {
   EXPECT_EQ(*t.data, 0xdeadbeefu);
   EXPECT_EQ(*t.mark, 0xffu);
   EXPECT_EQ(m.find_or_insert(kA, t), BufferMap::Find::kFound);
+}
+
+TEST(BufferMap, DefaultConstructedReportsNotInitialized) {
+  // Regression: initialized() used to be `mask_ != 0 || !addresses_`, which
+  // reports a default-constructed map (mask_ == 0, addresses_ == null) as
+  // initialized.
+  BufferMap m;
+  EXPECT_FALSE(m.initialized());
+  m.init(4, 4, /*with_marks=*/false);
+  EXPECT_TRUE(m.initialized());
 }
 
 TEST(BufferMap, MissingAddressNotFound) {
@@ -154,6 +167,133 @@ TEST_P(BufferMapProperty, AgreesWithHashMapModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BufferMapProperty, ::testing::Range(1, 7));
+
+// --- GrowableSet (the growable-log backend's open-addressed index) ------
+
+TEST(GrowableSet, InsertThenFind) {
+  SpecBufferStats stats;
+  GrowableSet s;
+  s.init(4, &stats);
+  EXPECT_TRUE(s.initialized());
+  bool inserted = false;
+  GrowableSet::Entry& e = s.find_or_insert(kA, inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(e.data, 0u);
+  EXPECT_EQ(e.mark, 0u);
+  e.data = 0xdeadbeef;
+  GrowableSet::Entry* f = s.find(kA);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->data, 0xdeadbeefu);
+  s.find_or_insert(kA, inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(s.find(kA + 8), nullptr);
+  EXPECT_EQ(s.entry_count(), 1u);
+}
+
+TEST(GrowableSet, GrowsPastInitialCapacityAndKeepsEntries) {
+  SpecBufferStats stats;
+  GrowableSet s;
+  s.init(4, &stats);  // 16 slots, grows at 12 entries
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    bool inserted = false;
+    GrowableSet::Entry& e = s.find_or_insert(kA + 8 * i, inserted);
+    ASSERT_TRUE(inserted);
+    e.data = static_cast<uint64_t>(i) * 3 + 1;
+  }
+  EXPECT_EQ(s.entry_count(), static_cast<size_t>(kN));
+  EXPECT_GT(stats.resize_events, 0u);
+  EXPECT_GE(s.capacity(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    GrowableSet::Entry* e = s.find(kA + 8 * i);
+    ASSERT_NE(e, nullptr) << "entry " << i << " lost across resizes";
+    EXPECT_EQ(e->data, static_cast<uint64_t>(i) * 3 + 1);
+  }
+}
+
+TEST(GrowableSet, ForEachVisitsInInsertionOrder) {
+  SpecBufferStats stats;
+  GrowableSet s;
+  s.init(4, &stats);
+  for (int i = 0; i < 40; ++i) {
+    bool inserted = false;
+    s.find_or_insert(kA + 8 * i, inserted).data = static_cast<uint64_t>(i);
+  }
+  std::vector<uint64_t> seen;
+  s.for_each([&](GrowableSet::Entry& e) { seen.push_back(e.data); });
+  ASSERT_EQ(seen.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], static_cast<uint64_t>(i))
+        << "the append-only log preserves insertion order";
+  }
+}
+
+TEST(GrowableSet, ClearEmptiesAndStaysUsable) {
+  SpecBufferStats stats;
+  GrowableSet s;
+  s.init(4, &stats);
+  for (int i = 0; i < 100; ++i) {
+    bool inserted = false;
+    s.find_or_insert(kA + 8 * i, inserted);
+  }
+  size_t grown_capacity = s.capacity();
+  s.clear();
+  EXPECT_EQ(s.entry_count(), 0u);
+  EXPECT_EQ(s.find(kA), nullptr);
+  EXPECT_EQ(s.capacity(), grown_capacity) << "clear keeps the grown index";
+  bool inserted = false;
+  s.find_or_insert(kA, inserted);
+  EXPECT_TRUE(inserted);
+}
+
+TEST(GrowableSet, ProbeCountersTrackCollisions) {
+  SpecBufferStats stats;
+  GrowableSet s;
+  s.init(6, &stats);
+  for (int i = 0; i < 40; ++i) {
+    bool inserted = false;
+    s.find_or_insert(kA + 8 * i, inserted);
+  }
+  EXPECT_GE(stats.probe_ops, 40u);
+  // Probe steps may be zero for a lucky layout, but ops are exact.
+  for (int i = 0; i < 40; ++i) s.find(kA + 8 * i);
+  EXPECT_GE(stats.probe_ops, 80u);
+}
+
+// Property: a GrowableSet must behave like a std::unordered_map over
+// random word addresses, across resizes.
+class GrowableSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrowableSetProperty, AgreesWithHashMapModel) {
+  SpecBufferStats stats;
+  GrowableSet s;
+  s.init(4, &stats);  // tiny start: the workload forces many resizes
+  std::unordered_map<uintptr_t, uint64_t> model;
+
+  uint64_t state = static_cast<uint64_t>(GetParam()) * 2654435761u + 7;
+  auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  for (int i = 0; i < 400; ++i) {
+    uintptr_t addr = 0x40000 + (rnd() % 256) * 8;
+    uint64_t val = rnd();
+    bool inserted = false;
+    s.find_or_insert(addr, inserted).data = val;
+    model[addr] = val;
+  }
+  EXPECT_EQ(s.entry_count(), model.size());
+  for (const auto& [addr, val] : model) {
+    GrowableSet::Entry* e = s.find(addr);
+    ASSERT_NE(e, nullptr) << std::hex << addr;
+    EXPECT_EQ(e->data, val);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrowableSetProperty, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace mutls

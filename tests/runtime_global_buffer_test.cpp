@@ -1,6 +1,10 @@
 // Unit tests for speculative memory buffering, validation, commit and the
-// tree-form merge (paper IV-G2 and IV-F).
-#include "runtime/global_buffer.h"
+// tree-form merge (paper IV-G2 and IV-F), run against the SpecBuffer API
+// and value-parameterized over every backend: the buffered-view semantics
+// are a backend-independent contract. Backend-specific capacity behavior
+// (overflow doom vs resize) and cross-backend merges are covered at the
+// bottom.
+#include "runtime/spec_buffer.h"
 
 #include <gtest/gtest.h>
 
@@ -10,39 +14,45 @@
 namespace mutls {
 namespace {
 
-class GlobalBufferTest : public ::testing::Test {
+std::string backend_test_name(
+    const ::testing::TestParamInfo<BufferBackend>& info) {
+  return info.param == BufferBackend::kStaticHash ? "StaticHash"
+                                                  : "GrowableLog";
+}
+
+class SpecBufferTest : public ::testing::TestWithParam<BufferBackend> {
  protected:
-  void SetUp() override { buf_.init(8, 64); }
+  void SetUp() override { buf_.init(GetParam(), 8, 64); }
 
   template <typename T>
-  T spec_load(GlobalBuffer& b, const T& var) {
+  T spec_load(SpecBuffer& b, const T& var) {
     T out;
     b.load_bytes(reinterpret_cast<uintptr_t>(&var), &out, sizeof(T));
     return out;
   }
 
   template <typename T>
-  void spec_store(GlobalBuffer& b, T& var, T v) {
+  void spec_store(SpecBuffer& b, T& var, T v) {
     b.store_bytes(reinterpret_cast<uintptr_t>(&var), &v, sizeof(T));
   }
 
-  GlobalBuffer buf_;
+  SpecBuffer buf_;
 };
 
-TEST_F(GlobalBufferTest, LoadReadsMainMemoryFirstTouch) {
+TEST_P(SpecBufferTest, LoadReadsMainMemoryFirstTouch) {
   alignas(8) uint64_t x = 1234;
   EXPECT_EQ(spec_load(buf_, x), 1234u);
   EXPECT_EQ(buf_.read_entries(), 1u);
 }
 
-TEST_F(GlobalBufferTest, LoadReturnsBufferedWrite) {
+TEST_P(SpecBufferTest, LoadReturnsBufferedWrite) {
   alignas(8) uint64_t x = 1;
   spec_store(buf_, x, uint64_t{77});
   EXPECT_EQ(spec_load(buf_, x), 77u);
   EXPECT_EQ(x, 1u) << "store must not touch main memory before commit";
 }
 
-TEST_F(GlobalBufferTest, ReadSetKeepsFirstObservation) {
+TEST_P(SpecBufferTest, ReadSetKeepsFirstObservation) {
   alignas(8) uint64_t x = 10;
   EXPECT_EQ(spec_load(buf_, x), 10u);
   x = 20;  // main memory changes behind the speculation
@@ -50,7 +60,7 @@ TEST_F(GlobalBufferTest, ReadSetKeepsFirstObservation) {
       << "subsequent loads come from the read-set";
 }
 
-TEST_F(GlobalBufferTest, WriteThenReadDoesNotTouchReadSet) {
+TEST_P(SpecBufferTest, WriteThenReadDoesNotTouchReadSet) {
   alignas(8) uint64_t x = 5;
   spec_store(buf_, x, uint64_t{6});
   EXPECT_EQ(spec_load(buf_, x), 6u);
@@ -58,27 +68,28 @@ TEST_F(GlobalBufferTest, WriteThenReadDoesNotTouchReadSet) {
       << "a fully written word carries no memory dependency";
 }
 
-TEST_F(GlobalBufferTest, ValidationSucceedsWhenMemoryUnchanged) {
+TEST_P(SpecBufferTest, ValidationSucceedsWhenMemoryUnchanged) {
   alignas(8) uint64_t x = 42;
   spec_load(buf_, x);
   EXPECT_TRUE(buf_.validate_against_memory());
+  EXPECT_EQ(buf_.stats().validated_words, 1u);
 }
 
-TEST_F(GlobalBufferTest, ValidationFailsWhenMemoryChanged) {
+TEST_P(SpecBufferTest, ValidationFailsWhenMemoryChanged) {
   alignas(8) uint64_t x = 42;
   spec_load(buf_, x);
   x = 43;
   EXPECT_FALSE(buf_.validate_against_memory());
 }
 
-TEST_F(GlobalBufferTest, CommitWritesWholeWords) {
+TEST_P(SpecBufferTest, CommitWritesWholeWords) {
   alignas(8) uint64_t x = 0;
   spec_store(buf_, x, uint64_t{0x1122334455667788ull});
   buf_.commit_to_memory();
   EXPECT_EQ(x, 0x1122334455667788ull);
 }
 
-TEST_F(GlobalBufferTest, SubWordStoreCommitsOnlyMarkedBytes) {
+TEST_P(SpecBufferTest, SubWordStoreCommitsOnlyMarkedBytes) {
   alignas(8) uint64_t x = 0xffffffffffffffffull;
   auto* bytes = reinterpret_cast<uint8_t*>(&x);
   uint8_t v = 0xab;
@@ -89,7 +100,7 @@ TEST_F(GlobalBufferTest, SubWordStoreCommitsOnlyMarkedBytes) {
   EXPECT_EQ(bytes[3], 0xff);
 }
 
-TEST_F(GlobalBufferTest, SubWordLoadBuffersWholeWord) {
+TEST_P(SpecBufferTest, SubWordLoadBuffersWholeWord) {
   alignas(8) uint32_t pair[2] = {111, 222};
   uint32_t out;
   buf_.load_bytes(reinterpret_cast<uintptr_t>(&pair[0]), &out, 4);
@@ -99,7 +110,7 @@ TEST_F(GlobalBufferTest, SubWordLoadBuffersWholeWord) {
       << "whole-word validation is conservative, as in the paper";
 }
 
-TEST_F(GlobalBufferTest, SubWordReadAfterSubWordWriteCombines) {
+TEST_P(SpecBufferTest, SubWordReadAfterSubWordWriteCombines) {
   alignas(8) uint32_t pair[2] = {1, 2};
   uint32_t nv = 10;
   buf_.store_bytes(reinterpret_cast<uintptr_t>(&pair[0]), &nv, 4);
@@ -112,7 +123,7 @@ TEST_F(GlobalBufferTest, SubWordReadAfterSubWordWriteCombines) {
   EXPECT_EQ(out, 10u);
 }
 
-TEST_F(GlobalBufferTest, MultiWordAccessSplitsAcrossWords) {
+TEST_P(SpecBufferTest, MultiWordAccessSplitsAcrossWords) {
   alignas(8) std::array<uint64_t, 4> arr = {1, 2, 3, 4};
   std::array<uint64_t, 3> nv = {11, 12, 13};
   buf_.store_bytes(reinterpret_cast<uintptr_t>(&arr[0]), nv.data(),
@@ -128,7 +139,7 @@ TEST_F(GlobalBufferTest, MultiWordAccessSplitsAcrossWords) {
   EXPECT_EQ(arr[3], 4u);
 }
 
-TEST_F(GlobalBufferTest, UnalignedAccessStraddlingWordsRoundTrips) {
+TEST_P(SpecBufferTest, UnalignedAccessStraddlingWordsRoundTrips) {
   alignas(8) std::array<uint8_t, 24> arr{};
   for (size_t i = 0; i < arr.size(); ++i) arr[i] = static_cast<uint8_t>(i);
   // 8-byte access at offset 5 crosses a word boundary.
@@ -148,7 +159,7 @@ TEST_F(GlobalBufferTest, UnalignedAccessStraddlingWordsRoundTrips) {
   EXPECT_EQ(arr[13], 13u);
 }
 
-TEST_F(GlobalBufferTest, ResetDiscardsBufferedState) {
+TEST_P(SpecBufferTest, ResetDiscardsBufferedState) {
   alignas(8) uint64_t x = 3;
   spec_store(buf_, x, uint64_t{9});
   spec_load(buf_, x);
@@ -159,45 +170,32 @@ TEST_F(GlobalBufferTest, ResetDiscardsBufferedState) {
   EXPECT_EQ(x, 3u) << "reset state must not commit anything";
 }
 
-TEST_F(GlobalBufferTest, DoomOnOverflowExhaustion) {
-  GlobalBuffer tiny;
-  tiny.init(4, 2);  // 16 slots, 2 overflow entries
-  alignas(8) static uint64_t arena[256];
-  // Store to 19 colliding words: slot + 2 overflow + 1 too many.
-  for (int i = 0; i < 4; ++i) {
-    uint64_t v = i;
-    tiny.store_bytes(reinterpret_cast<uintptr_t>(&arena[i * 16]), &v, 8);
-  }
-  EXPECT_TRUE(tiny.doomed());
-  EXPECT_GT(tiny.overflow_events, 0u);
-}
-
 // --- tree-form merge (speculative joiner) ---
 
-TEST_F(GlobalBufferTest, ValidateAgainstJoinerSeesJoinerWrites) {
+TEST_P(SpecBufferTest, ValidateAgainstJoinerSeesJoinerWrites) {
   alignas(8) uint64_t x = 100;
-  GlobalBuffer parent;
-  parent.init(8, 64);
+  SpecBuffer parent;
+  parent.init(GetParam(), 8, 64);
   // Parent speculatively wrote x = 200 before forking the child; the child
   // read main memory (100) -- a conflict the tree validation must catch.
   spec_store(parent, x, uint64_t{200});
-  GlobalBuffer child;
-  child.init(8, 64);
+  SpecBuffer child;
+  child.init(GetParam(), 8, 64);
   spec_load(child, x);
   EXPECT_FALSE(child.validate_against(parent));
   // If the parent's buffered value matches what the child read, it passes.
-  GlobalBuffer child2;
-  child2.init(8, 64);
+  SpecBuffer child2;
+  child2.init(GetParam(), 8, 64);
   spec_store(parent, x, uint64_t{100});
   spec_load(child2, x);
   EXPECT_TRUE(child2.validate_against(parent));
 }
 
-TEST_F(GlobalBufferTest, MergeOverlaysChildWritesOntoJoiner) {
+TEST_P(SpecBufferTest, MergeOverlaysChildWritesOntoJoiner) {
   alignas(8) uint64_t x = 0, y = 0;
-  GlobalBuffer parent, child;
-  parent.init(8, 64);
-  child.init(8, 64);
+  SpecBuffer parent, child;
+  parent.init(GetParam(), 8, 64);
+  child.init(GetParam(), 8, 64);
   spec_store(parent, x, uint64_t{1});
   spec_store(child, y, uint64_t{2});
   child.merge_into(parent);
@@ -207,12 +205,12 @@ TEST_F(GlobalBufferTest, MergeOverlaysChildWritesOntoJoiner) {
   EXPECT_EQ(y, 2u);
 }
 
-TEST_F(GlobalBufferTest, MergeChildWriteWinsOverJoinerWrite) {
+TEST_P(SpecBufferTest, MergeChildWriteWinsOverJoinerWrite) {
   // The child is logically *later*, so its write supersedes the joiner's.
   alignas(8) uint64_t x = 0;
-  GlobalBuffer parent, child;
-  parent.init(8, 64);
-  child.init(8, 64);
+  SpecBuffer parent, child;
+  parent.init(GetParam(), 8, 64);
+  child.init(GetParam(), 8, 64);
   spec_store(parent, x, uint64_t{1});
   spec_store(child, x, uint64_t{2});
   child.merge_into(parent);
@@ -220,11 +218,11 @@ TEST_F(GlobalBufferTest, MergeChildWriteWinsOverJoinerWrite) {
   EXPECT_EQ(x, 2u);
 }
 
-TEST_F(GlobalBufferTest, MergePropagatesChildReadsForFinalValidation) {
+TEST_P(SpecBufferTest, MergePropagatesChildReadsForFinalValidation) {
   alignas(8) uint64_t x = 7;
-  GlobalBuffer parent, child;
-  parent.init(8, 64);
-  child.init(8, 64);
+  SpecBuffer parent, child;
+  parent.init(GetParam(), 8, 64);
+  child.init(GetParam(), 8, 64);
   spec_load(child, x);
   child.merge_into(parent);
   EXPECT_TRUE(parent.validate_against_memory());
@@ -232,11 +230,11 @@ TEST_F(GlobalBufferTest, MergePropagatesChildReadsForFinalValidation) {
   EXPECT_FALSE(parent.validate_against_memory());
 }
 
-TEST_F(GlobalBufferTest, MergeSkipsReadsFullyCoveredByJoinerWrites) {
+TEST_P(SpecBufferTest, MergeSkipsReadsFullyCoveredByJoinerWrites) {
   alignas(8) uint64_t x = 7;
-  GlobalBuffer parent, child;
-  parent.init(8, 64);
-  child.init(8, 64);
+  SpecBuffer parent, child;
+  parent.init(GetParam(), 8, 64);
+  child.init(GetParam(), 8, 64);
   spec_store(parent, x, uint64_t{7});  // full-word write, same value
   spec_load(child, x);
   child.merge_into(parent);
@@ -244,12 +242,12 @@ TEST_F(GlobalBufferTest, MergeSkipsReadsFullyCoveredByJoinerWrites) {
   EXPECT_TRUE(parent.validate_against_memory());
 }
 
-TEST_F(GlobalBufferTest, SubWordMergeCombinesMarks) {
+TEST_P(SpecBufferTest, SubWordMergeCombinesMarks) {
   alignas(8) uint64_t x = 0;
   auto* b = reinterpret_cast<uint8_t*>(&x);
-  GlobalBuffer parent, child;
-  parent.init(8, 64);
-  child.init(8, 64);
+  SpecBuffer parent, child;
+  parent.init(GetParam(), 8, 64);
+  child.init(GetParam(), 8, 64);
   uint8_t v1 = 0x11, v2 = 0x22;
   parent.store_bytes(reinterpret_cast<uintptr_t>(b + 0), &v1, 1);
   child.store_bytes(reinterpret_cast<uintptr_t>(b + 1), &v2, 1);
@@ -259,6 +257,126 @@ TEST_F(GlobalBufferTest, SubWordMergeCombinesMarks) {
   EXPECT_EQ(b[1], 0x22);
   EXPECT_EQ(b[2], 0x00);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpecBufferTest,
+                         ::testing::Values(BufferBackend::kStaticHash,
+                                           BufferBackend::kGrowableLog),
+                         backend_test_name);
+
+// --- backend-specific capacity behavior ---
+
+TEST(SpecBufferStaticHash, DoomOnOverflowExhaustion) {
+  SpecBuffer tiny;
+  tiny.init(BufferBackend::kStaticHash, 4, 2);  // 16 slots, 2 overflow
+  alignas(8) static uint64_t arena[256];
+  // Store to 4 colliding words: slot + 2 overflow + 1 too many.
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = static_cast<uint64_t>(i);
+    tiny.store_bytes(reinterpret_cast<uintptr_t>(&arena[i * 16]), &v, 8);
+  }
+  EXPECT_TRUE(tiny.doomed());
+  EXPECT_TRUE(tiny.pressure());
+  EXPECT_GT(tiny.stats().overflow_events, 0u);
+}
+
+TEST(SpecBufferGrowableLog, ResizesInsteadOfDooming) {
+  SpecBuffer tiny;
+  tiny.init(BufferBackend::kGrowableLog, 4, 2);  // 16 initial slots
+  alignas(8) static uint64_t arena[256];
+  // Far more writes (and reads) than the initial capacity: the same access
+  // pattern that dooms the static hash must force resizes and carry on.
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = static_cast<uint64_t>(i) + 1;
+    tiny.store_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &v, 8);
+  }
+  ASSERT_FALSE(tiny.doomed());
+  EXPECT_TRUE(tiny.pressure()) << "a resize this speculation is pressure";
+  EXPECT_GT(tiny.stats().resize_events, 0u);
+  EXPECT_EQ(tiny.write_entries(), 200u);
+  // Every buffered value survives the rehashes.
+  for (int i = 0; i < 200; ++i) {
+    uint64_t out = 0;
+    tiny.load_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &out, 8);
+    ASSERT_EQ(out, static_cast<uint64_t>(i) + 1) << "word " << i;
+  }
+  EXPECT_TRUE(tiny.validate_against_memory());
+  tiny.commit_to_memory();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(arena[i], static_cast<uint64_t>(i) + 1);
+  }
+}
+
+TEST(SpecBufferGrowableLog, PressureClearsOnReset) {
+  SpecBuffer buf;
+  buf.init(BufferBackend::kGrowableLog, 4, 0);
+  alignas(8) static uint64_t arena[64];
+  for (int i = 0; i < 64; ++i) {
+    uint64_t v = 1;
+    buf.store_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &v, 8);
+  }
+  ASSERT_TRUE(buf.pressure());
+  buf.reset();
+  EXPECT_FALSE(buf.pressure()) << "the grown table is no longer pressured";
+  // The grown capacity is retained: re-buffering the same footprint does
+  // not resize again.
+  uint64_t resizes = buf.stats().resize_events;
+  for (int i = 0; i < 64; ++i) {
+    uint64_t v = 2;
+    buf.store_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &v, 8);
+  }
+  EXPECT_EQ(buf.stats().resize_events, resizes);
+}
+
+// --- cross-backend join-time pairings ---
+//
+// A ThreadManager configures all its buffers uniformly, but the SpecBuffer
+// join-time operations are generic over the (child, joiner) backend pair;
+// pin that down so backends stay interchangeable at the contract level.
+
+struct BackendPair {
+  BufferBackend child;
+  BufferBackend joiner;
+};
+
+class SpecBufferCrossBackend : public ::testing::TestWithParam<BackendPair> {};
+
+TEST_P(SpecBufferCrossBackend, MergeAndValidateCompose) {
+  alignas(8) uint64_t x = 0, y = 7;
+  SpecBuffer joiner, child;
+  joiner.init(GetParam().joiner, 8, 64);
+  child.init(GetParam().child, 8, 64);
+
+  uint64_t out;
+  child.load_bytes(reinterpret_cast<uintptr_t>(&y), &out, 8);  // read dep
+  uint64_t v = 5;
+  child.store_bytes(reinterpret_cast<uintptr_t>(&x), &v, 8);
+  EXPECT_TRUE(child.validate_against(joiner));
+
+  child.merge_into(joiner);
+  EXPECT_FALSE(joiner.doomed());
+  // The adopted read keeps guarding the final validation...
+  y = 8;
+  EXPECT_FALSE(joiner.validate_against_memory());
+  y = 7;
+  EXPECT_TRUE(joiner.validate_against_memory());
+  // ...and the adopted write commits.
+  joiner.commit_to_memory();
+  EXPECT_EQ(x, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SpecBufferCrossBackend,
+    ::testing::Values(
+        BackendPair{BufferBackend::kStaticHash, BufferBackend::kGrowableLog},
+        BackendPair{BufferBackend::kGrowableLog, BufferBackend::kStaticHash}),
+    [](const ::testing::TestParamInfo<BackendPair>& info) {
+      std::string n = info.param.child == BufferBackend::kStaticHash
+                          ? "StaticChild"
+                          : "GrowableChild";
+      n += info.param.joiner == BufferBackend::kStaticHash ? "IntoStaticJoiner"
+                                                           : "IntoGrowableJoiner";
+      return n;
+    });
 
 }  // namespace
 }  // namespace mutls

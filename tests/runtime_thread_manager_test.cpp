@@ -1,6 +1,8 @@
 // Integration tests of the ThreadManager protocol: CPU pool, flag-based
 // barrier, forking-model admission, tree-form synchronize with NOSYNC and
-// child adoption (paper IV-D, IV-E, IV-F).
+// child adoption (paper IV-D, IV-E, IV-F). Value-parameterized over the
+// SpecBuffer backends: the synchronization protocol must be identical no
+// matter how speculative memory is buffered.
 #include "runtime/thread_manager.h"
 
 #include <gtest/gtest.h>
@@ -12,23 +14,29 @@
 namespace mutls {
 namespace {
 
-ManagerConfig small_config(int cpus = 2) {
+ManagerConfig small_config(BufferBackend backend, int cpus = 2) {
   ManagerConfig c;
   c.num_cpus = cpus;
   c.buffer_log2 = 8;
   c.overflow_cap = 64;
+  c.buffer_backend = backend;
   return c;
 }
 
-TEST(ThreadManager, SpeculateRunsTaskAndCommits) {
-  ThreadManager mgr(small_config());
+class ThreadManagerTest : public ::testing::TestWithParam<BufferBackend> {
+ protected:
+  ManagerConfig config(int cpus = 2) { return small_config(GetParam(), cpus); }
+};
+
+TEST_P(ThreadManagerTest, SpeculateRunsTaskAndCommits) {
+  ThreadManager mgr(config());
   alignas(8) static uint64_t x;
   x = 0;
   mgr.register_space(&x, sizeof(x));
 
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
     uint64_t v = 5;
-    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&x), &v, 8);
+    td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&x), &v, 8);
   });
   ASSERT_GT(rank, 0);
   ChildRef ref = mgr.root().children.back();
@@ -38,8 +46,8 @@ TEST(ThreadManager, SpeculateRunsTaskAndCommits) {
   EXPECT_EQ(mgr.live_threads(), 0);
 }
 
-TEST(ThreadManager, ConflictCausesRollbackAndNoCommit) {
-  ThreadManager mgr(small_config());
+TEST_P(ThreadManagerTest, ConflictCausesRollbackAndNoCommit) {
+  ThreadManager mgr(config());
   alignas(8) static uint64_t shared_val, out;
   shared_val = 1;
   out = 0;
@@ -49,10 +57,10 @@ TEST(ThreadManager, ConflictCausesRollbackAndNoCommit) {
                            [&child_read](ThreadData& td) {
     // Speculative read of shared_val, then dependent write to out.
     uint64_t v;
-    td.gbuf.load_bytes(reinterpret_cast<uintptr_t>(&shared_val), &v, 8);
+    td.sbuf.load_bytes(reinterpret_cast<uintptr_t>(&shared_val), &v, 8);
     child_read = true;
     uint64_t w = v * 10;
-    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&out), &w, 8);
+    td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&out), &w, 8);
   });
   ASSERT_GT(rank, 0);
   ChildRef ref = mgr.root().children.back();
@@ -65,8 +73,8 @@ TEST(ThreadManager, ConflictCausesRollbackAndNoCommit) {
   EXPECT_EQ(out, 0u) << "rolled-back writes must not reach memory";
 }
 
-TEST(ThreadManager, NoIdleCpuDeniesSpeculation) {
-  ThreadManager mgr(small_config(1));
+TEST_P(ThreadManagerTest, NoIdleCpuDeniesSpeculation) {
+  ThreadManager mgr(config(1));
   std::atomic<bool> release{false};
   int r1 = mgr.speculate(mgr.root(), ForkModel::kMixed, [&](ThreadData&) {
     while (!release.load()) std::this_thread::yield();
@@ -79,8 +87,8 @@ TEST(ThreadManager, NoIdleCpuDeniesSpeculation) {
   mgr.synchronize(mgr.root(), mgr.root().children.back());
 }
 
-TEST(ThreadManager, CpuSlotIsReusedAfterJoin) {
-  ThreadManager mgr(small_config(1));
+TEST_P(ThreadManagerTest, CpuSlotIsReusedAfterJoin) {
+  ThreadManager mgr(config(1));
   for (int i = 0; i < 5; ++i) {
     int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
     ASSERT_EQ(r, 1) << "single CPU must be reclaimed and reused";
@@ -91,21 +99,21 @@ TEST(ThreadManager, CpuSlotIsReusedAfterJoin) {
   EXPECT_EQ(rs.speculative_threads, 5u);
 }
 
-TEST(ThreadManager, SynchronizeStaleRefReturnsNotFound) {
-  ThreadManager mgr(small_config());
+TEST_P(ThreadManagerTest, SynchronizeStaleRefReturnsNotFound) {
+  ThreadManager mgr(config());
   auto r = mgr.synchronize(mgr.root(), ChildRef{1, 123});
   EXPECT_EQ(r, ThreadManager::JoinResult::kNotFound);
 }
 
-TEST(ThreadManager, ForceRollbackOverridesValidation) {
+TEST_P(ThreadManagerTest, ForceRollbackOverridesValidation) {
   // Failed live-in validation (paper IV-G4) forces rollback even though
   // the read-set is clean.
-  ThreadManager mgr(small_config());
+  ThreadManager mgr(config());
   alignas(8) static uint64_t y;
   y = 0;
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
     uint64_t v = 9;
-    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&y), &v, 8);
+    td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&y), &v, 8);
   });
   ASSERT_GT(rank, 0);
   auto r = mgr.synchronize(mgr.root(), mgr.root().children.back(),
@@ -114,10 +122,10 @@ TEST(ThreadManager, ForceRollbackOverridesValidation) {
   EXPECT_EQ(y, 0u);
 }
 
-TEST(ThreadManager, DoomedTaskRollsBack) {
-  ThreadManager mgr(small_config());
+TEST_P(ThreadManagerTest, DoomedTaskRollsBack) {
+  ThreadManager mgr(config());
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
-    td.gbuf.doom("synthetic doom");
+    td.sbuf.doom("synthetic doom");
     throw SpecAbort{"synthetic doom"};
   });
   ASSERT_GT(rank, 0);
@@ -125,8 +133,8 @@ TEST(ThreadManager, DoomedTaskRollsBack) {
   EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
 }
 
-TEST(ThreadManager, UserExceptionDoomsSpeculation) {
-  ThreadManager mgr(small_config());
+TEST_P(ThreadManagerTest, UserExceptionDoomsSpeculation) {
+  ThreadManager mgr(config());
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed,
                            [](ThreadData&) { throw 42; });
   ASSERT_GT(rank, 0);
@@ -134,23 +142,23 @@ TEST(ThreadManager, UserExceptionDoomsSpeculation) {
   EXPECT_EQ(r, ThreadManager::JoinResult::kRollback);
 }
 
-TEST(ThreadManager, NonConformingJoinNosyncsMismatchedChildren) {
+TEST_P(ThreadManagerTest, NonConformingJoinNosyncsMismatchedChildren) {
   // Fork A then B from the root; joining A first violates the mixed-model
   // assumption (later-speculated = logically earlier), so B is NOSYNCed
   // while the search continues to A (paper IV-F).
-  ThreadManager mgr(small_config(2));
+  ThreadManager mgr(config(2));
   alignas(8) static uint64_t a_out, b_out;
   a_out = b_out = 0;
 
   int ra = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
     uint64_t v = 1;
-    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&a_out), &v, 8);
+    td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&a_out), &v, 8);
   });
   ASSERT_GT(ra, 0);
   ChildRef ref_a = mgr.root().children.back();
   int rb = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
     uint64_t v = 1;
-    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&b_out), &v, 8);
+    td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&b_out), &v, 8);
   });
   ASSERT_GT(rb, 0);
 
@@ -166,10 +174,10 @@ TEST(ThreadManager, NonConformingJoinNosyncsMismatchedChildren) {
   EXPECT_EQ(rs.speculative.nosyncs, 1u);
 }
 
-TEST(ThreadManager, JoinerAdoptsGrandchildren) {
+TEST_P(ThreadManagerTest, JoinerAdoptsGrandchildren) {
   // A child forks a grandchild and finishes without joining it; the joiner
   // adopts the grandchild (paper IV-F: children are preserved).
-  ThreadManager mgr(small_config(2));
+  ThreadManager mgr(config(2));
   ThreadManager* m = &mgr;
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [m](ThreadData& td) {
     m->speculate(td, ForkModel::kMixed, [](ThreadData&) {});
@@ -185,8 +193,8 @@ TEST(ThreadManager, JoinerAdoptsGrandchildren) {
   EXPECT_EQ(r2, ThreadManager::JoinResult::kCommit);
 }
 
-TEST(ThreadManager, NosyncChildrenAbortsSubtree) {
-  ThreadManager mgr(small_config(2));
+TEST_P(ThreadManagerTest, NosyncChildrenAbortsSubtree) {
+  ThreadManager mgr(config(2));
   std::atomic<bool> spinning{false};
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [&](ThreadData&) {
     spinning = true;
@@ -203,8 +211,8 @@ TEST(ThreadManager, NosyncChildrenAbortsSubtree) {
 
 // --- forking-model admission (paper section II) ---
 
-TEST(ThreadManager, OutOfOrderDeniesSpeculativeForkers) {
-  ThreadManager mgr(small_config(2));
+TEST_P(ThreadManagerTest, OutOfOrderDeniesSpeculativeForkers) {
+  ThreadManager mgr(config(2));
   std::atomic<int> child_fork_rank{-1};
   ThreadManager* m = &mgr;
   int rank =
@@ -218,8 +226,8 @@ TEST(ThreadManager, OutOfOrderDeniesSpeculativeForkers) {
       << "out-of-order: speculative threads may not fork";
 }
 
-TEST(ThreadManager, InOrderAllowsOnlyMostSpeculativeThread) {
-  ThreadManager mgr(small_config(3));
+TEST_P(ThreadManagerTest, InOrderAllowsOnlyMostSpeculativeThread) {
+  ThreadManager mgr(config(3));
   std::atomic<int> child_fork_rank{-1};
   std::atomic<bool> child_forked{false};
   ThreadManager* m = &mgr;
@@ -243,8 +251,8 @@ TEST(ThreadManager, InOrderAllowsOnlyMostSpeculativeThread) {
   mgr.synchronize(mgr.root(), mgr.root().children.back());
 }
 
-TEST(ThreadManager, InOrderRootMayForkWhenNoLiveThreads) {
-  ThreadManager mgr(small_config(2));
+TEST_P(ThreadManagerTest, InOrderRootMayForkWhenNoLiveThreads) {
+  ThreadManager mgr(config(2));
   int r = mgr.speculate(mgr.root(), ForkModel::kInOrder, [](ThreadData&) {});
   EXPECT_GT(r, 0);
   mgr.synchronize(mgr.root(), mgr.root().children.back());
@@ -254,8 +262,8 @@ TEST(ThreadManager, InOrderRootMayForkWhenNoLiveThreads) {
   mgr.synchronize(mgr.root(), mgr.root().children.back());
 }
 
-TEST(ThreadManager, ModelOverrideForcesPolicy) {
-  ManagerConfig c = small_config(2);
+TEST_P(ThreadManagerTest, ModelOverrideForcesPolicy) {
+  ManagerConfig c = config(2);
   c.model_override = ForkModel::kOutOfOrder;
   ThreadManager mgr(c);
   std::atomic<int> child_fork_rank{-1};
@@ -269,8 +277,8 @@ TEST(ThreadManager, ModelOverrideForcesPolicy) {
   EXPECT_EQ(child_fork_rank.load(), 0);
 }
 
-TEST(ThreadManager, AdmissionAllowsQueries) {
-  ThreadManager mgr(small_config(2));
+TEST_P(ThreadManagerTest, AdmissionAllowsQueries) {
+  ThreadManager mgr(config(2));
   EXPECT_TRUE(mgr.admission_allows(mgr.root(), ForkModel::kMixed));
   EXPECT_TRUE(mgr.admission_allows(mgr.root(), ForkModel::kInOrder));
   EXPECT_TRUE(mgr.admission_allows(mgr.root(), ForkModel::kOutOfOrder));
@@ -278,15 +286,15 @@ TEST(ThreadManager, AdmissionAllowsQueries) {
 
 // --- rollback injection (paper Fig. 11) ---
 
-TEST(ThreadManager, RollbackInjectionProbabilityOne) {
-  ManagerConfig c = small_config(2);
+TEST_P(ThreadManagerTest, RollbackInjectionProbabilityOne) {
+  ManagerConfig c = config(2);
   c.rollback_probability = 1.0;
   ThreadManager mgr(c);
   alignas(8) static uint64_t z;
   z = 0;
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
     uint64_t v = 1;
-    td.gbuf.store_bytes(reinterpret_cast<uintptr_t>(&z), &v, 8);
+    td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&z), &v, 8);
   });
   ASSERT_GT(rank, 0);
   auto r = mgr.synchronize(mgr.root(), mgr.root().children.back());
@@ -294,9 +302,9 @@ TEST(ThreadManager, RollbackInjectionProbabilityOne) {
   EXPECT_EQ(z, 0u);
 }
 
-TEST(ThreadManager, RollbackInjectionIsDeterministicPerSeed) {
-  auto run_once = [](uint64_t seed) {
-    ManagerConfig c = small_config(1);
+TEST_P(ThreadManagerTest, RollbackInjectionIsDeterministicPerSeed) {
+  auto run_once = [this](uint64_t seed) {
+    ManagerConfig c = config(1);
     c.rollback_probability = 0.5;
     c.seed = seed;
     ThreadManager mgr(c);
@@ -316,14 +324,14 @@ TEST(ThreadManager, RollbackInjectionIsDeterministicPerSeed) {
 
 // --- statistics plumbing ---
 
-TEST(ThreadManager, StatsAggregateAcrossThreads) {
-  ThreadManager mgr(small_config(2));
+TEST_P(ThreadManagerTest, StatsAggregateAcrossThreads) {
+  ThreadManager mgr(config(2));
   mgr.begin_run();
   alignas(8) static uint64_t w;
   w = 0;
   int rank = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
     uint64_t v;
-    td.gbuf.load_bytes(reinterpret_cast<uintptr_t>(&w), &v, 8);
+    td.sbuf.load_bytes(reinterpret_cast<uintptr_t>(&w), &v, 8);
     ++td.stats.loads;
   });
   ASSERT_GT(rank, 0);
@@ -337,10 +345,49 @@ TEST(ThreadManager, StatsAggregateAcrossThreads) {
   EXPECT_GT(rs.critical.runtime_ns, 0u);
   EXPECT_GT(rs.speculative.runtime_ns, 0u);
   EXPECT_GE(rs.coverage(), 0.0);
+  // The one buffered load was probed and its read-set word validated.
+  EXPECT_GE(rs.speculative.buffer.probe_ops, 1u);
+  EXPECT_EQ(rs.speculative.buffer.validated_words, 1u);
 }
 
-TEST(ThreadManager, ResetStatsClears) {
-  ThreadManager mgr(small_config(1));
+TEST_P(ThreadManagerTest, BufferCountersDoNotLeakAcrossSpeculations) {
+  // A slot's next speculation must not re-report its predecessors' buffer
+  // events (regression guarded for overflow_events since PR 1; now covers
+  // the whole SpecBufferStats set).
+  ManagerConfig c = config(1);
+  c.buffer_log2 = 4;  // tiny: every speculation stresses capacity
+  c.overflow_cap = 4;
+  ThreadManager mgr(c);
+  alignas(8) static uint64_t arena[128];
+  mgr.begin_run();
+  for (int round = 0; round < 3; ++round) {
+    int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+      for (int i = 0; i < 64; ++i) {
+        uint64_t v = 1;
+        td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &v, 8);
+        if (td.sbuf.doomed()) return;  // static-hash dooms, by design
+      }
+    });
+    ASSERT_GT(r, 0);
+    mgr.synchronize(mgr.root(), mgr.root().children.back());
+  }
+  mgr.end_run();
+  RunStats rs = mgr.collect_stats();
+  if (GetParam() == BufferBackend::kStaticHash) {
+    // Exactly one exhaustion doom per round, not a growing resurvey.
+    EXPECT_EQ(rs.speculative.buffer.overflow_events, 3u);
+    EXPECT_EQ(rs.speculative.buffer.resize_events, 0u);
+    EXPECT_EQ(rs.speculative.rollbacks, 3u);
+  } else {
+    // The growable log absorbs the same pattern with resizes and commits.
+    EXPECT_EQ(rs.speculative.buffer.overflow_events, 0u);
+    EXPECT_GT(rs.speculative.buffer.resize_events, 0u);
+    EXPECT_EQ(rs.speculative.commits, 3u);
+  }
+}
+
+TEST_P(ThreadManagerTest, ResetStatsClears) {
+  ThreadManager mgr(config(1));
   int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
   ASSERT_GT(r, 0);
   mgr.synchronize(mgr.root(), mgr.root().children.back());
@@ -349,6 +396,15 @@ TEST(ThreadManager, ResetStatsClears) {
   EXPECT_EQ(rs.speculative_threads, 0u);
   EXPECT_EQ(rs.critical.forks, 0u);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ThreadManagerTest,
+    ::testing::Values(BufferBackend::kStaticHash, BufferBackend::kGrowableLog),
+    [](const ::testing::TestParamInfo<BufferBackend>& info) {
+      return info.param == BufferBackend::kStaticHash
+                 ? std::string("StaticHash")
+                 : std::string("GrowableLog");
+    });
 
 }  // namespace
 }  // namespace mutls

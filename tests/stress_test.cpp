@@ -12,22 +12,27 @@
 namespace mutls {
 namespace {
 
-// --- GlobalBuffer semantics vs a byte-level reference model -------------
+// --- SpecBuffer semantics vs a byte-level reference model ---------------
+//
+// Parameterized over (backend, seed): the buffered-view contract is
+// backend-independent, so every backend must agree with the same model.
 
-class BufferSemantics : public ::testing::TestWithParam<int> {};
+class BufferSemantics
+    : public ::testing::TestWithParam<std::tuple<BufferBackend, int>> {};
 
 TEST_P(BufferSemantics, SpeculativeViewMatchesReferenceModel) {
   // Random interleavings of speculative loads/stores of mixed sizes must
   // always observe: own writes first, then the initial memory image.
-  Xorshift64 rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  auto [backend, seed] = GetParam();
+  Xorshift64 rng(static_cast<uint64_t>(seed) * 7919 + 3);
   alignas(8) static uint8_t arena[512];
   for (size_t i = 0; i < sizeof(arena); ++i) {
     arena[i] = static_cast<uint8_t>(rng.next());
   }
   std::map<size_t, uint8_t> spec_view;  // offset -> speculatively written
 
-  GlobalBuffer buf;
-  buf.init(8, 128);
+  SpecBuffer buf;
+  buf.init(backend, 8, 128);
   for (int op = 0; op < 500; ++op) {
     size_t sizes[] = {1, 2, 4, 8, 16};
     size_t size = sizes[rng.next_below(5)];
@@ -61,7 +66,17 @@ TEST_P(BufferSemantics, SpeculativeViewMatchesReferenceModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, BufferSemantics, ::testing::Range(1, 9));
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndSeeds, BufferSemantics,
+    ::testing::Combine(::testing::Values(BufferBackend::kStaticHash,
+                                         BufferBackend::kGrowableLog),
+                       ::testing::Range(1, 9)),
+    [](const ::testing::TestParamInfo<std::tuple<BufferBackend, int>>& info) {
+      return std::string(std::get<0>(info.param) == BufferBackend::kStaticHash
+                             ? "StaticHash"
+                             : "GrowableLog") +
+             "Seed" + std::to_string(std::get<1>(info.param));
+    });
 
 // --- randomized speculation trees vs sequential execution ---------------
 
@@ -72,7 +87,8 @@ struct TreeCase {
   uint64_t seed;
 };
 
-class SpecTreeStress : public ::testing::TestWithParam<TreeCase> {};
+class SpecTreeStress
+    : public ::testing::TestWithParam<std::tuple<BufferBackend, TreeCase>> {};
 
 // Recursively computes values into `out` using nested speculation with a
 // deterministic shape drawn from `seed`; the sequential model is the same
@@ -111,11 +127,12 @@ void tree_model(std::vector<uint64_t>& out, size_t lo, size_t hi,
 }
 
 TEST_P(SpecTreeStress, TreeSpeculationMatchesSequentialModel) {
-  const TreeCase& tc = GetParam();
+  const auto& [backend, tc] = GetParam();
   Runtime::Options o;
   o.num_cpus = tc.cpus;
   o.buffer_log2 = tc.buffer_log2;
   o.overflow_cap = 32;
+  o.buffer_backend = backend;
   o.rollback_probability = tc.rollback_p;
   o.seed = tc.seed;
   Runtime rt(o);
@@ -135,10 +152,85 @@ TEST_P(SpecTreeStress, TreeSpeculationMatchesSequentialModel) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, SpecTreeStress,
-    ::testing::Values(TreeCase{1, 0.0, 10, 1}, TreeCase{2, 0.0, 10, 2},
-                      TreeCase{4, 0.0, 10, 3}, TreeCase{4, 0.3, 10, 4},
-                      TreeCase{2, 1.0, 10, 5}, TreeCase{4, 0.1, 4, 6},
-                      TreeCase{8, 0.05, 8, 7}));
+    ::testing::Combine(
+        ::testing::Values(BufferBackend::kStaticHash,
+                          BufferBackend::kGrowableLog),
+        ::testing::Values(TreeCase{1, 0.0, 10, 1}, TreeCase{2, 0.0, 10, 2},
+                          TreeCase{4, 0.0, 10, 3}, TreeCase{4, 0.3, 10, 4},
+                          TreeCase{2, 1.0, 10, 5}, TreeCase{4, 0.1, 4, 6},
+                          TreeCase{8, 0.05, 8, 7})),
+    [](const ::testing::TestParamInfo<std::tuple<BufferBackend, TreeCase>>&
+           info) {
+      return std::string(std::get<0>(info.param) == BufferBackend::kStaticHash
+                             ? "StaticHash"
+                             : "GrowableLog") +
+             "Case" + std::to_string(std::get<1>(info.param).seed);
+    });
+
+// --- growable-log backend: resize while the speculation is live ----------
+
+TEST(GrowableLogUnderSpeculation, ResizesMidSpeculationAndCommits) {
+  // A footprint far beyond the initial table forces index resizes *during*
+  // the speculative task; with the static hash this exact configuration
+  // would doom every speculation (bounded overflow), so commits prove the
+  // resize path end to end: buffered view across rehashes, validation,
+  // commit, and the stats plumbing.
+  constexpr size_t kN = 2048;  // >> 2^4 initial slots
+  Runtime rt({.num_cpus = 2,
+              .buffer_log2 = 4,
+              .overflow_cap = 8,
+              .buffer_backend = BufferBackend::kGrowableLog});
+  SharedArray<uint64_t> data(rt, kN, 0);
+  RunStats rs = rt.run([&](Ctx& ctx) {
+    Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      for (size_t i = 0; i < kN; ++i) {
+        // Read-modify-write: stresses read-set and write-set growth.
+        c.store(&data[i], c.load(&data[i]) + i);
+      }
+    });
+    rt.join(ctx, s);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(data[i], i) << "value lost across a mid-speculation resize";
+  }
+  EXPECT_EQ(rs.speculative.commits, 1u);
+  EXPECT_EQ(rs.speculative.rollbacks, 0u);
+  EXPECT_EQ(rs.speculative.buffer.overflow_events, 0u);
+  EXPECT_GT(rs.speculative.buffer.resize_events, 0u)
+      << "the tiny initial table must have grown";
+  EXPECT_GT(rs.speculative.buffer.probe_ops, 0u);
+}
+
+TEST(GrowableLogUnderSpeculation, NestedMergeIntoGrowingJoiner) {
+  // Tree-form nesting where the *joiner's* buffer must grow while adopting
+  // a large child commit (merge-driven resize, not access-driven).
+  constexpr size_t kN = 512;
+  Runtime rt({.num_cpus = 2,
+              .buffer_log2 = 4,
+              .overflow_cap = 8,
+              .buffer_backend = BufferBackend::kGrowableLog});
+  SharedArray<uint64_t> data(rt, kN, 0);
+  RunStats rs = rt.run([&](Ctx& ctx) {
+    Spec outer = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      Spec inner = rt.fork(c, ForkModel::kMixed, [&](Ctx& cc) {
+        for (size_t i = kN / 2; i < kN; ++i) {
+          cc.store(&data[i], uint64_t{i} * 2);
+        }
+      });
+      for (size_t i = 0; i < kN / 2; ++i) {
+        c.store(&data[i], uint64_t{i} * 2);
+      }
+      rt.join(c, inner);  // speculative joiner: merge_into path
+    });
+    rt.join(ctx, outer);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(data[i], i * 2);
+  }
+  EXPECT_GE(rs.speculative.commits, 1u);
+  EXPECT_EQ(rs.speculative.buffer.overflow_events, 0u);
+  EXPECT_GT(rs.speculative.buffer.resize_events, 0u);
+}
 
 // --- nested loop driver ---------------------------------------------------
 
