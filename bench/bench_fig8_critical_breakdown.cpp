@@ -34,9 +34,12 @@ int main(int argc, char** argv) {
         auto pct = [&](TimeCat c) {
           return 100.0 * static_cast<double>(l.get(c)) / tot;
         };
+        // The fork column folds arming and the worker handoff together
+        // (the paper does not split them; the ledger does).
         std::printf("%-11s %-6d %7.1f %7.1f %7.1f %7.1f %7.1f\n",
                     w.name.c_str(), n, pct(TimeCat::kWork), pct(TimeCat::kJoin),
-                    pct(TimeCat::kIdle), pct(TimeCat::kFork),
+                    pct(TimeCat::kIdle),
+                    pct(TimeCat::kFork) + pct(TimeCat::kForkHandoff),
                     pct(TimeCat::kFindCpu));
       }
     }

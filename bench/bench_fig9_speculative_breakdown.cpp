@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
             w.name.c_str(), n, pct(TimeCat::kWork), pct(TimeCat::kWastedWork),
             pct(TimeCat::kValidation), pct(TimeCat::kCommit),
             pct(TimeCat::kFinalize), pct(TimeCat::kIdle),
-            pct(TimeCat::kFork) + pct(TimeCat::kFindCpu));
+            pct(TimeCat::kFork) + pct(TimeCat::kForkHandoff) +
+                pct(TimeCat::kFindCpu));
       }
     }
   }

@@ -12,13 +12,24 @@ using namespace mutls;
 
 void BM_ForkJoinRoundTrip(benchmark::State& state) {
   Runtime rt({.num_cpus = 1, .buffer_log2 = 10});
-  rt.run([&](Ctx& ctx) {
+  RunStats rs = rt.run([&](Ctx& ctx) {
     for (auto _ : state) {
       Spec s = rt.fork(ctx, ForkModel::kMixed, [](Ctx&) {});
       JoinOutcome r = rt.join(ctx, s);
       benchmark::DoNotOptimize(r);
     }
   });
+  // The critical-path fork-latency ledger split, per round trip: idle-slot
+  // claim, slot arming, worker handoff (spin-then-park pickup), join.
+  const TimeLedger& l = rs.critical.ledger;
+  using benchmark::Counter;
+  auto per_iter = [&](TimeCat c) {
+    return Counter(static_cast<double>(l.get(c)), Counter::kAvgIterations);
+  };
+  state.counters["find_cpu_ns"] = per_iter(TimeCat::kFindCpu);
+  state.counters["fork_arm_ns"] = per_iter(TimeCat::kFork);
+  state.counters["fork_handoff_ns"] = per_iter(TimeCat::kForkHandoff);
+  state.counters["join_ns"] = per_iter(TimeCat::kJoin);
 }
 BENCHMARK(BM_ForkJoinRoundTrip);
 
@@ -52,6 +63,16 @@ void attach_buffer_counters(benchmark::State& state, const RunStats& rs) {
   state.counters["validated_words"] =
       Counter(static_cast<double>(b.validated_words), Counter::kAvgIterations);
   state.counters["avg_probe_len"] = b.avg_probe_length();
+  // Access-path tier counters: aligned-word fast-path uses, MRU word-view
+  // cache hits/misses and the set probes those hits skipped.
+  state.counters["fastpath_hits"] =
+      Counter(static_cast<double>(b.fastpath_hits), Counter::kAvgIterations);
+  state.counters["mru_hits"] =
+      Counter(static_cast<double>(b.mru_hits), Counter::kAvgIterations);
+  state.counters["mru_misses"] =
+      Counter(static_cast<double>(b.mru_misses), Counter::kAvgIterations);
+  state.counters["probe_skips"] =
+      Counter(static_cast<double>(b.probe_skips), Counter::kAvgIterations);
 }
 
 void BM_BufferedLoadStore(benchmark::State& state) {

@@ -11,6 +11,14 @@ re-parsing free text; the raw stdout is preserved verbatim as well.
 Usage:
   scripts/bench_json.py --bench-dir build/bench [--out BENCH_results.json]
                         [--mode quick|full|paper] [--no-sim|--no-measured]
+                        [--no-micro] [--no-ablation] [--baseline OLD.json]
+
+Besides the figure benches, the backend-sweeping microbenches
+(bench_micro_runtime) and the buffer-map ablation (bench_ablation_buffer_map)
+are run in JSON mode and their counters captured, so hot-path and backend
+perf regressions trip the trajectory, not just correctness CI. --baseline
+embeds the hot-path rows of a previous document under "baseline" for a
+before/after record.
 
 The CMake target `bench_json` wraps this with the default build tree.
 """
@@ -38,12 +46,26 @@ FIG_BENCHES = [
     "bench_table2_benchmarks",
 ]
 
-# Google-Benchmark binary whose buffered benches sweep the SpecBuffer
-# backends; its per-run counters (resize_events, avg_probe_len,
-# validated_words, overflow_events) are the cost breakdown behind any
-# backend comparison, so they ride along in the JSON document.
+# Google-Benchmark binaries whose buffered benches sweep the SpecBuffer
+# backends; their per-run counters (resize_events, avg_probe_len,
+# validated_words, overflow_events, fastpath_hits, mru_hits/misses,
+# probe_skips, the fork-latency ledger split) are the cost breakdown behind
+# any backend or hot-path comparison, so they ride along in the JSON
+# document. The ablation binary rides along too so a backend perf
+# regression trips the perf trajectory, not just correctness CI.
 MICRO_BENCH = "bench_micro_runtime"
-MICRO_FILTER = "Buffered"
+MICRO_FILTER = "Buffered|ForkJoin"
+ABLATION_BENCH = "bench_ablation_buffer_map"
+ABLATION_FILTER = "SpecBuffer|ValidateCommit|OverCapacity|ResetSmall"
+
+# Counters copied out of a Google-Benchmark JSON run when present.
+COUNTER_KEYS = (
+    "items_per_second", "resize_events", "overflow_events",
+    "validated_words", "avg_probe_len", "rollbacks", "commits",
+    "fastpath_hits", "mru_hits", "mru_misses", "probe_skips",
+    "find_cpu_ns", "fork_arm_ns", "fork_handoff_ns", "join_ns",
+    "resizes", "overflow_dooms", "doom_rate", "real_time", "cpu_time",
+)
 
 NUM_RE = re.compile(r"^-?\d+(\.\d+)?[x%]?$")
 
@@ -67,13 +89,14 @@ def parse_rows(stdout: str):
     return rows
 
 
-def run_micro(bench_dir: Path, timeout: int, quick: bool):
-    """Run the backend-sweeping microbenches, returning counter rows."""
-    exe = bench_dir / MICRO_BENCH
-    entry = {"bench": MICRO_BENCH, "status": "missing"}
+def run_gbench(bench_dir: Path, name: str, bfilter: str, timeout: int,
+               quick: bool):
+    """Run one Google-Benchmark binary, returning counter rows."""
+    exe = bench_dir / name
+    entry = {"bench": name, "status": "missing"}
     if not exe.exists():
         return entry
-    cmd = [str(exe), f"--benchmark_filter={MICRO_FILTER}",
+    cmd = [str(exe), f"--benchmark_filter={bfilter}",
            "--benchmark_format=json"]
     if quick:
         # Plain double, not "0.05s": old libbenchmark rejects the suffix
@@ -93,9 +116,7 @@ def run_micro(bench_dir: Path, timeout: int, quick: bool):
         runs = []
         for b in doc.get("benchmarks", []):
             run = {"name": b.get("name"), "backend": b.get("label")}
-            for key in ("items_per_second", "resize_events",
-                        "overflow_events", "validated_words",
-                        "avg_probe_len", "rollbacks", "commits"):
+            for key in COUNTER_KEYS:
                 if key in b:
                     run[key] = b[key]
             runs.append(run)
@@ -108,6 +129,27 @@ def run_micro(bench_dir: Path, timeout: int, quick: bool):
         entry["status"] = "failed"
         entry["error"] = str(e)
     return entry
+
+
+def extract_baseline(path: Path):
+    """Pull the perf-trajectory rows out of a previous results document.
+
+    Embedded under "baseline" in the new document so a before/after
+    comparison of the hot paths travels with the run that changed them.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return {"status": "unreadable", "error": str(e)}
+    keep = {}
+    for bench in doc.get("benches", []):
+        name = bench.get("bench")
+        if name in (MICRO_BENCH, ABLATION_BENCH) and "runs" in bench:
+            keep[name] = bench["runs"]
+        elif name == "bench_fig3_compute_speedup" and "rows" in bench:
+            keep[name] = bench["rows"]
+    return {"status": "ok", "git_rev": doc.get("git_rev", "unknown"),
+            "generated_utc": doc.get("generated_utc"), "benches": keep}
 
 
 def git_rev(repo: Path) -> str:
@@ -132,6 +174,11 @@ def main() -> int:
     ap.add_argument("--no-measured", action="store_true")
     ap.add_argument("--no-micro", action="store_true",
                     help="skip the backend-sweeping microbench counters")
+    ap.add_argument("--no-ablation", action="store_true",
+                    help="skip the buffer-map ablation sweep")
+    ap.add_argument("--baseline", default=None,
+                    help="previous BENCH_results.json whose hot-path rows "
+                         "are embedded as the before of a before/after")
     ap.add_argument("--timeout", type=int, default=1800,
                     help="per-bench timeout in seconds")
     args = ap.parse_args()
@@ -178,9 +225,17 @@ def main() -> int:
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
     if not args.no_micro:
-        entry = run_micro(bench_dir, args.timeout, args.mode == "quick")
+        entry = run_gbench(bench_dir, MICRO_BENCH, MICRO_FILTER,
+                           args.timeout, args.mode == "quick")
         results.append(entry)
         print(f"[bench_json] {MICRO_BENCH}: {entry['status']} "
+              f"({entry.get('seconds', 0)}s)", file=sys.stderr)
+
+    if not args.no_ablation:
+        entry = run_gbench(bench_dir, ABLATION_BENCH, ABLATION_FILTER,
+                           args.timeout, args.mode == "quick")
+        results.append(entry)
+        print(f"[bench_json] {ABLATION_BENCH}: {entry['status']} "
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
     doc = {
@@ -197,6 +252,8 @@ def main() -> int:
         },
         "benches": results,
     }
+    if args.baseline:
+        doc["baseline"] = extract_baseline(Path(args.baseline))
     Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[bench_json] wrote {args.out}", file=sys.stderr)
     failed = [r["bench"] for r in results if r.get("status") != "ok"]

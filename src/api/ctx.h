@@ -18,6 +18,7 @@
 #include <type_traits>
 
 #include "api/scalar_access.h"
+#include "runtime/memory.h"
 #include "runtime/spec_abort.h"
 #include "runtime/thread_data.h"
 
@@ -34,6 +35,13 @@ class Ctx {
   Runtime& runtime() const { return *rt_; }
   ThreadData& thread_data() const { return *td_; }
 
+  // True when a T can ever take the aligned-word fast path: power-of-two
+  // size <= 8, checked at compile time so oversized types skip the branch;
+  // the per-address natural-alignment half of the rule is
+  // word_sized_aligned ("runtime/memory.h").
+  template <typename T>
+  static constexpr bool kWordSized = word_sized_aligned(0, sizeof(T));
+
   template <typename T>
   T load(const T* p) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -44,6 +52,14 @@ class Ctx {
     uintptr_t a = reinterpret_cast<uintptr_t>(p);
     check_registered(a, sizeof(T));
     T out;
+    if constexpr (kWordSized<T>) {
+      if (word_sized_aligned(a, sizeof(T))) {
+        uint64_t raw = td_->sbuf.load_aligned(a, sizeof(T));
+        std::memcpy(&out, &raw, sizeof(T));
+        if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
+        return out;
+      }
+    }
     td_->sbuf.load_bytes(a, &out, sizeof(T));
     if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
     return out;
@@ -59,7 +75,50 @@ class Ctx {
     }
     uintptr_t a = reinterpret_cast<uintptr_t>(p);
     check_registered(a, sizeof(T));
+    if constexpr (kWordSized<T>) {
+      if (word_sized_aligned(a, sizeof(T))) {
+        uint64_t raw = 0;
+        std::memcpy(&raw, &v, sizeof(T));
+        td_->sbuf.store_aligned(a, raw, sizeof(T));
+        if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
+        return;
+      }
+    }
     td_->sbuf.store_bytes(a, &v, sizeof(T));
+    if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
+  }
+
+  // Bulk transfers: move `count` contiguous T's through the speculative
+  // view with one registration check, one stats bump and one buffer-map
+  // probe per *word* instead of per element. The workhorse behind
+  // SharedSpan<T>::read/write.
+  template <typename T>
+  void load_n(const T* p, T* out, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return;
+    td_->stats.loads += count;
+    if (!td_->is_speculative()) {
+      relaxed_load_bytes(p, out, count * sizeof(T));
+      return;
+    }
+    uintptr_t a = reinterpret_cast<uintptr_t>(p);
+    check_registered(a, count * sizeof(T));
+    td_->sbuf.load_span(a, out, count * sizeof(T));
+    if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
+  }
+
+  template <typename T>
+  void store_n(T* p, const T* src, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return;
+    td_->stats.stores += count;
+    if (!td_->is_speculative()) {
+      relaxed_store_bytes(p, src, count * sizeof(T));
+      return;
+    }
+    uintptr_t a = reinterpret_cast<uintptr_t>(p);
+    check_registered(a, count * sizeof(T));
+    td_->sbuf.store_span(a, src, count * sizeof(T));
     if (td_->sbuf.doomed()) throw SpecAbort{td_->sbuf.doom_reason()};
   }
 

@@ -49,15 +49,91 @@ T relaxed_load_scalar(const T* p) {
   }
 }
 
-// Byte-wise relaxed copy out of shared memory for accesses whose size is
-// only known at runtime (live-in prediction validation). Torn values are
-// acceptable: a torn read differs from the predicted value and simply
-// forces a rollback.
+// Widest relaxed-atomic unit (power of two, <= 8) usable at `addr` for the
+// next `left` bytes. Decomposing a run this way moves the interior as whole
+// words and any head/tail fragment at its natural alignment — so an element
+// of a naturally-aligned array is always covered by a single atomic op and
+// can never tear against concurrent element-sized accesses.
+inline size_t relaxed_unit(uintptr_t addr, size_t left) {
+  size_t s = addr & (~addr + 1);  // lowest set bit = address alignment
+  if (s == 0 || s > 8) s = 8;
+  while (s > left) s >>= 1;
+  return s;
+}
+
+// Relaxed copy out of shared memory for accesses whose size is only known
+// at runtime (live-in prediction validation, bulk loads). A value torn
+// across units is acceptable: it differs from the predicted/observed value
+// and simply forces a rollback.
 inline void relaxed_load_bytes(const void* p, void* out, size_t n) {
-  const auto* src = static_cast<const uint8_t*>(p);
+  uintptr_t a = reinterpret_cast<uintptr_t>(p);
   auto* dst = static_cast<uint8_t*>(out);
-  for (size_t i = 0; i < n; ++i) {
-    dst[i] = __atomic_load_n(src + i, __ATOMIC_RELAXED);
+  while (n > 0) {
+    size_t s = relaxed_unit(a, n);
+    switch (s) {
+      case 8: {
+        uint64_t v = __atomic_load_n(reinterpret_cast<const uint64_t*>(a),
+                                     __ATOMIC_RELAXED);
+        std::memcpy(dst, &v, 8);
+        break;
+      }
+      case 4: {
+        uint32_t v = __atomic_load_n(reinterpret_cast<const uint32_t*>(a),
+                                     __ATOMIC_RELAXED);
+        std::memcpy(dst, &v, 4);
+        break;
+      }
+      case 2: {
+        uint16_t v = __atomic_load_n(reinterpret_cast<const uint16_t*>(a),
+                                     __ATOMIC_RELAXED);
+        std::memcpy(dst, &v, 2);
+        break;
+      }
+      default:
+        *dst = __atomic_load_n(reinterpret_cast<const uint8_t*>(a),
+                               __ATOMIC_RELAXED);
+        break;
+    }
+    a += s;
+    dst += s;
+    n -= s;
+  }
+}
+
+// Relaxed copy into shared memory (non-speculative bulk stores), same unit
+// decomposition.
+inline void relaxed_store_bytes(void* p, const void* src, size_t n) {
+  uintptr_t a = reinterpret_cast<uintptr_t>(p);
+  const auto* s8 = static_cast<const uint8_t*>(src);
+  while (n > 0) {
+    size_t s = relaxed_unit(a, n);
+    switch (s) {
+      case 8: {
+        uint64_t v;
+        std::memcpy(&v, s8, 8);
+        __atomic_store_n(reinterpret_cast<uint64_t*>(a), v, __ATOMIC_RELAXED);
+        break;
+      }
+      case 4: {
+        uint32_t v;
+        std::memcpy(&v, s8, 4);
+        __atomic_store_n(reinterpret_cast<uint32_t*>(a), v, __ATOMIC_RELAXED);
+        break;
+      }
+      case 2: {
+        uint16_t v;
+        std::memcpy(&v, s8, 2);
+        __atomic_store_n(reinterpret_cast<uint16_t*>(a), v, __ATOMIC_RELAXED);
+        break;
+      }
+      default:
+        __atomic_store_n(reinterpret_cast<uint8_t*>(a), *s8,
+                         __ATOMIC_RELAXED);
+        break;
+    }
+    a += s;
+    s8 += s;
+    n -= s;
   }
 }
 

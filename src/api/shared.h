@@ -94,6 +94,20 @@ class SharedSpan {
     return SharedRef<T>(*ctx_, data_ + i);
   }
 
+  // Bulk transfers: move `count` elements starting at `offset` through the
+  // speculative view in one routed call — one registration check and one
+  // buffer-map probe per word instead of per element. Prefer these over an
+  // element loop whenever a chunk's elements are consumed or produced
+  // together (row sweeps, gather/scatter staging).
+  void read(size_t offset, T* out, size_t count) const {
+    MUTLS_DCHECK(offset + count <= size_, "SharedSpan read out of range");
+    ctx_->load_n(data_ + offset, out, count);
+  }
+  void write(size_t offset, const T* src, size_t count) const {
+    MUTLS_DCHECK(offset + count <= size_, "SharedSpan write out of range");
+    ctx_->store_n(data_ + offset, src, count);
+  }
+
   SharedSpan subspan(size_t offset, size_t count) const {
     MUTLS_DCHECK(offset + count <= size_, "SharedSpan subspan out of range");
     return SharedSpan(*ctx_, data_ + offset, count);

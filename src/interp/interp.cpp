@@ -136,7 +136,12 @@ void Interpreter::load_mem(ThreadData& td, uint64_t addr, void* out,
     return;
   }
   check_space(td, addr, n);
-  td.sbuf.load_bytes(addr, out, n);
+  if (word_sized_aligned(addr, n)) {
+    uint64_t raw = td.sbuf.load_aligned(addr, n);
+    std::memcpy(out, &raw, n);
+  } else {
+    td.sbuf.load_bytes(addr, out, n);
+  }
   if (td.sbuf.doomed()) throw SpecAbort{td.sbuf.doom_reason()};
 }
 
@@ -150,7 +155,13 @@ void Interpreter::store_mem(ThreadData& td, uint64_t addr, const void* src,
     return;
   }
   check_space(td, addr, n);
-  td.sbuf.store_bytes(addr, src, n);
+  if (word_sized_aligned(addr, n)) {
+    uint64_t raw = 0;
+    std::memcpy(&raw, src, n);
+    td.sbuf.store_aligned(addr, raw, n);
+  } else {
+    td.sbuf.store_bytes(addr, src, n);
+  }
   if (td.sbuf.doomed()) throw SpecAbort{td.sbuf.doom_reason()};
 }
 

@@ -29,6 +29,7 @@ BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
   if (addresses_[idx] == word_addr) {
     out.data = &buffer_[idx];
     out.mark = marks_ ? &marks_[idx] : nullptr;
+    out.table_index = static_cast<uint32_t>(idx);
     return Find::kFound;
   }
   if (addresses_[idx] == 0) {
@@ -38,6 +39,7 @@ BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
     offsets_.push_back(static_cast<uint32_t>(idx));
     out.data = &buffer_[idx];
     out.mark = marks_ ? &marks_[idx] : nullptr;
+    out.table_index = static_cast<uint32_t>(idx);
     return Find::kInserted;
   }
   // Slot collision: the paper's "temporary buffer" path. The linear scan is
@@ -47,6 +49,7 @@ BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
     if (e.word_addr == word_addr) {
       out.data = &e.data;
       out.mark = marks_ ? &e.mark : nullptr;
+      out.table_index = kNoSlot;
       return Find::kFound;
     }
   }
@@ -56,6 +59,7 @@ BufferMap::Find BufferMap::find_or_insert(uintptr_t word_addr, Slot& out) {
   overflow_.push_back(OverflowEntry{word_addr, 0, 0});
   out.data = &overflow_.back().data;
   out.mark = marks_ ? &overflow_.back().mark : nullptr;
+  out.table_index = kNoSlot;
   return Find::kInserted;
 }
 
@@ -65,6 +69,7 @@ bool BufferMap::find(uintptr_t word_addr, Slot& out) {
   if (addresses_[idx] == word_addr) {
     out.data = &buffer_[idx];
     out.mark = marks_ ? &marks_[idx] : nullptr;
+    out.table_index = static_cast<uint32_t>(idx);
     return true;
   }
   if (addresses_[idx] == 0) return false;
@@ -73,6 +78,7 @@ bool BufferMap::find(uintptr_t word_addr, Slot& out) {
     if (e.word_addr == word_addr) {
       out.data = &e.data;
       out.mark = marks_ ? &e.mark : nullptr;
+      out.table_index = kNoSlot;
       return true;
     }
   }
@@ -91,9 +97,45 @@ void GlobalBuffer::init(int log2_entries, size_t overflow_cap) {
 }
 
 uint64_t GlobalBuffer::read_word_view(uintptr_t word_addr) {
+  if (word_addr == mru_addr_) {
+    // Serve entirely from the cached slots when the line knows everything
+    // the probing path would re-derive.
+    if (mru_w_ != 0 && mru_w_ != kWriteAbsent) {
+      uint64_t mark = write_set_.mark_at(mru_w_ - 1);
+      if (mark == kFullMark) {
+        ++stats_.mru_hits;
+        ++stats_.probe_skips;
+        return write_set_.data_at(mru_w_ - 1);
+      }
+      if (mru_r_ != 0) {
+        ++stats_.mru_hits;
+        stats_.probe_skips += 2;
+        return overlay_bytes(read_set_.data_at(mru_r_ - 1),
+                             write_set_.data_at(mru_w_ - 1), mark);
+      }
+    } else if (mru_w_ == kWriteAbsent && mru_r_ != 0) {
+      ++stats_.mru_hits;
+      stats_.probe_skips += 2;
+      return read_set_.data_at(mru_r_ - 1);
+    }
+  }
+  ++stats_.mru_misses;
+  // Keep whatever half of the line is still valid when re-resolving the
+  // same word (e.g. a read after a store that only knew the write slot).
+  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+
   BufferMap::Slot w;
   bool have_w = write_set_.find(word_addr, w);
-  if (have_w && *w.mark == kFullMark) return *w.data;
+  uint32_t mw = have_w
+                    ? (w.table_index != BufferMap::kNoSlot ? w.table_index + 1
+                                                           : 0)
+                    : kWriteAbsent;
+  if (have_w && *w.mark == kFullMark) {
+    mru_addr_ = word_addr;
+    mru_r_ = mr;
+    mru_w_ = mw;
+    return *w.data;
+  }
 
   uint64_t base;
   BufferMap::Slot r;
@@ -112,12 +154,16 @@ uint64_t GlobalBuffer::read_word_view(uintptr_t word_addr) {
       doom("read-set overflow buffer full");
       ++stats_.overflow_events;
       base = atomic_word_load(word_addr);
-      break;
+      if (have_w) base = overlay_bytes(base, *w.data, *w.mark);
+      mru_invalidate();  // nothing stable to cache for a doomed access
+      return base;
   }
+  mru_addr_ = word_addr;
+  mru_r_ = r.table_index != BufferMap::kNoSlot ? r.table_index + 1 : 0;
+  mru_w_ = mw;
   if (have_w) {
     // Overlay the bytes this thread already wrote.
-    uint64_t m = *w.mark;
-    base = (base & ~m) | (*w.data & m);
+    base = overlay_bytes(base, *w.data, *w.mark);
   }
   return base;
 }
@@ -134,37 +180,53 @@ uint64_t GlobalBuffer::peek_word_view(uintptr_t word_addr) {
     base = atomic_word_load(word_addr);
   }
   if (have_w) {
-    uint64_t m = *w.mark;
-    base = (base & ~m) | (*w.data & m);
+    base = overlay_bytes(base, *w.data, *w.mark);
   }
   return base;
 }
 
 void GlobalBuffer::write_word(uintptr_t word_addr, uint64_t value,
                               uint64_t mask) {
+  if (word_addr == mru_addr_ && mru_w_ != 0 && mru_w_ != kWriteAbsent) {
+    ++stats_.mru_hits;
+    ++stats_.probe_skips;
+    uint64_t& d = write_set_.data_at(mru_w_ - 1);
+    d = overlay_bytes(d, value, mask);
+    write_set_.mark_at(mru_w_ - 1) |= mask;
+    return;
+  }
+  ++stats_.mru_misses;
   BufferMap::Slot w;
   if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
     doom("write-set overflow buffer full");
     ++stats_.overflow_events;
     return;
   }
-  *w.data = (*w.data & ~mask) | (value & mask);
+  *w.data = overlay_bytes(*w.data, value, mask);
   *w.mark |= mask;
+  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+  mru_addr_ = word_addr;
+  mru_r_ = mr;
+  mru_w_ = w.table_index != BufferMap::kNoSlot ? w.table_index + 1 : 0;
 }
 
 void GlobalBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
                                uint64_t mark) {
+  // Adoption mutates the sets behind the MRU's back (and runs at the flag
+  // barrier, not on the access hot path): drop the cache wholesale.
+  mru_invalidate();
   BufferMap::Slot w;
   if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
     doom("write-set overflow while adopting a child commit");
     ++stats_.overflow_events;
     return;
   }
-  *w.data = (*w.data & ~mark) | (data & mark);
+  *w.data = overlay_bytes(*w.data, data, mark);
   *w.mark |= mark;
 }
 
 void GlobalBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
+  mru_invalidate();
   // Reads fully satisfied by this buffer's own writes carry no main-memory
   // dependency; everything else must survive until this thread's own
   // validation, so it joins the read-set (first value wins).
@@ -187,6 +249,7 @@ void GlobalBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
 void GlobalBuffer::reset() {
   read_set_.clear();
   write_set_.clear();
+  mru_invalidate();
   doomed_ = false;
   doom_reason_ = "";
   // stats_ intentionally survives reset: the settle paths read the counters

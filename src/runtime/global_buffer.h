@@ -22,6 +22,16 @@
 // order write-set (marked bytes) -> read-set -> main memory (first touch
 // inserts the whole containing word into the read-set, as the paper does
 // for sub-word accesses).
+//
+// Hot-path shortcut: a one-line MRU cache of the most recently resolved
+// word view (read-set slot, write-set slot, or a proven write-set absence)
+// sits in front of the two maps, so consecutive touches of the same word —
+// the load+store pair of every read-modify-write, sub-word sweeps through
+// one word — skip the hash probes entirely. The line is deliberately tiny:
+// the miss path pays one compare and a three-word refresh, so streaming
+// access patterns that never repeat a word lose nothing. Only static-table
+// slots are cached (their storage never moves); overflow residents always
+// take the probing path.
 #pragma once
 
 #include <cstdint>
@@ -37,9 +47,15 @@ namespace mutls {
 // One static hash map (either the read-set or the write-set).
 class BufferMap {
  public:
+  // Static-table index of a resolved slot, or kNoSlot for bounded-overflow
+  // residents (whose storage moves when the overflow vector grows and must
+  // therefore never be cached).
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
   struct Slot {
     uint64_t* data = nullptr;
     uint64_t* mark = nullptr;  // null when the map carries no marks
+    uint32_t table_index = kNoSlot;
   };
 
   enum class Find { kFound, kInserted, kFull };
@@ -72,6 +88,11 @@ class BufferMap {
       fn(e.word_addr, e.data, e.mark);
     }
   }
+
+  // Direct static-table access for MRU-cached slots (index from
+  // Slot::table_index; stable for the life of the map).
+  uint64_t& data_at(uint32_t idx) { return buffer_[idx]; }
+  uint64_t& mark_at(uint32_t idx) { return marks_[idx]; }
 
   size_t entry_count() const { return offsets_.size() + overflow_.size(); }
   size_t overflow_count() const { return overflow_.size(); }
@@ -121,7 +142,9 @@ class GlobalBuffer {
   uint64_t read_word_view(uintptr_t word_addr);
 
   // Like read_word_view but never inserts into the read-set (used when a
-  // speculative joiner evaluates a child's validation).
+  // speculative joiner evaluates a child's validation). Leaves the MRU
+  // cache untouched: peeks run on the *joiner's* buffer from the child's
+  // thread at the flag barrier.
   uint64_t peek_word_view(uintptr_t word_addr);
 
   // Overlays the bytes selected by `mask` onto the buffered word; dooms on
@@ -173,8 +196,23 @@ class GlobalBuffer {
   void clear_stats() { stats_.clear(); }
 
  private:
+  // The MRU line: static-table slot indices (+1, 0 = not yet resolved)
+  // recomposing the speculative view of mru_addr_ without probing either
+  // map. kWriteAbsent marks a word proven absent from the write set; 1 is
+  // an impossible word address.
+  static constexpr uint32_t kWriteAbsent = 0xffffffffu;
+
+  void mru_invalidate() {
+    mru_addr_ = 1;
+    mru_r_ = 0;
+    mru_w_ = 0;
+  }
+
   BufferMap read_set_;
   BufferMap write_set_;
+  uintptr_t mru_addr_ = 1;
+  uint32_t mru_r_ = 0;  // read-set table slot +1; 0 = unknown
+  uint32_t mru_w_ = 0;  // write-set table slot +1; 0 = unknown; kWriteAbsent
   bool doomed_ = false;
   const char* doom_reason_ = "";
   SpecBufferStats stats_;

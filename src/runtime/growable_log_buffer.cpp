@@ -98,15 +98,49 @@ void GrowableLogBuffer::init(int log2_entries, size_t overflow_cap) {
 }
 
 uint64_t GrowableLogBuffer::read_word_view(uintptr_t word_addr) {
+  if (word_addr == mru_addr_) {
+    // Serve entirely from the cached positions when the line knows
+    // everything the probing path would re-derive.
+    if (mru_w_ != 0 && mru_w_ != kWriteAbsent) {
+      GrowableSet::Entry& w = write_set_.at_position(mru_w_);
+      if (w.mark == kFullMark) {
+        ++stats_.mru_hits;
+        ++stats_.probe_skips;
+        return w.data;
+      }
+      if (mru_r_ != 0) {
+        ++stats_.mru_hits;
+        stats_.probe_skips += 2;
+        return overlay_bytes(read_set_.at_position(mru_r_).data, w.data,
+                             w.mark);
+      }
+    } else if (mru_w_ == kWriteAbsent && mru_r_ != 0) {
+      ++stats_.mru_hits;
+      stats_.probe_skips += 2;
+      return read_set_.at_position(mru_r_).data;
+    }
+  }
+  ++stats_.mru_misses;
+  // Keep whatever half of the line is still valid when re-resolving the
+  // same word (e.g. a read after a store that only knew the write slot).
+  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+
   GrowableSet::Entry* w = write_set_.find(word_addr);
-  if (w && w->mark == kFullMark) return w->data;
+  uint32_t mw = w ? write_set_.position_of(w) : kWriteAbsent;
+  if (w && w->mark == kFullMark) {
+    mru_addr_ = word_addr;
+    mru_r_ = mr;
+    mru_w_ = mw;
+    return w->data;
+  }
 
   if (read_set_.at_hard_capacity()) {
     // ~2^28 distinct words: past the point where resizing can help. Doom
     // like the static hash does on exhaustion instead of aborting.
     doom("read-set exhausted the maximum growable index");
+    mru_invalidate();  // nothing stable to cache for a doomed access
     uint64_t base = atomic_word_load(word_addr);
-    if (w) base = (base & ~w->mark) | (w->data & w->mark);
+    if (w) base = overlay_bytes(base, w->data, w->mark);
     return base;
   }
   bool inserted = false;
@@ -116,11 +150,14 @@ uint64_t GrowableLogBuffer::read_word_view(uintptr_t word_addr) {
     // for validation.
     r.data = atomic_word_load(word_addr);
   }
+  mru_addr_ = word_addr;
+  mru_r_ = read_set_.position_of(&r);
+  mru_w_ = mw;
   uint64_t base = r.data;
   if (w) {
     // Overlay the bytes this thread already wrote. `w` points into the
     // write set's log, untouched by the read-set insertion above.
-    base = (base & ~w->mark) | (w->data & w->mark);
+    base = overlay_bytes(base, w->data, w->mark);
   }
   return base;
 }
@@ -131,25 +168,41 @@ uint64_t GrowableLogBuffer::peek_word_view(uintptr_t word_addr) {
   GrowableSet::Entry* r = read_set_.find(word_addr);
   uint64_t base = r ? r->data : atomic_word_load(word_addr);
   if (w) {
-    base = (base & ~w->mark) | (w->data & w->mark);
+    base = overlay_bytes(base, w->data, w->mark);
   }
   return base;
 }
 
 void GrowableLogBuffer::write_word(uintptr_t word_addr, uint64_t value,
                                    uint64_t mask) {
+  if (word_addr == mru_addr_ && mru_w_ != 0 && mru_w_ != kWriteAbsent) {
+    ++stats_.mru_hits;
+    ++stats_.probe_skips;
+    GrowableSet::Entry& e = write_set_.at_position(mru_w_);
+    e.data = overlay_bytes(e.data, value, mask);
+    e.mark |= mask;
+    return;
+  }
+  ++stats_.mru_misses;
   if (write_set_.at_hard_capacity()) {
     doom("write-set exhausted the maximum growable index");
     return;
   }
   bool inserted = false;
   GrowableSet::Entry& e = write_set_.find_or_insert(word_addr, inserted);
-  e.data = (e.data & ~mask) | (value & mask);
+  e.data = overlay_bytes(e.data, value, mask);
   e.mark |= mask;
+  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+  mru_addr_ = word_addr;
+  mru_r_ = mr;
+  mru_w_ = write_set_.position_of(&e);
 }
 
 void GrowableLogBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
                                     uint64_t mark) {
+  // Adoption mutates the sets behind the MRU's back (and runs at the flag
+  // barrier, not on the access hot path): drop the cache wholesale.
+  mru_invalidate();
   if (write_set_.at_hard_capacity()) {
     doom("write-set exhausted the maximum growable index while adopting a "
          "child commit");
@@ -157,11 +210,12 @@ void GrowableLogBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
   }
   bool inserted = false;
   GrowableSet::Entry& e = write_set_.find_or_insert(word_addr, inserted);
-  e.data = (e.data & ~mark) | (data & mark);
+  e.data = overlay_bytes(e.data, data, mark);
   e.mark |= mark;
 }
 
 void GrowableLogBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
+  mru_invalidate();
   // Reads fully satisfied by this buffer's own writes carry no main-memory
   // dependency; everything else must survive until this thread's own
   // validation, so it joins the read-set (first value wins).
@@ -180,6 +234,7 @@ void GrowableLogBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
 void GrowableLogBuffer::reset() {
   read_set_.clear();
   write_set_.clear();
+  mru_invalidate();
   doomed_ = false;
   doom_reason_ = "";
   // stats_ intentionally survives reset: the settle paths read the counters

@@ -18,6 +18,15 @@
 //
 // Capacity grows but never shrinks across reset(): a virtual-CPU slot that
 // once ran a large speculation keeps its table, amortizing the rehashes.
+//
+// Hot-path shortcut: a one-line MRU cache of the most recently resolved
+// word view, keyed by log position (resize-stable, unlike entry pointers),
+// sits in front of the two indexes, so consecutive touches of the same
+// word — the load+store pair of every read-modify-write, sub-word sweeps
+// through one word — skip the Fibonacci hash and probe sequence entirely.
+// The line is deliberately tiny: the miss path pays one compare and a
+// three-word refresh, so streaming patterns that never repeat a word lose
+// nothing.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +70,14 @@ class GrowableSet {
 
   // Finds without inserting; null if absent.
   Entry* find(uintptr_t word_addr);
+
+  // Log positions (+1, 0 = none) are the resize-stable handle to an entry:
+  // they survive both log reallocation and index rehashes, unlike raw
+  // pointers — which is what the owning buffer's MRU cache stores.
+  uint32_t position_of(const Entry* e) const {
+    return e ? static_cast<uint32_t>(e - log_.data()) + 1 : 0;
+  }
+  Entry& at_position(uint32_t pos) { return log_[pos - 1]; }
 
   // Visits every entry in insertion order.
   template <typename Fn>
@@ -166,8 +183,23 @@ class GrowableLogBuffer {
   void clear_stats() { stats_.clear(); }
 
  private:
+  // The MRU line: log positions (+1, 0 = not yet resolved; see
+  // GrowableSet::position_of) recomposing the speculative view of
+  // mru_addr_ without probing either index. kWriteAbsent marks a word
+  // proven absent from the write set; 1 is an impossible word address.
+  static constexpr uint32_t kWriteAbsent = 0xffffffffu;
+
+  void mru_invalidate() {
+    mru_addr_ = 1;
+    mru_r_ = 0;
+    mru_w_ = 0;
+  }
+
   GrowableSet read_set_;
   GrowableSet write_set_;
+  uintptr_t mru_addr_ = 1;
+  uint32_t mru_r_ = 0;  // read-set log position +1; 0 = unknown
+  uint32_t mru_w_ = 0;  // write-set log position +1; 0 = unknown; kWriteAbsent
   bool doomed_ = false;
   const char* doom_reason_ = "";
   SpecBufferStats stats_;

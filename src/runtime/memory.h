@@ -18,6 +18,14 @@ constexpr uintptr_t kWordMask = kWordSize - 1;
 
 inline uintptr_t word_align_down(uintptr_t addr) { return addr & ~kWordMask; }
 
+// The one eligibility rule of the aligned-word fast path
+// (SpecBuffer::load_aligned/store_aligned): a naturally-aligned access of
+// power-of-two size <= kWordSize can never straddle a buffered word.
+constexpr bool word_sized_aligned(uintptr_t addr, size_t size) {
+  return size <= kWordSize && (size & (size - 1)) == 0 &&
+         (addr & (size - 1)) == 0;
+}
+
 inline uint64_t atomic_word_load(uintptr_t word_addr) {
   return __atomic_load_n(reinterpret_cast<const uint64_t*>(word_addr),
                          __ATOMIC_RELAXED);
@@ -45,7 +53,7 @@ inline void copy_from_word(uint64_t w, size_t off, size_t size, void* out) {
 // Overlays `size` bytes into the word `w` at in-word offset `off`.
 inline void copy_into_word(uint64_t& w, size_t off, size_t size,
                            const void* src) {
-  std::memcpy(reinterpret_cast<char*>(&w) + off, size ? src : src, size);
+  std::memcpy(reinterpret_cast<char*>(&w) + off, src, size);
 }
 
 // Mark word with the `size` bytes starting at `off` set to 0xFF
@@ -58,5 +66,12 @@ inline uint64_t byte_mask(size_t off, size_t size) {
 }
 
 constexpr uint64_t kFullMark = ~0ull;
+
+// Overlays the bytes of `data` selected by `mask` onto `base` — the one
+// byte-granular merge rule of the whole buffering protocol (speculative
+// view composition, write-set overlay, tree-form adoption).
+inline uint64_t overlay_bytes(uint64_t base, uint64_t data, uint64_t mask) {
+  return (base & ~mask) | (data & mask);
+}
 
 }  // namespace mutls

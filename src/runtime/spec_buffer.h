@@ -24,6 +24,19 @@
 //   for_each_read / for_each_write
 //   reset / doom / pressure / entry counts / SpecBufferStats
 //
+// Access-path tiers, fastest first:
+//   load_aligned/store_aligned — naturally-aligned accesses of power-of-two
+//     size <= 8 (every Shared<T>/SharedSpan<T> scalar): one word-view
+//     resolution plus a shift, no byte-splitting loop. Counted as
+//     fastpath_hits.
+//   load_span/store_span — bulk transfers: one dispatch and doom check per
+//     span, one probe per *word* (not per element), full interior words
+//     move as whole words.
+//   load_bytes/store_bytes — the fully generic entry (any size, any
+//     alignment), now a span of length one access.
+// Below all three sit the backends' MRU word-view caches, so consecutive
+// touches of the same words skip the hash probes too.
+//
 // The double dispatch in validate_against/merge_into makes the join-time
 // pairings generic, so buffers of *different* backends compose (exercised
 // by the cross-backend tests even though a ThreadManager configures all
@@ -32,12 +45,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "runtime/buffer_stats.h"
 #include "runtime/enums.h"
 #include "runtime/global_buffer.h"
 #include "runtime/growable_log_buffer.h"
 #include "runtime/memory.h"
+#include "support/check.h"
 
 namespace mutls {
 
@@ -61,6 +77,27 @@ class SpecBuffer {
   GlobalBuffer static_hash_;
   GrowableLogBuffer growable_log_;
 
+  // Reused gather buffer for the join-time set walks: large sets are
+  // streamed into it, sorted by address, and then touch main memory in
+  // address order (sequential prefetch instead of hash-order hopping).
+  // Small sets fit in cache, where the sort costs more than hash-order
+  // misses ever could — they are walked directly instead; the threshold is
+  // roughly where a set's footprint outgrows L1/L2.
+  struct SetEntry {
+    uintptr_t word_addr;
+    uint64_t data;
+    uint64_t mark;
+  };
+  static constexpr size_t kAddressOrderThreshold = 4096;
+  std::vector<SetEntry> scratch_;
+
+  void sort_scratch() {
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const SetEntry& a, const SetEntry& b) {
+                return a.word_addr < b.word_addr;
+              });
+  }
+
  public:
   SpecBuffer() = default;
   // The backends are self-referential after init (their maps point at the
@@ -82,82 +119,166 @@ class SpecBuffer {
 
   // --- speculative access path (runs on the owning speculative thread) ---
 
-  // Reads `size` bytes of the thread's speculative view of `addr`.
-  void load_bytes(uintptr_t addr, void* out, size_t size) {
+  // Aligned-word fast path: a naturally-aligned access of power-of-two
+  // size <= 8 can never straddle a word, so the byte-splitting loop
+  // collapses to one word-view resolution plus a shift. The load returns
+  // the addressed bytes in the LOW bytes of the result (the caller copies
+  // out `size` of them); the store takes the value in the low bytes.
+  uint64_t load_aligned(uintptr_t addr, size_t size) {
+    MUTLS_DCHECK(word_sized_aligned(addr, size),
+                 "load_aligned: size must be a power of two <= 8 and addr "
+                 "naturally aligned");
+    (void)size;  // only the high bytes the caller ignores depend on it
+    return dispatch([&](auto& b) {
+      ++b.stats_mutable().fastpath_hits;
+      uintptr_t word_addr = addr & ~kWordMask;
+      return b.read_word_view(word_addr) >> (8 * (addr - word_addr));
+    });
+  }
+
+  void store_aligned(uintptr_t addr, uint64_t value, size_t size) {
+    MUTLS_DCHECK(word_sized_aligned(addr, size),
+                 "store_aligned: size must be a power of two <= 8 and addr "
+                 "naturally aligned");
+    dispatch([&](auto& b) {
+      ++b.stats_mutable().fastpath_hits;
+      uintptr_t word_addr = addr & ~kWordMask;
+      size_t off = addr - word_addr;
+      b.write_word(word_addr, value << (8 * off), byte_mask(off, size));
+    });
+  }
+
+  // Bulk span transfer: reads `size` bytes of the thread's speculative view
+  // of `addr`. One dispatch for the whole span; a partial head word, whole
+  // interior words, a partial tail — one probe per word, not per element.
+  void load_span(uintptr_t addr, void* out, size_t size) {
+    if (size == 0) return;  // must not touch (and first-touch insert) a word
     dispatch([&](auto& b) {
       char* dst = static_cast<char*>(out);
       uintptr_t a = addr;
       size_t left = size;
-      while (left > 0) {
-        uintptr_t word_addr = word_align_down(a);
-        size_t off = a - word_addr;
-        size_t n = std::min(kWordSize - off, left);
-        uint64_t w = b.read_word_view(word_addr);
-        copy_from_word(w, off, n, dst);
+      size_t head = a & kWordMask;
+      if (head != 0) {
+        size_t n = std::min(kWordSize - head, left);
+        uint64_t w = b.read_word_view(a - head);
+        copy_from_word(w, head, n, dst);
         a += n;
         dst += n;
         left -= n;
       }
+      while (left >= kWordSize) {
+        uint64_t w = b.read_word_view(a);
+        std::memcpy(dst, &w, kWordSize);
+        a += kWordSize;
+        dst += kWordSize;
+        left -= kWordSize;
+      }
+      if (left > 0) {
+        uint64_t w = b.read_word_view(a);
+        copy_from_word(w, 0, left, dst);
+      }
     });
   }
 
-  // Buffers a write of `size` bytes at `addr`.
-  void store_bytes(uintptr_t addr, const void* src, size_t size) {
+  // Bulk span transfer: buffers a write of `size` bytes at `addr`. Whole
+  // interior words carry a full mark and skip the mask computation.
+  void store_span(uintptr_t addr, const void* src, size_t size) {
+    if (size == 0) return;  // a zero-mask write-set entry is a false entry
     dispatch([&](auto& b) {
       const char* s = static_cast<const char*>(src);
       uintptr_t a = addr;
       size_t left = size;
-      while (left > 0) {
-        uintptr_t word_addr = word_align_down(a);
-        size_t off = a - word_addr;
-        size_t n = std::min(kWordSize - off, left);
+      size_t head = a & kWordMask;
+      if (head != 0) {
+        size_t n = std::min(kWordSize - head, left);
         uint64_t v = 0;
-        copy_into_word(v, off, n, s);
-        b.write_word(word_addr, v, byte_mask(off, n));
+        copy_into_word(v, head, n, s);
+        b.write_word(a - head, v, byte_mask(head, n));
         if (b.doomed()) return;
         a += n;
         s += n;
         left -= n;
       }
+      while (left >= kWordSize) {
+        uint64_t v;
+        std::memcpy(&v, s, kWordSize);
+        b.write_word(a, v, kFullMark);
+        if (b.doomed()) return;
+        a += kWordSize;
+        s += kWordSize;
+        left -= kWordSize;
+      }
+      if (left > 0) {
+        uint64_t v = 0;
+        copy_into_word(v, 0, left, s);
+        b.write_word(a, v, byte_mask(0, left));
+      }
     });
+  }
+
+  // Fully generic entries (any size, any alignment): a span of one access.
+  void load_bytes(uintptr_t addr, void* out, size_t size) {
+    load_span(addr, out, size);
+  }
+  void store_bytes(uintptr_t addr, const void* src, size_t size) {
+    store_span(addr, src, size);
   }
 
   // --- join-time operations (both threads stopped at the flag barrier) ---
 
   // Validates the read-set against main memory (non-speculative joiner).
+  // The comparison accumulates a XOR difference — no branch per word; a
+  // cache-exceeding set is additionally gathered and sorted so main memory
+  // is compared in address order (hardware prefetch instead of hash-order
+  // hopping).
   bool validate_against_memory() {
     return dispatch([&](auto& b) {
-      bool ok = true;
+      uint64_t diff = 0;
       uint64_t words = 0;
-      b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
-        ++words;
-        if (atomic_word_load(word_addr) != data) ok = false;
-      });
+      if (b.read_entries() >= kAddressOrderThreshold) {
+        scratch_.clear();
+        b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
+          scratch_.push_back(SetEntry{word_addr, data, 0});
+        });
+        sort_scratch();
+        for (const SetEntry& e : scratch_) {
+          diff |= atomic_word_load(e.word_addr) ^ e.data;
+        }
+        words = scratch_.size();
+      } else {
+        b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
+          ++words;
+          diff |= atomic_word_load(word_addr) ^ data;
+        });
+      }
       b.stats_mutable().validated_words += words;
-      return ok;
+      return diff == 0;
     });
   }
 
   // Validates the read-set against a speculative joiner's buffered view.
+  // Probes the joiner's maps (address order buys nothing there) but keeps
+  // the branchless XOR accumulation.
   bool validate_against(SpecBuffer& joiner) {
     return dispatch([&](auto& b) {
       return joiner.dispatch([&](auto& j) {
-        bool ok = true;
+        uint64_t diff = 0;
         uint64_t words = 0;
         b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
           ++words;
-          if (j.peek_word_view(word_addr) != data) ok = false;
+          diff |= j.peek_word_view(word_addr) ^ data;
         });
         b.stats_mutable().validated_words += words;
-        return ok;
+        return diff == 0;
       });
     });
   }
 
-  // Commits marked write-set bytes to main memory.
+  // Commits marked write-set bytes to main memory — in address order when
+  // the set is large enough for the ordered walk to beat the sort.
   void commit_to_memory() {
     dispatch([&](auto& b) {
-      b.for_each_write([](uintptr_t word_addr, uint64_t data, uint64_t mark) {
+      auto commit_one = [](uintptr_t word_addr, uint64_t data, uint64_t mark) {
         if (mark == kFullMark) {
           atomic_word_store(word_addr, data);
           return;
@@ -168,7 +289,20 @@ class SpecBuffer {
             atomic_byte_store(word_addr + i, static_cast<uint8_t>(bytes[i]));
           }
         }
-      });
+      };
+      if (b.write_entries() >= kAddressOrderThreshold) {
+        scratch_.clear();
+        b.for_each_write(
+            [&](uintptr_t word_addr, uint64_t data, uint64_t mark) {
+              scratch_.push_back(SetEntry{word_addr, data, mark});
+            });
+        sort_scratch();
+        for (const SetEntry& e : scratch_) {
+          commit_one(e.word_addr, e.data, e.mark);
+        }
+      } else {
+        b.for_each_write(commit_one);
+      }
     });
   }
 

@@ -15,6 +15,13 @@ void accumulate_buffer_stats(ThreadData& td) {
   td.stats.buffer += td.sbuf.stats();
 }
 
+// Iterations a worker spins on the handoff flag before parking on its
+// condvar: 64 pause instructions, then OS-thread yields (see
+// spin_until_bounded). Generous enough that a forker running ahead of its
+// workers never pays a futex wakeup, short enough that an idle pool is off
+// the scheduler within microseconds.
+constexpr int kHandoffSpinBudget = 256;
+
 }  // namespace
 
 ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
@@ -30,6 +37,11 @@ ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
                      config_.overflow_cap);
     c.data.lbuf.init(config_.register_slots);
   }
+  // Seed the idle freelist in reverse so the first claims pop rank 1, 2, …
+  // (the order the old linear scan produced).
+  for (int r = config_.num_cpus; r >= 1; --r) {
+    push_idle(r);
+  }
   // Workers start after all slots exist so worker_loop may index any cpu.
   for (auto& cp : cpus_) {
     Cpu* c = cp.get();
@@ -39,9 +51,11 @@ ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
 
 ThreadManager::~ThreadManager() {
   for (auto& cp : cpus_) {
+    cp->shutdown.store(true, std::memory_order_seq_cst);
     {
+      // Taking mu orders the store against a worker between its parked
+      // check and the wait; the notify then cannot be lost.
       std::lock_guard lock(cp->mu);
-      cp->shutdown = true;
     }
     cp->cv.notify_one();
   }
@@ -50,17 +64,55 @@ ThreadManager::~ThreadManager() {
   }
 }
 
+int ThreadManager::pop_idle() {
+  uint64_t head = idle_head_.load(std::memory_order_acquire);
+  while (true) {
+    int rank = static_cast<int>(head & 0xffffffffu);
+    if (rank == 0) return 0;
+    int next = cpu(rank).next_idle.load(std::memory_order_relaxed);
+    uint64_t tagged = ((head >> 32) + 1) << 32 | static_cast<uint32_t>(next);
+    if (idle_head_.compare_exchange_weak(head, tagged,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return rank;
+    }
+  }
+}
+
+int ThreadManager::claim_cpu() {
+  int rank = pop_idle();
+  if (rank != 0) {
+    live_.fetch_add(1, std::memory_order_relaxed);
+    most_speculative_rank_.store(rank, std::memory_order_relaxed);
+  }
+  return rank;
+}
+
+void ThreadManager::push_idle(int rank) {
+  uint64_t head = idle_head_.load(std::memory_order_relaxed);
+  while (true) {
+    cpu(rank).next_idle.store(static_cast<int>(head & 0xffffffffu),
+                              std::memory_order_relaxed);
+    uint64_t tagged = ((head >> 32) + 1) << 32 | static_cast<uint32_t>(rank);
+    if (idle_head_.compare_exchange_weak(head, tagged,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
 bool ThreadManager::admission_allows(const ThreadData& td,
                                      ForkModel model) const {
-  std::lock_guard lock(policy_mu_);
   switch (config_.model_override.value_or(model)) {
     case ForkModel::kMixed:
       return true;
     case ForkModel::kOutOfOrder:
       return td.rank == 0;
     case ForkModel::kInOrder:
-      return (live_ == 0 && td.rank == 0) ||
-             (td.rank != 0 && td.rank == most_speculative_rank_);
+      return (live_.load(std::memory_order_acquire) == 0 && td.rank == 0) ||
+             (td.rank != 0 &&
+              td.rank == most_speculative_rank_.load(std::memory_order_acquire));
   }
   return false;
 }
@@ -70,36 +122,21 @@ int ThreadManager::speculate(ThreadData& forker, ForkModel model, Task task,
   ForkModel m = config_.model_override.value_or(model);
   uint64_t t0 = now_ns();
   int rank = 0;
-  {
+  if (m == ForkModel::kInOrder) {
+    // In-order admission must check-then-claim atomically against other
+    // in-order forks (two links of the chain must not both win), so it
+    // keeps the lock.
     std::lock_guard lock(policy_mu_);
-    bool ok;
-    switch (m) {
-      case ForkModel::kMixed:
-        ok = true;
-        break;
-      case ForkModel::kOutOfOrder:
-        ok = forker.rank == 0;
-        break;
-      case ForkModel::kInOrder:
-      default:
-        ok = (live_ == 0 && forker.rank == 0) ||
-             (forker.rank != 0 && forker.rank == most_speculative_rank_);
-        break;
-    }
-    if (ok) {
-      for (auto& cp : cpus_) {
-        CpuState expected = CpuState::kIdle;
-        if (cp->state.compare_exchange_strong(expected, CpuState::kRunning,
-                                              std::memory_order_acq_rel)) {
-          rank = cp->data.rank;
-          break;
-        }
-      }
-      if (rank != 0) {
-        ++live_;
-        most_speculative_rank_ = rank;
-      }
-    }
+    bool ok =
+        (live_.load(std::memory_order_relaxed) == 0 && forker.rank == 0) ||
+        (forker.rank != 0 &&
+         forker.rank == most_speculative_rank_.load(std::memory_order_relaxed));
+    if (ok) rank = claim_cpu();
+  } else if (m == ForkModel::kMixed || forker.rank == 0) {
+    // kMixed admits everyone and kOutOfOrder admits the non-speculative
+    // thread: no shared policy state to consult, so the claim is one CAS
+    // on the idle freelist — no mutex on the fast path.
+    rank = claim_cpu();
   }
   forker.stats.ledger.add(TimeCat::kFindCpu, now_ns() - t0);
   if (rank == 0) {
@@ -109,31 +146,51 @@ int ThreadManager::speculate(ThreadData& forker, ForkModel model, Task task,
 
   uint64_t t1 = now_ns();
   Cpu& c = cpu(rank);
+  c.state.store(CpuState::kRunning, std::memory_order_release);
   c.data.reset_for_speculation(forker.rank, forker.epoch, c.next_epoch++,
                                config_.seed, config_.rollback_probability);
   forker.children.push_back(ChildRef{rank, c.data.epoch});
   if (setup) setup(c.data);
-  {
-    std::lock_guard lock(c.mu);
-    c.task = std::move(task);
-    c.has_task = true;
-  }
-  c.cv.notify_one();
   ++forker.stats.forks;
-  forker.stats.ledger.add(TimeCat::kFork, now_ns() - t1);
+  uint64_t t2 = now_ns();
+  forker.stats.ledger.add(TimeCat::kFork, t2 - t1);
+
+  // Hand the task to the worker: publish, then wake only a parked worker —
+  // one in its spin window picks the flag up without any syscall.
+  c.task = std::move(task);
+  c.has_task.store(true, std::memory_order_seq_cst);
+  if (c.parked.load(std::memory_order_seq_cst)) {
+    {
+      std::lock_guard lock(c.mu);
+    }
+    c.cv.notify_one();
+  }
+  forker.stats.ledger.add(TimeCat::kForkHandoff, now_ns() - t2);
   return rank;
 }
 
 void ThreadManager::worker_loop(Cpu& c) {
   while (true) {
-    Task task;
-    {
+    // Spin-then-park: a short bounded spin catches back-to-back forks (the
+    // sub-microsecond case) without a futex round trip; an idle worker
+    // parks on the condvar and costs nothing.
+    if (!spin_until_bounded(
+            [&] {
+              return c.has_task.load(std::memory_order_seq_cst) ||
+                     c.shutdown.load(std::memory_order_seq_cst);
+            },
+            kHandoffSpinBudget)) {
       std::unique_lock lock(c.mu);
-      c.cv.wait(lock, [&] { return c.has_task || c.shutdown; });
-      if (c.shutdown) return;
-      task = std::move(c.task);
-      c.has_task = false;
+      c.parked.store(true, std::memory_order_seq_cst);
+      c.cv.wait(lock, [&] {
+        return c.has_task.load(std::memory_order_seq_cst) ||
+               c.shutdown.load(std::memory_order_seq_cst);
+      });
+      c.parked.store(false, std::memory_order_seq_cst);
     }
+    if (c.shutdown.load(std::memory_order_seq_cst)) return;
+    Task task = std::move(c.task);
+    c.has_task.store(false, std::memory_order_seq_cst);
     ThreadData& td = c.data;
     td.task_start_ns = now_ns();
     try {
@@ -177,12 +234,10 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
                             : 0);
     accumulate_buffer_stats(td);
     aggregate_stats(td);
-    {
-      std::lock_guard lock(policy_mu_);
-      on_thread_finished_locked(td.rank);
-    }
+    on_thread_finished(td.rank);
     c.settled_epoch.store(td.epoch, std::memory_order_release);
     c.state.store(CpuState::kIdle, std::memory_order_release);
+    push_idle(td.rank);
     return;
   }
 
@@ -284,12 +339,10 @@ ThreadManager::JoinResult ThreadManager::synchronize(
     joiner.children.push_back(ref);
   }
   aggregate_stats(c.data);
-  {
-    std::lock_guard lock(policy_mu_);
-    on_thread_finished_locked(expect.rank);
-  }
+  on_thread_finished(expect.rank);
   c.settled_epoch.store(c.data.epoch, std::memory_order_release);
   c.state.store(CpuState::kIdle, std::memory_order_release);
+  push_idle(expect.rank);
   joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t1);
   return v == ValidStatus::kCommit ? JoinResult::kCommit
                                    : JoinResult::kRollback;
@@ -337,9 +390,10 @@ void ThreadManager::wait_discarded(const ChildRef& ref) {
   });
 }
 
-void ThreadManager::on_thread_finished_locked(int rank) {
-  --live_;
-  if (most_speculative_rank_ == rank) {
+void ThreadManager::on_thread_finished(int rank) {
+  std::lock_guard lock(policy_mu_);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  if (most_speculative_rank_.load(std::memory_order_relaxed) == rank) {
     // The chain shrinks: speculation continues from this thread's parent if
     // that parent is still the same live speculative thread.
     const ThreadData& td = cpu(rank).data;
@@ -347,11 +401,12 @@ void ThreadManager::on_thread_finished_locked(int rank) {
       Cpu& p = cpu(td.parent_rank);
       if (p.state.load(std::memory_order_acquire) != CpuState::kIdle &&
           p.data.epoch == td.parent_epoch) {
-        most_speculative_rank_ = td.parent_rank;
+        most_speculative_rank_.store(td.parent_rank,
+                                     std::memory_order_relaxed);
         return;
       }
     }
-    most_speculative_rank_ = 0;
+    most_speculative_rank_.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -377,8 +432,7 @@ bool ThreadManager::space_contains(const void* p, size_t n) const {
 }
 
 int ThreadManager::live_threads() const {
-  std::lock_guard lock(policy_mu_);
-  return live_;
+  return live_.load(std::memory_order_acquire);
 }
 
 RunStats ThreadManager::collect_stats() {

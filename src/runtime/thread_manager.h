@@ -163,12 +163,25 @@ class ThreadManager {
   struct Cpu {
     ThreadData data;
     std::thread worker;
+    // Spin-then-park task handoff. The forker writes `task`, then raises
+    // `has_task` (the claim through the idle freelist guarantees a single
+    // producer); the worker spins briefly on the flag and only then parks
+    // on the condvar, so a fork whose worker is still in its spin window
+    // never pays a futex wakeup. `parked` tells the producer whether a
+    // notify is needed at all; the flag pair uses seq_cst so the classic
+    // flag/flag lost-wakeup interleaving cannot happen. mu guards only the
+    // parking itself.
     std::mutex mu;
     std::condition_variable cv;
-    Task task;               // guarded by mu
-    bool has_task = false;   // guarded by mu
-    bool shutdown = false;   // guarded by mu
+    Task task;  // written by the forker before has_task is raised
+    std::atomic<bool> has_task{false};
+    std::atomic<bool> shutdown{false};
+    std::atomic<bool> parked{false};
     std::atomic<CpuState> state{CpuState::kIdle};
+    // Link of the lock-free idle-rank freelist (rank of the next idle CPU,
+    // 0 = end of list). Only written between unlink and relink, when this
+    // CPU has a single owner.
+    std::atomic<int> next_idle{0};
     uint64_t next_epoch = 1;
     // Epoch of the last speculation on this slot whose task has fully
     // settled (committed, rolled back or NOSYNC-discarded). Monotonic per
@@ -179,13 +192,25 @@ class ThreadManager {
 
   void worker_loop(Cpu& cpu);
 
+  // Lock-free idle-rank freelist (Treiber stack over the Cpu::next_idle
+  // links; the head packs a 32-bit ABA tag next to the rank). Claiming a
+  // CPU is one CAS instead of a mutex-guarded linear scan over all slots.
+  int pop_idle();
+  void push_idle(int rank);
+
+  // pop_idle plus the shared claim bookkeeping (live count, chain head);
+  // 0 when the pool is empty. The admission branches of speculate() differ
+  // only in whether they hold policy_mu_ around it.
+  int claim_cpu();
+
   // Barrier-side protocol of the speculative thread: wait for a signal,
   // validate, commit or roll back, publish valid_status.
   void barrier_and_settle(Cpu& cpu);
 
   // Policy bookkeeping when a speculative thread finishes (either reclaimed
-  // by a joiner or self-freed after NOSYNC).
-  void on_thread_finished_locked(int rank);
+  // by a joiner or self-freed after NOSYNC). Takes policy_mu_ internally to
+  // serialize the in-order chain bookkeeping against in-order admissions.
+  void on_thread_finished(int rank);
 
   // The two halves of the discard handshake. signal_discard raises NOSYNC
   // on the child named by `ref` (if that speculation is still the slot's
@@ -207,9 +232,24 @@ class ThreadManager {
   std::vector<std::unique_ptr<Cpu>> cpus_;
   ThreadData root_;
 
+  // Idle freelist head: (aba_tag << 32) | rank, rank 0 = empty.
+  std::atomic<uint64_t> idle_head_{0};
+
+  // kMixed and kOutOfOrder admissions are decided and claimed without any
+  // lock (the policy state is atomic and the claim is the freelist CAS);
+  // policy_mu_ serializes only kInOrder admission — whose check-then-claim
+  // must be atomic against other in-order forks — and the chain-shrink
+  // bookkeeping when a thread finishes. A *concurrent* mixed-model claim
+  // can therefore interleave with an in-order admission and move the chain
+  // head mid-check; that is accepted: admission is a performance policy,
+  // not a safety property (the synchronize protocol validates every
+  // speculation identically however it was admitted), and even the old
+  // fully-locked path let a mixed fork retarget most_speculative_rank_ —
+  // mixing models across concurrently forking threads has always meant
+  // best-effort chain fidelity.
   mutable std::mutex policy_mu_;
-  int most_speculative_rank_ = 0;  // guarded by policy_mu_
-  int live_ = 0;                   // guarded by policy_mu_
+  std::atomic<int> most_speculative_rank_{0};
+  std::atomic<int> live_{0};
 
   std::mutex stats_mu_;
   ThreadStats spec_stats_;          // guarded by stats_mu_

@@ -37,6 +37,24 @@ void spin_until(Pred&& pred) {
   }
 }
 
+// Bounded spin: waits for `pred` for at most `budget` iterations (pause
+// instructions first, then OS-thread yields, like spin_until) and reports
+// whether it held. The spin phase of spin-then-park hybrids: a caller that
+// gets `false` back should fall back to a real block (mutex + condvar)
+// instead of burning the core.
+template <typename Pred>
+bool spin_until_bounded(Pred&& pred, int budget) {
+  for (int spins = 0; spins < budget; ++spins) {
+    if (pred()) return true;
+    if (spins < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  return pred();
+}
+
 // Spin on an atomic until it differs from `current`; returns the new value.
 template <typename T>
 T spin_while_equal(const std::atomic<T>& flag, T current) {

@@ -24,8 +24,9 @@ inline uint64_t now_ns() {
 
 enum class TimeCat : int {
   kWork = 0,     // useful computation
-  kFindCpu,      // MUTLS_get_CPU admission + slot search
-  kFork,         // live-in save + thread launch
+  kFindCpu,      // MUTLS_get_CPU admission + idle-slot claim
+  kFork,         // slot arming + live-in save
+  kForkHandoff,  // publishing the task to the worker (incl. any wakeup)
   kJoin,         // synchronize() on the critical path
   kIdle,         // busy-waiting (either side of the flag barrier)
   kValidation,   // read-set + live-in validation
@@ -41,6 +42,7 @@ inline const char* time_cat_name(TimeCat c) {
     case TimeCat::kWork: return "work";
     case TimeCat::kFindCpu: return "find CPU";
     case TimeCat::kFork: return "fork";
+    case TimeCat::kForkHandoff: return "fork handoff";
     case TimeCat::kJoin: return "join";
     case TimeCat::kIdle: return "idle";
     case TimeCat::kValidation: return "validation";

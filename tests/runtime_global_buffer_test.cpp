@@ -11,6 +11,9 @@
 #include <array>
 #include <cstring>
 
+#include "runtime/thread_data.h"
+#include "support/prng.h"
+
 namespace mutls {
 namespace {
 
@@ -377,6 +380,175 @@ INSTANTIATE_TEST_SUITE_P(
                                                            : "IntoGrowableJoiner";
       return n;
     });
+
+// --- fast-path / slow-path equivalence ---
+//
+// The aligned-word fast path (load_aligned/store_aligned), the bulk span
+// transfers and the backends' MRU word-view caches are pure shortcuts: a
+// random mix of aligned, unaligned and word-straddling accesses routed
+// through them must leave byte-identical buffer state — and identical
+// validation outcomes and committed bytes — as the same mix through the
+// fully generic byte loop. The generic reference below issues every access
+// one byte at a time, which bypasses the aligned shortcut entirely (and
+// gives the MRU nothing reusable beyond a single word).
+
+class SpecBufferEquivalence : public ::testing::TestWithParam<BufferBackend> {
+ protected:
+  static constexpr size_t kArenaWords = 48;
+
+  void SetUp() override {
+    fast_.init(GetParam(), 8, 64);
+    slow_.init(GetParam(), 8, 64);
+    for (size_t i = 0; i < kArenaWords; ++i) {
+      arena_[i] = 0x0101010101010101ull * (i + 1);
+    }
+  }
+
+  uintptr_t base() const { return reinterpret_cast<uintptr_t>(&arena_[0]); }
+
+  // Generic reference: the access split into single bytes (worst-case
+  // generic path; sub-word loads still insert whole words, so the sets end
+  // up the same).
+  void ref_store(uintptr_t a, const uint8_t* src, size_t n) {
+    for (size_t i = 0; i < n; ++i) slow_.store_bytes(a + i, src + i, 1);
+  }
+  void ref_load(uintptr_t a, uint8_t* out, size_t n) {
+    for (size_t i = 0; i < n; ++i) slow_.load_bytes(a + i, out + i, 1);
+  }
+
+  // Fast path where eligible (the production routing rule), span transfer
+  // otherwise.
+  void fast_store(uintptr_t a, const uint8_t* src, size_t n) {
+    if (word_sized_aligned(a, n)) {
+      uint64_t raw = 0;
+      std::memcpy(&raw, src, n);
+      fast_.store_aligned(a, raw, n);
+    } else {
+      fast_.store_span(a, src, n);
+    }
+  }
+  void fast_load(uintptr_t a, uint8_t* out, size_t n) {
+    if (word_sized_aligned(a, n)) {
+      uint64_t raw = fast_.load_aligned(a, n);
+      std::memcpy(out, &raw, n);
+    } else {
+      fast_.load_span(a, out, n);
+    }
+  }
+
+  alignas(8) uint64_t arena_[kArenaWords];
+  SpecBuffer fast_;
+  SpecBuffer slow_;
+};
+
+TEST_P(SpecBufferEquivalence, RandomAccessMixMatchesGenericByteLoop) {
+  Xorshift64 rng(0xfeedbeef);
+  const size_t arena_bytes = kArenaWords * sizeof(uint64_t);
+  for (int op = 0; op < 2000; ++op) {
+    // Sizes 1..16 cover aligned scalars, odd widths and word straddles.
+    size_t n = 1 + rng.next() % 16;
+    uintptr_t a = base() + rng.next() % (arena_bytes - n);
+    if (rng.next() % 2 == 0) {
+      uint8_t data[16];
+      for (size_t i = 0; i < n; ++i) {
+        data[i] = static_cast<uint8_t>(rng.next());
+      }
+      fast_store(a, data, n);
+      ref_store(a, data, n);
+    } else {
+      uint8_t got_fast[16] = {0};
+      uint8_t got_slow[16] = {0};
+      fast_load(a, got_fast, n);
+      ref_load(a, got_slow, n);
+      ASSERT_EQ(std::memcmp(got_fast, got_slow, n), 0)
+          << "op " << op << ": fast and generic loads disagree";
+    }
+  }
+  ASSERT_FALSE(fast_.doomed());
+  ASSERT_FALSE(slow_.doomed());
+  EXPECT_EQ(fast_.read_entries(), slow_.read_entries());
+  EXPECT_EQ(fast_.write_entries(), slow_.write_entries());
+
+  // Identical validation outcomes: valid now, and both spot the same
+  // main-memory change behind a word that at least one load observed.
+  EXPECT_TRUE(fast_.validate_against_memory());
+  EXPECT_TRUE(slow_.validate_against_memory());
+  for (size_t i = 0; i < kArenaWords; ++i) {
+    uint64_t saved = arena_[i];
+    arena_[i] ^= 0xff00ull;
+    EXPECT_EQ(fast_.validate_against_memory(),
+              slow_.validate_against_memory())
+        << "validation outcomes diverge when word " << i << " changes";
+    arena_[i] = saved;
+  }
+
+  // Byte-identical committed state: commit each buffer onto a pristine
+  // copy of the arena and compare the results.
+  alignas(8) uint64_t snapshot[kArenaWords];
+  std::memcpy(snapshot, arena_, sizeof(arena_));
+  fast_.commit_to_memory();
+  alignas(8) uint64_t after_fast[kArenaWords];
+  std::memcpy(after_fast, arena_, sizeof(arena_));
+  std::memcpy(arena_, snapshot, sizeof(arena_));
+  slow_.commit_to_memory();
+  EXPECT_EQ(std::memcmp(after_fast, arena_, sizeof(arena_)), 0)
+      << "fast and generic commits leave different memory";
+}
+
+TEST_P(SpecBufferEquivalence, MruInvalidatedAcrossReset) {
+  alignas(8) uint64_t& x = arena_[0];
+  // Prime the MRU line: a store then a load of the same word is the
+  // load+store locality the cache exists for.
+  uint8_t v = 0xAB;
+  fast_store(reinterpret_cast<uintptr_t>(&x), &v, 1);
+  uint8_t out = 0;
+  fast_load(reinterpret_cast<uintptr_t>(&x), &out, 1);
+  ASSERT_EQ(out, 0xAB);
+
+  fast_.reset();
+  // The line must not survive the reset: the slot it named is gone. A
+  // post-reset load must re-observe main memory (fresh first touch), not
+  // serve the dead slot.
+  uint64_t hits_before = fast_.stats().mru_hits;
+  x = 0x1122334455667788ull;
+  uint64_t word = 0;
+  fast_load(reinterpret_cast<uintptr_t>(&x), reinterpret_cast<uint8_t*>(&word),
+            8);
+  EXPECT_EQ(word, 0x1122334455667788ull)
+      << "stale MRU line served a discarded slot after reset";
+  EXPECT_EQ(fast_.stats().mru_hits, hits_before)
+      << "the first post-reset touch cannot be an MRU hit";
+  EXPECT_EQ(fast_.read_entries(), 1u);
+}
+
+TEST_P(SpecBufferEquivalence, MruInvalidatedAcrossResetForSpeculation) {
+  // Same guarantee one layer up: re-arming a virtual-CPU slot
+  // (ThreadData::reset_for_speculation) resets the buffer and with it the
+  // MRU line, so a reused slot cannot leak a previous speculation's view.
+  ThreadData td;
+  td.sbuf.init(GetParam(), 8, 64);
+  td.lbuf.init(4);
+  alignas(8) uint64_t& x = arena_[1];
+  uint64_t v = 99;
+  td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&x), &v, 8);
+  uint64_t out = 0;
+  td.sbuf.load_bytes(reinterpret_cast<uintptr_t>(&x), &out, 8);
+  ASSERT_EQ(out, 99u);
+
+  td.reset_for_speculation(0, 0, 1, 0x5eed, 0.0);
+  x = 424242;
+  out = 0;
+  td.sbuf.load_bytes(reinterpret_cast<uintptr_t>(&x), &out, 8);
+  EXPECT_EQ(out, 424242u)
+      << "reused slot leaked the previous speculation's buffered view";
+  EXPECT_EQ(td.sbuf.stats().mru_hits, 0u)
+      << "clear_stats + reset must leave no pre-armed MRU hit";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpecBufferEquivalence,
+                         ::testing::Values(BufferBackend::kStaticHash,
+                                           BufferBackend::kGrowableLog),
+                         backend_test_name);
 
 }  // namespace
 }  // namespace mutls

@@ -386,6 +386,56 @@ TEST_P(ThreadManagerTest, BufferCountersDoNotLeakAcrossSpeculations) {
   }
 }
 
+TEST_P(ThreadManagerTest, IdleFreelistSurvivesForkJoinChurn) {
+  // Hammers the lock-free idle-rank freelist and the spin-then-park
+  // handoff: speculative tasks fork grandchildren concurrently with the
+  // root forking new children, so claims and releases interleave from
+  // several threads. Every claim must yield a distinct rank, the pool must
+  // deny exactly when empty, and every rank must return to the freelist
+  // (under TSan this is the data-race probe for pop_idle/push_idle).
+  ThreadManager mgr(config(3));
+  alignas(8) static std::atomic<uint64_t> touched;
+  touched = 0;
+  for (int round = 0; round < 200; ++round) {
+    int r1 = mgr.speculate(mgr.root(), ForkModel::kMixed, [&](ThreadData& td) {
+      // Child claims (and possibly exhausts) another slot concurrently.
+      int g = mgr.speculate(td, ForkModel::kMixed,
+                            [&](ThreadData&) { touched.fetch_add(1); });
+      if (g != 0) {
+        mgr.synchronize(td, td.children.back());
+      }
+      touched.fetch_add(1);
+    });
+    ASSERT_GT(r1, 0) << "round " << round << ": pool lost a rank";
+    int r2 = mgr.speculate(mgr.root(), ForkModel::kMixed,
+                           [&](ThreadData&) { touched.fetch_add(1); });
+    if (r2 != 0) {
+      EXPECT_NE(r1, r2) << "freelist handed out the same rank twice";
+      // Join in LIFO order (mixed-model children stack).
+      EXPECT_NE(mgr.synchronize(mgr.root(), mgr.root().children.back()),
+                ThreadManager::JoinResult::kNotFound);
+    }
+    EXPECT_NE(mgr.synchronize(mgr.root(), mgr.root().children.back()),
+              ThreadManager::JoinResult::kNotFound);
+    ASSERT_EQ(mgr.live_threads(), 0) << "round " << round;
+  }
+  EXPECT_GT(touched.load(), 200u);
+}
+
+TEST_P(ThreadManagerTest, ForkLatencyLedgerSplitsArmAndHandoff) {
+  ThreadManager mgr(config(1));
+  int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
+  ASSERT_GT(r, 0);
+  mgr.synchronize(mgr.root(), mgr.root().children.back());
+  const TimeLedger& l = mgr.root().stats.ledger;
+  // Arming always takes measurable time; the handoff category must be
+  // populated (possibly 0ns on a coarse clock, but accounted — the sum of
+  // categories is what fig8 folds into its fork column).
+  EXPECT_GT(l.get(TimeCat::kFork) + l.get(TimeCat::kForkHandoff) +
+                l.get(TimeCat::kFindCpu),
+            0u);
+}
+
 TEST_P(ThreadManagerTest, ResetStatsClears) {
   ThreadManager mgr(config(1));
   int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData&) {});
