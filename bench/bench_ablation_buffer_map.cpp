@@ -5,11 +5,15 @@
 // instead to use static memory.").
 //
 // Every buffered benchmark runs once per backend (arg 0: 0 = static-hash,
-// 1 = growable-log), so the overflow-doom vs resize trade shows up as a
-// side-by-side comparison in one report. The SpecBufferStats counters are
-// attached to each run (resizes, average probe length, validated words,
-// overflow exhaustions) so a throughput difference carries its cost
-// breakdown.
+// 1 = growable-log, 2 = adaptive), so the overflow-doom vs resize vs
+// learn-and-flip trade shows up as a side-by-side comparison in one
+// report. Each iteration ends with SpecBuffer::rearm() — the per-
+// speculation re-arm a virtual-CPU slot performs — so the adaptive
+// backend genuinely flips mid-sweep once its overflow threshold is
+// crossed; the SpecBufferStats counters are accumulated across iterations
+// and attached to each run (resizes, average probe length, validated
+// words, overflow exhaustions, backend flips) so a throughput difference
+// carries its cost breakdown.
 //
 // Measures buffered store+load streams and the validate/commit/finalize
 // cycle for thread footprints of various sizes.
@@ -28,14 +32,14 @@ BufferBackend backend_of(const benchmark::State& state) {
   return static_cast<BufferBackend>(state.range(0));
 }
 
-// Labels runs with the backend and attaches the cost counters. The event
-// counters accumulate across benchmark iterations (the stats survive
-// reset() by design), so they are reported per iteration — comparable
-// across runs whose auto-chosen iteration counts differ; avg_probe_len is
-// already a ratio.
-void attach_counters(benchmark::State& state, const SpecBuffer& buf) {
+// Labels runs with the configured backend and attaches the cost counters
+// accumulated across iterations (rearm() zeroes them per iteration, so
+// each bench sums them into a SpecBufferStats of its own). Event counters
+// are reported per iteration — comparable across runs whose auto-chosen
+// iteration counts differ; avg_probe_len is already a ratio.
+void attach_counters(benchmark::State& state, const SpecBuffer& buf,
+                     const SpecBufferStats& s) {
   state.SetLabel(buffer_backend_name(buf.backend()));
-  const SpecBufferStats& s = buf.stats();
   using benchmark::Counter;
   state.counters["resizes"] =
       Counter(static_cast<double>(s.resize_events), Counter::kAvgIterations);
@@ -44,6 +48,8 @@ void attach_counters(benchmark::State& state, const SpecBuffer& buf) {
   state.counters["validated_words"] =
       Counter(static_cast<double>(s.validated_words), Counter::kAvgIterations);
   state.counters["avg_probe_len"] = s.avg_probe_length();
+  state.counters["backend_flips"] =
+      Counter(static_cast<double>(s.backend_flips), Counter::kAvgIterations);
 }
 
 std::vector<uint64_t>& arena() {
@@ -71,6 +77,7 @@ void BM_SpecBufferStoreLoad(benchmark::State& state) {
   auto addrs = make_addresses(n);
   SpecBuffer buf;
   buf.init(backend_of(state), 18, 65536);
+  SpecBufferStats total;
   for (auto _ : state) {
     for (uintptr_t a : addrs) {
       uint64_t v = a;
@@ -81,14 +88,15 @@ void BM_SpecBufferStoreLoad(benchmark::State& state) {
       buf.load_bytes(a, &out, 8);
       benchmark::DoNotOptimize(out);
     }
-    buf.reset();
+    total += buf.stats();
+    buf.rearm();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * n));
-  attach_counters(state, buf);
+  attach_counters(state, buf, total);
 }
 BENCHMARK(BM_SpecBufferStoreLoad)
     ->ArgNames({"backend", "n"})
-    ->ArgsProduct({{0, 1}, {64, 1024, 16384}});
+    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}});
 
 void BM_UnorderedMapStoreLoad(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -112,6 +120,7 @@ void BM_ValidateCommitCycle(benchmark::State& state) {
   auto addrs = make_addresses(n);
   SpecBuffer buf;
   buf.init(backend_of(state), 18, 65536);
+  SpecBufferStats total;
   for (auto _ : state) {
     uint64_t v = 7;
     for (uintptr_t a : addrs) {
@@ -121,14 +130,15 @@ void BM_ValidateCommitCycle(benchmark::State& state) {
     bool ok = buf.validate_against_memory();
     benchmark::DoNotOptimize(ok);
     buf.commit_to_memory();
-    buf.reset();
+    total += buf.stats();
+    buf.rearm();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-  attach_counters(state, buf);
+  attach_counters(state, buf, total);
 }
 BENCHMARK(BM_ValidateCommitCycle)
     ->ArgNames({"backend", "n"})
-    ->ArgsProduct({{0, 1}, {64, 1024, 16384}});
+    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}});
 
 // The offsets stack (static hash) / dense log (growable log) is what keeps
 // small-footprint threads fast even with a large table: reset cost must
@@ -137,22 +147,29 @@ void BM_ResetSmallFootprintLargeMap(benchmark::State& state) {
   SpecBuffer buf;
   buf.init(backend_of(state), 20, 65536);  // 1M-slot map
   auto addrs = make_addresses(16);
+  SpecBufferStats total;
   for (auto _ : state) {
     uint64_t v = 1;
     for (uintptr_t a : addrs) buf.store_bytes(a, &v, 8);
-    buf.reset();
+    total += buf.stats();
+    buf.rearm();
   }
-  attach_counters(state, buf);
+  attach_counters(state, buf, total);
 }
 BENCHMARK(BM_ResetSmallFootprintLargeMap)
     ->ArgNames({"backend"})
     ->Arg(0)
-    ->Arg(1);
+    ->Arg(1)
+    ->Arg(2);
 
 // Where the backends genuinely diverge: a footprint far beyond the
-// configured capacity. The static hash dooms (the whole stream after the
-// exhaustion is wasted work destined for rollback); the growable log
-// resizes and completes. Runs both from the same tiny 2^8 table.
+// configured capacity. The static hash dooms every iteration (the whole
+// stream after the exhaustion is wasted work destined for rollback); the
+// growable log resizes and completes; the adaptive backend dooms for its
+// first few iterations, crosses the overflow threshold, flips at the next
+// rearm and completes from then on — its doom_rate lands between the two
+// fixed backends and backend_flips records the switch. Runs all three
+// from the same tiny 2^8 table.
 void BM_OverCapacityStream(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(1));
   auto addrs = make_addresses(n);
@@ -161,6 +178,7 @@ void BM_OverCapacityStream(benchmark::State& state) {
   uint64_t dooms = 0;
   int64_t issued = 0;  // only stores actually executed count as items:
                        // the static hash dooms early and skips the rest
+  SpecBufferStats total;
   for (auto _ : state) {
     for (uintptr_t a : addrs) {
       uint64_t v = a;
@@ -169,17 +187,18 @@ void BM_OverCapacityStream(benchmark::State& state) {
       if (buf.doomed()) break;  // a real runtime stops at its check point
     }
     dooms += buf.doomed() ? 1 : 0;
-    buf.reset();
+    total += buf.stats();
+    buf.rearm();
   }
   state.SetItemsProcessed(issued);
-  attach_counters(state, buf);
+  attach_counters(state, buf, total);
   // Fraction of iterations that ended doomed (0 or 1 per iteration).
   state.counters["doom_rate"] = benchmark::Counter(
       static_cast<double>(dooms), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_OverCapacityStream)
     ->ArgNames({"backend", "n"})
-    ->ArgsProduct({{0, 1}, {4096, 65536}});
+    ->ArgsProduct({{0, 1, 2}, {4096, 65536}});
 
 }  // namespace
 

@@ -73,13 +73,17 @@ void attach_buffer_counters(benchmark::State& state, const RunStats& rs) {
       Counter(static_cast<double>(b.mru_misses), Counter::kAvgIterations);
   state.counters["probe_skips"] =
       Counter(static_cast<double>(b.probe_skips), Counter::kAvgIterations);
+  // Adaptive backend: speculations that started on a freshly flipped
+  // backend (0 for the fixed backends).
+  state.counters["backend_flips"] =
+      Counter(static_cast<double>(b.backend_flips), Counter::kAvgIterations);
 }
 
 void BM_BufferedLoadStore(benchmark::State& state) {
   // Measures the speculative access path: each iteration forks one
   // speculation doing a fixed batch of buffered read-modify-writes (the
   // fork/join round trip amortizes over the batch), once per SpecBuffer
-  // backend (arg: 0 = static-hash, 1 = growable-log).
+  // backend (arg: 0 = static-hash, 1 = growable-log, 2 = adaptive).
   auto backend = static_cast<BufferBackend>(state.range(0));
   constexpr int64_t kBatch = 4096;
   Runtime rt({.num_cpus = 1, .buffer_log2 = 16, .buffer_backend = backend});
@@ -99,12 +103,15 @@ void BM_BufferedLoadStore(benchmark::State& state) {
   state.SetLabel(buffer_backend_name(backend));
   attach_buffer_counters(state, rs);
 }
-BENCHMARK(BM_BufferedLoadStore)->ArgNames({"backend"})->Arg(0)->Arg(1);
+BENCHMARK(BM_BufferedLoadStore)->ArgNames({"backend"})->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BufferedLargeFootprint(benchmark::State& state) {
   // A speculative footprint larger than the configured table (2^8 slots,
   // 16K words touched): the static hash dooms and rolls back, the growable
   // log resizes and commits — this is the trade the backend choice buys.
+  // The adaptive backend shows the learning curve: it pays the static
+  // rollbacks until its slot crosses the overflow threshold, flips, and
+  // commits from then on (visible as rollbacks + backend_flips + commits).
   auto backend = static_cast<BufferBackend>(state.range(0));
   Runtime rt({.num_cpus = 1,
               .buffer_log2 = 8,
@@ -132,7 +139,11 @@ void BM_BufferedLargeFootprint(benchmark::State& state) {
   state.counters["rollbacks"] = static_cast<double>(rs.speculative.rollbacks);
   state.counters["commits"] = static_cast<double>(rs.speculative.commits);
 }
-BENCHMARK(BM_BufferedLargeFootprint)->ArgNames({"backend"})->Arg(0)->Arg(1);
+BENCHMARK(BM_BufferedLargeFootprint)
+    ->ArgNames({"backend"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
 
 void BM_LiveInTransfer(benchmark::State& state) {
   Runtime rt({.num_cpus = 1, .buffer_log2 = 10});

@@ -49,20 +49,26 @@ FIG_BENCHES = [
 # Google-Benchmark binaries whose buffered benches sweep the SpecBuffer
 # backends; their per-run counters (resize_events, avg_probe_len,
 # validated_words, overflow_events, fastpath_hits, mru_hits/misses,
-# probe_skips, the fork-latency ledger split) are the cost breakdown behind
-# any backend or hot-path comparison, so they ride along in the JSON
-# document. The ablation binary rides along too so a backend perf
-# regression trips the perf trajectory, not just correctness CI.
+# probe_skips, backend_flips, the fork-latency ledger split) are the cost
+# breakdown behind any backend or hot-path comparison, so they ride along
+# in the JSON document. The ablation binary rides along too so a backend
+# perf regression trips the perf trajectory, not just correctness CI.
 MICRO_BENCH = "bench_micro_runtime"
 MICRO_FILTER = "Buffered|ForkJoin"
 ABLATION_BENCH = "bench_ablation_buffer_map"
 ABLATION_FILTER = "SpecBuffer|ValidateCommit|OverCapacity|ResetSmall"
+
+# Every backend the swept benches must report. A backend silently missing
+# from a sweep (dropped Arg, renamed label, dispatch regression) would
+# otherwise just shrink the document — fail loudly instead.
+EXPECTED_BACKENDS = ("static-hash", "growable-log", "adaptive")
 
 # Counters copied out of a Google-Benchmark JSON run when present.
 COUNTER_KEYS = (
     "items_per_second", "resize_events", "overflow_events",
     "validated_words", "avg_probe_len", "rollbacks", "commits",
     "fastpath_hits", "mru_hits", "mru_misses", "probe_skips",
+    "backend_flips",
     "find_cpu_ns", "fork_arm_ns", "fork_handoff_ns", "join_ns",
     "resizes", "overflow_dooms", "doom_rate", "real_time", "cpu_time",
 )
@@ -122,6 +128,15 @@ def run_gbench(bench_dir: Path, name: str, bfilter: str, timeout: int,
             runs.append(run)
         entry["status"] = "ok"
         entry["runs"] = runs
+        # A backend-swept binary must actually report every backend: a
+        # missing label means the sweep silently lost a contestant.
+        swept = {r["backend"] for r in runs if r.get("backend")}
+        missing = [b for b in EXPECTED_BACKENDS if b not in swept]
+        if swept and missing:
+            entry["status"] = "missing-backend"
+            entry["missing_backends"] = missing
+            print(f"[bench_json] {name}: swept backends {sorted(swept)} "
+                  f"are missing {missing}", file=sys.stderr)
     except subprocess.TimeoutExpired:
         entry["status"] = "timeout"
         entry["seconds"] = round(time.monotonic() - start, 3)

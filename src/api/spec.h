@@ -181,8 +181,12 @@ class Runtime {
     size_t overflow_cap = 4096;
     // Speculative-buffer backend (see "Choosing a buffer backend" in the
     // README): kStaticHash dooms the speculation on overflow pressure,
-    // kGrowableLog resizes instead.
+    // kGrowableLog resizes instead, kAdaptive starts each virtual-CPU slot
+    // on the static hash and flips it to the growable log after repeated
+    // overflow events (the two knobs below; ignored otherwise).
     BufferBackend buffer_backend = BufferBackend::kStaticHash;
+    uint64_t adaptive_overflow_threshold = 4;
+    uint64_t adaptive_calm_hysteresis = 16;
     int register_slots = 256;
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;

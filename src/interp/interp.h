@@ -49,8 +49,11 @@ class Interpreter {
     int num_cpus = 4;
     int buffer_log2 = 14;
     size_t overflow_cap = 4096;
-    // Speculative-buffer backend of every virtual CPU (SpecBuffer API).
+    // Speculative-buffer backend of every virtual CPU (SpecBuffer API),
+    // plus the kAdaptive flip knobs (ignored by the other backends).
     BufferBackend buffer_backend = BufferBackend::kStaticHash;
+    uint64_t adaptive_overflow_threshold = 4;
+    uint64_t adaptive_calm_hysteresis = 16;
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;

@@ -14,7 +14,10 @@
 namespace mutls {
 
 struct SpecBufferStats {
-  uint64_t overflow_events = 0;  // static-hash: bounded-overflow exhaustions
+  uint64_t overflow_events = 0;  // capacity-exhaustion dooms: the bounded
+                                 // overflow map (static hash) or the hard
+                                 // index cap (growable log). Feeds the
+                                 // adaptive flip threshold uniformly.
   uint64_t resize_events = 0;    // growable-log: index rehashes
   uint64_t probe_steps = 0;      // open-addressing steps beyond the home slot
   uint64_t probe_ops = 0;        // probed lookups (avg length = steps / ops)
@@ -25,6 +28,10 @@ struct SpecBufferStats {
                                  // slot cache (backend level)
   uint64_t mru_misses = 0;       // resolutions that had to probe the sets
   uint64_t probe_skips = 0;      // set probes the MRU hits avoided
+  uint64_t backend_flips = 0;    // adaptive: this speculation started on a
+                                 // freshly flipped backend (the flipped
+                                 // *state* persists per slot; the counter,
+                                 // like the rest, is per speculation)
 
   void clear() { *this = SpecBufferStats{}; }
 
@@ -45,6 +52,7 @@ struct SpecBufferStats {
     mru_hits += o.mru_hits;
     mru_misses += o.mru_misses;
     probe_skips += o.probe_skips;
+    backend_flips += o.backend_flips;
     return *this;
   }
 };

@@ -32,12 +32,19 @@ enum class BufferBackend : int {
   // Open-addressed growable index over an append-only log: capacity
   // pressure triggers a resize instead of a rollback.
   kGrowableLog = 1,
+  // Per-slot selection between the two: a virtual CPU starts on
+  // kStaticHash and flips to kGrowableLog after repeated overflow events
+  // (and back once the footprint calms down); see
+  // SpecBuffer::AdaptivePolicy. The active backend can differ from slot
+  // to slot, but every access still dispatches on one plain enum.
+  kAdaptive = 2,
 };
 
 inline const char* buffer_backend_name(BufferBackend b) {
   switch (b) {
     case BufferBackend::kStaticHash: return "static-hash";
     case BufferBackend::kGrowableLog: return "growable-log";
+    case BufferBackend::kAdaptive: return "adaptive";
   }
   return "?";
 }

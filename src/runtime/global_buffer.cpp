@@ -91,169 +91,60 @@ void BufferMap::clear() {
   overflow_.clear();
 }
 
-void GlobalBuffer::init(int log2_entries, size_t overflow_cap) {
-  read_set_.init(log2_entries, overflow_cap, /*with_marks=*/false, &stats_);
-  write_set_.init(log2_entries, overflow_cap, /*with_marks=*/true, &stats_);
+void GlobalBuffer::init(int log2_entries, size_t overflow_cap,
+                        SpecBufferStats* stats) {
+  stats_ = stats;
+  read_set_.init(log2_entries, overflow_cap, /*with_marks=*/false, stats);
+  write_set_.init(log2_entries, overflow_cap, /*with_marks=*/true, stats);
 }
 
-uint64_t GlobalBuffer::read_word_view(uintptr_t word_addr) {
-  if (word_addr == mru_addr_) {
-    // Serve entirely from the cached slots when the line knows everything
-    // the probing path would re-derive.
-    if (mru_w_ != 0 && mru_w_ != kWriteAbsent) {
-      uint64_t mark = write_set_.mark_at(mru_w_ - 1);
-      if (mark == kFullMark) {
-        ++stats_.mru_hits;
-        ++stats_.probe_skips;
-        return write_set_.data_at(mru_w_ - 1);
-      }
-      if (mru_r_ != 0) {
-        ++stats_.mru_hits;
-        stats_.probe_skips += 2;
-        return overlay_bytes(read_set_.data_at(mru_r_ - 1),
-                             write_set_.data_at(mru_w_ - 1), mark);
-      }
-    } else if (mru_w_ == kWriteAbsent && mru_r_ != 0) {
-      ++stats_.mru_hits;
-      stats_.probe_skips += 2;
-      return read_set_.data_at(mru_r_ - 1);
-    }
-  }
-  ++stats_.mru_misses;
-  // Keep whatever half of the line is still valid when re-resolving the
-  // same word (e.g. a read after a store that only knew the write slot).
-  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+WordRef GlobalBuffer::find_read(uintptr_t word_addr) {
+  BufferMap::Slot s;
+  return read_set_.find(word_addr, s) ? as_ref(s) : WordRef{};
+}
 
-  BufferMap::Slot w;
-  bool have_w = write_set_.find(word_addr, w);
-  uint32_t mw = have_w
-                    ? (w.table_index != BufferMap::kNoSlot ? w.table_index + 1
-                                                           : 0)
-                    : kWriteAbsent;
-  if (have_w && *w.mark == kFullMark) {
-    mru_addr_ = word_addr;
-    mru_r_ = mr;
-    mru_w_ = mw;
-    return *w.data;
-  }
+WordRef GlobalBuffer::find_write(uintptr_t word_addr) {
+  BufferMap::Slot s;
+  return write_set_.find(word_addr, s) ? as_ref(s) : WordRef{};
+}
 
-  uint64_t base;
-  BufferMap::Slot r;
-  switch (read_set_.find_or_insert(word_addr, r)) {
+WordRef GlobalBuffer::insert_read(uintptr_t word_addr, bool& inserted,
+                                  bool merging) {
+  BufferMap::Slot s;
+  switch (read_set_.find_or_insert(word_addr, s)) {
     case BufferMap::Find::kFound:
-      base = *r.data;
-      break;
+      inserted = false;
+      return as_ref(s);
     case BufferMap::Find::kInserted:
-      // First touch: load the whole word from main memory and remember it
-      // for validation.
-      base = atomic_word_load(word_addr);
-      *r.data = base;
-      break;
+      inserted = true;
+      return as_ref(s);
     case BufferMap::Find::kFull:
     default:
-      doom("read-set overflow buffer full");
-      ++stats_.overflow_events;
-      base = atomic_word_load(word_addr);
-      if (have_w) base = overlay_bytes(base, *w.data, *w.mark);
-      mru_invalidate();  // nothing stable to cache for a doomed access
-      return base;
+      doom(merging ? "read-set overflow while adopting a child commit"
+                   : "read-set overflow buffer full");
+      ++stats_->overflow_events;
+      return WordRef{};
   }
-  mru_addr_ = word_addr;
-  mru_r_ = r.table_index != BufferMap::kNoSlot ? r.table_index + 1 : 0;
-  mru_w_ = mw;
-  if (have_w) {
-    // Overlay the bytes this thread already wrote.
-    base = overlay_bytes(base, *w.data, *w.mark);
-  }
-  return base;
 }
 
-uint64_t GlobalBuffer::peek_word_view(uintptr_t word_addr) {
-  BufferMap::Slot w;
-  bool have_w = write_set_.find(word_addr, w);
-  if (have_w && *w.mark == kFullMark) return *w.data;
-  uint64_t base;
-  BufferMap::Slot r;
-  if (read_set_.find(word_addr, r)) {
-    base = *r.data;
-  } else {
-    base = atomic_word_load(word_addr);
+WordRef GlobalBuffer::insert_write(uintptr_t word_addr, bool merging) {
+  BufferMap::Slot s;
+  if (write_set_.find_or_insert(word_addr, s) == BufferMap::Find::kFull) {
+    doom(merging ? "write-set overflow while adopting a child commit"
+                 : "write-set overflow buffer full");
+    ++stats_->overflow_events;
+    return WordRef{};
   }
-  if (have_w) {
-    base = overlay_bytes(base, *w.data, *w.mark);
-  }
-  return base;
-}
-
-void GlobalBuffer::write_word(uintptr_t word_addr, uint64_t value,
-                              uint64_t mask) {
-  if (word_addr == mru_addr_ && mru_w_ != 0 && mru_w_ != kWriteAbsent) {
-    ++stats_.mru_hits;
-    ++stats_.probe_skips;
-    uint64_t& d = write_set_.data_at(mru_w_ - 1);
-    d = overlay_bytes(d, value, mask);
-    write_set_.mark_at(mru_w_ - 1) |= mask;
-    return;
-  }
-  ++stats_.mru_misses;
-  BufferMap::Slot w;
-  if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
-    doom("write-set overflow buffer full");
-    ++stats_.overflow_events;
-    return;
-  }
-  *w.data = overlay_bytes(*w.data, value, mask);
-  *w.mark |= mask;
-  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
-  mru_addr_ = word_addr;
-  mru_r_ = mr;
-  mru_w_ = w.table_index != BufferMap::kNoSlot ? w.table_index + 1 : 0;
-}
-
-void GlobalBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
-                               uint64_t mark) {
-  // Adoption mutates the sets behind the MRU's back (and runs at the flag
-  // barrier, not on the access hot path): drop the cache wholesale.
-  mru_invalidate();
-  BufferMap::Slot w;
-  if (write_set_.find_or_insert(word_addr, w) == BufferMap::Find::kFull) {
-    doom("write-set overflow while adopting a child commit");
-    ++stats_.overflow_events;
-    return;
-  }
-  *w.data = overlay_bytes(*w.data, data, mark);
-  *w.mark |= mark;
-}
-
-void GlobalBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
-  mru_invalidate();
-  // Reads fully satisfied by this buffer's own writes carry no main-memory
-  // dependency; everything else must survive until this thread's own
-  // validation, so it joins the read-set (first value wins).
-  BufferMap::Slot w;
-  if (write_set_.find(word_addr, w) && *w.mark == kFullMark) return;
-  BufferMap::Slot r;
-  switch (read_set_.find_or_insert(word_addr, r)) {
-    case BufferMap::Find::kFound:
-      break;  // the earlier observation wins
-    case BufferMap::Find::kInserted:
-      *r.data = data;
-      break;
-    case BufferMap::Find::kFull:
-      doom("read-set overflow while adopting a child commit");
-      ++stats_.overflow_events;
-      break;
-  }
+  return as_ref(s);
 }
 
 void GlobalBuffer::reset() {
   read_set_.clear();
   write_set_.clear();
-  mru_invalidate();
   doomed_ = false;
   doom_reason_ = "";
-  // stats_ intentionally survives reset: the settle paths read the counters
-  // after resetting; clear_stats() re-arms them per speculation.
+  // The stats block belongs to the owning SpecBuffer and intentionally
+  // survives reset: the settle paths read the counters after resetting.
 }
 
 }  // namespace mutls

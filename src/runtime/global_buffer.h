@@ -16,22 +16,15 @@
 // thread is doomed: it stops at its next check point / barrier and reports
 // ROLLBACK at synchronization.
 //
-// This class provides the word-granular backend primitives; the byte-level
-// load/store splitting, validation, commit and tree-form merge algorithms
-// live once in SpecBuffer, generic over the backend. Loads resolve in the
-// order write-set (marked bytes) -> read-set -> main memory (first touch
-// inserts the whole containing word into the read-set, as the paper does
-// for sub-word accesses).
-//
-// Hot-path shortcut: a one-line MRU cache of the most recently resolved
-// word view (read-set slot, write-set slot, or a proven write-set absence)
-// sits in front of the two maps, so consecutive touches of the same word —
-// the load+store pair of every read-modify-write, sub-word sweeps through
-// one word — skip the hash probes entirely. The line is deliberately tiny:
-// the miss path pays one compare and a three-word refresh, so streaming
-// access patterns that never repeat a word lose nothing. Only static-table
-// slots are cached (their storage never moves); overflow residents always
-// take the probing path.
+// This class provides only the word-granular slot primitives (WordRef in
+// "runtime/memory.h"): find/insert into either set, handle-indexed access
+// for MRU-cached slots, and the set walks. Everything with policy in it —
+// the byte-level load/store splitting, the speculative view composition,
+// the MRU word-view cache state machine, validation, commit and the
+// tree-form merge (including read-adoption policy) — lives once in
+// SpecBuffer, generic over the backend primitives. Only static-table slots
+// hand out cacheable handles (their storage never moves); overflow
+// residents always take the probing path.
 #pragma once
 
 #include <cstdint>
@@ -126,37 +119,39 @@ class BufferMap {
 class GlobalBuffer {
  public:
   GlobalBuffer() = default;
-  // After init the maps hold a pointer to this object's stats_ member, so
-  // a copied/moved buffer would count into the original. Never needed.
+  // After init the maps hold a pointer to the owning SpecBuffer's stats,
+  // so a copied/moved buffer would count into the original. Never needed.
   GlobalBuffer(const GlobalBuffer&) = delete;
   GlobalBuffer& operator=(const GlobalBuffer&) = delete;
 
-  void init(int log2_entries, size_t overflow_cap);
+  // `stats` is the owning SpecBuffer's counter block (shared by whichever
+  // backend is active, so counters survive an adaptive flip).
+  void init(int log2_entries, size_t overflow_cap, SpecBufferStats* stats);
 
-  // --- word-granular backend primitives (driven by SpecBuffer) ---
+  // --- word-granular slot primitives (driven by SpecBuffer) ---
 
-  // The thread's current view of one whole word: write-set marked bytes
-  // over the read-set observation over main memory. First touch inserts
-  // the word into the read-set; overflow exhaustion dooms the thread and
-  // falls back to the main-memory value.
-  uint64_t read_word_view(uintptr_t word_addr);
+  // Lookups without insertion; .data is null when absent.
+  WordRef find_read(uintptr_t word_addr);
+  WordRef find_write(uintptr_t word_addr);
 
-  // Like read_word_view but never inserts into the read-set (used when a
-  // speculative joiner evaluates a child's validation). Leaves the MRU
-  // cache untouched: peeks run on the *joiner's* buffer from the child's
-  // thread at the flag barrier.
-  uint64_t peek_word_view(uintptr_t word_addr);
+  // Lookup-or-insert. `inserted` reports a first touch (the caller loads
+  // the main-memory word / applies first-value-wins). On overflow
+  // exhaustion the returned .data is null and this buffer has doomed
+  // itself — with a merge-specific reason when `merging`, so a joiner's
+  // rollback points at the adopted child commit rather than its own
+  // access path.
+  WordRef insert_read(uintptr_t word_addr, bool& inserted, bool merging);
+  WordRef insert_write(uintptr_t word_addr, bool merging);
 
-  // Overlays the bytes selected by `mask` onto the buffered word; dooms on
-  // overflow exhaustion.
-  void write_word(uintptr_t word_addr, uint64_t value, uint64_t mask);
-
-  // Adoption twins of write_word/first-read-insert, used by the tree-form
-  // merge: same overlay/first-wins semantics, but an overflow exhaustion
-  // dooms with a merge-specific reason so a joiner's rollback points at
-  // the adopted child commit rather than its own access path.
-  void adopt_write(uintptr_t word_addr, uint64_t data, uint64_t mark);
-  void adopt_read(uintptr_t word_addr, uint64_t data);
+  // Handle-indexed access for MRU-cached slots (handle = table index + 1,
+  // as handed out in WordRef::handle).
+  uint64_t read_data(uint32_t handle) { return read_set_.data_at(handle - 1); }
+  uint64_t& write_data(uint32_t handle) {
+    return write_set_.data_at(handle - 1);
+  }
+  uint64_t& write_mark(uint32_t handle) {
+    return write_set_.mark_at(handle - 1);
+  }
 
   // Visits every read-set entry as fn(word_addr, data).
   template <typename Fn>
@@ -191,31 +186,18 @@ class GlobalBuffer {
   size_t read_entries() const { return read_set_.entry_count(); }
   size_t write_entries() const { return write_set_.entry_count(); }
 
-  const SpecBufferStats& stats() const { return stats_; }
-  SpecBufferStats& stats_mutable() { return stats_; }
-  void clear_stats() { stats_.clear(); }
-
  private:
-  // The MRU line: static-table slot indices (+1, 0 = not yet resolved)
-  // recomposing the speculative view of mru_addr_ without probing either
-  // map. kWriteAbsent marks a word proven absent from the write set; 1 is
-  // an impossible word address.
-  static constexpr uint32_t kWriteAbsent = 0xffffffffu;
-
-  void mru_invalidate() {
-    mru_addr_ = 1;
-    mru_r_ = 0;
-    mru_w_ = 0;
+  static WordRef as_ref(const BufferMap::Slot& s) {
+    return WordRef{s.data, s.mark,
+                   s.table_index != BufferMap::kNoSlot ? s.table_index + 1
+                                                       : 0};
   }
 
   BufferMap read_set_;
   BufferMap write_set_;
-  uintptr_t mru_addr_ = 1;
-  uint32_t mru_r_ = 0;  // read-set table slot +1; 0 = unknown
-  uint32_t mru_w_ = 0;  // write-set table slot +1; 0 = unknown; kWriteAbsent
   bool doomed_ = false;
   const char* doom_reason_ = "";
-  SpecBufferStats stats_;
+  SpecBufferStats* stats_ = nullptr;
 };
 
 }  // namespace mutls

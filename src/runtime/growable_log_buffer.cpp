@@ -2,11 +2,15 @@
 
 namespace mutls {
 
-void GrowableSet::init(int log2_entries, SpecBufferStats* stats) {
-  MUTLS_CHECK(log2_entries >= 4 && log2_entries <= 28,
+void GrowableSet::init(int log2_entries, SpecBufferStats* stats,
+                       int max_log2) {
+  MUTLS_CHECK(log2_entries >= 4 && log2_entries <= kMaxLog2,
               "buffer log2 size out of range");
+  MUTLS_CHECK(max_log2 >= log2_entries && max_log2 <= kMaxLog2,
+              "growable hard cap out of range");
   log2_ = log2_entries;
   shift_ = 64 - log2_;
+  max_log2_ = max_log2;
   index_.assign(size_t{1} << log2_, 0);
   log_.clear();
   log_.reserve(1024);
@@ -28,10 +32,10 @@ GrowableSet::Entry& GrowableSet::find_or_insert(uintptr_t word_addr,
     if (pos == 0) {
       // Insert path only: keep the load factor at or below 3/4 so probe
       // sequences stay short (a lookup hit must never pay a rehash); past
-      // kMaxLog2 the factor rises instead (the caller dooms before the
+      // max_log2_ the factor rises instead (the caller dooms before the
       // table could actually fill).
       if (log_.size() + 1 > capacity() - capacity() / 4 &&
-          log2_ < kMaxLog2) {
+          log2_ < max_log2_) {
         grow();
         // Re-probe for the empty slot in the grown index.
         const size_t grown_mask = capacity() - 1;
@@ -91,154 +95,58 @@ void GrowableSet::clear() {
   resized_this_epoch_ = false;
 }
 
-void GrowableLogBuffer::init(int log2_entries, size_t overflow_cap) {
+void GrowableLogBuffer::init(int log2_entries, size_t overflow_cap,
+                             SpecBufferStats* stats, int max_log2) {
   (void)overflow_cap;  // no bounded overflow in this backend
-  read_set_.init(log2_entries, &stats_);
-  write_set_.init(log2_entries, &stats_);
+  stats_ = stats;
+  read_set_.init(log2_entries, stats, max_log2);
+  write_set_.init(log2_entries, stats, max_log2);
 }
 
-uint64_t GrowableLogBuffer::read_word_view(uintptr_t word_addr) {
-  if (word_addr == mru_addr_) {
-    // Serve entirely from the cached positions when the line knows
-    // everything the probing path would re-derive.
-    if (mru_w_ != 0 && mru_w_ != kWriteAbsent) {
-      GrowableSet::Entry& w = write_set_.at_position(mru_w_);
-      if (w.mark == kFullMark) {
-        ++stats_.mru_hits;
-        ++stats_.probe_skips;
-        return w.data;
-      }
-      if (mru_r_ != 0) {
-        ++stats_.mru_hits;
-        stats_.probe_skips += 2;
-        return overlay_bytes(read_set_.at_position(mru_r_).data, w.data,
-                             w.mark);
-      }
-    } else if (mru_w_ == kWriteAbsent && mru_r_ != 0) {
-      ++stats_.mru_hits;
-      stats_.probe_skips += 2;
-      return read_set_.at_position(mru_r_).data;
-    }
-  }
-  ++stats_.mru_misses;
-  // Keep whatever half of the line is still valid when re-resolving the
-  // same word (e.g. a read after a store that only knew the write slot).
-  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+WordRef GrowableLogBuffer::find_read(uintptr_t word_addr) {
+  GrowableSet::Entry* e = read_set_.find(word_addr);
+  return e ? WordRef{&e->data, nullptr, read_set_.position_of(e)} : WordRef{};
+}
 
-  GrowableSet::Entry* w = write_set_.find(word_addr);
-  uint32_t mw = w ? write_set_.position_of(w) : kWriteAbsent;
-  if (w && w->mark == kFullMark) {
-    mru_addr_ = word_addr;
-    mru_r_ = mr;
-    mru_w_ = mw;
-    return w->data;
-  }
+WordRef GrowableLogBuffer::find_write(uintptr_t word_addr) {
+  GrowableSet::Entry* e = write_set_.find(word_addr);
+  return e ? WordRef{&e->data, &e->mark, write_set_.position_of(e)}
+           : WordRef{};
+}
 
+WordRef GrowableLogBuffer::insert_read(uintptr_t word_addr, bool& inserted,
+                                       bool merging) {
   if (read_set_.at_hard_capacity()) {
-    // ~2^28 distinct words: past the point where resizing can help. Doom
-    // like the static hash does on exhaustion instead of aborting.
-    doom("read-set exhausted the maximum growable index");
-    mru_invalidate();  // nothing stable to cache for a doomed access
-    uint64_t base = atomic_word_load(word_addr);
-    if (w) base = overlay_bytes(base, w->data, w->mark);
-    return base;
+    doom(merging ? "read-set exhausted the maximum growable index while "
+                   "adopting a child commit"
+                 : "read-set exhausted the maximum growable index");
+    ++stats_->overflow_events;
+    return WordRef{};
   }
-  bool inserted = false;
-  GrowableSet::Entry& r = read_set_.find_or_insert(word_addr, inserted);
-  if (inserted) {
-    // First touch: load the whole word from main memory and remember it
-    // for validation.
-    r.data = atomic_word_load(word_addr);
-  }
-  mru_addr_ = word_addr;
-  mru_r_ = read_set_.position_of(&r);
-  mru_w_ = mw;
-  uint64_t base = r.data;
-  if (w) {
-    // Overlay the bytes this thread already wrote. `w` points into the
-    // write set's log, untouched by the read-set insertion above.
-    base = overlay_bytes(base, w->data, w->mark);
-  }
-  return base;
+  GrowableSet::Entry& e = read_set_.find_or_insert(word_addr, inserted);
+  return WordRef{&e.data, nullptr, read_set_.position_of(&e)};
 }
 
-uint64_t GrowableLogBuffer::peek_word_view(uintptr_t word_addr) {
-  GrowableSet::Entry* w = write_set_.find(word_addr);
-  if (w && w->mark == kFullMark) return w->data;
-  GrowableSet::Entry* r = read_set_.find(word_addr);
-  uint64_t base = r ? r->data : atomic_word_load(word_addr);
-  if (w) {
-    base = overlay_bytes(base, w->data, w->mark);
-  }
-  return base;
-}
-
-void GrowableLogBuffer::write_word(uintptr_t word_addr, uint64_t value,
-                                   uint64_t mask) {
-  if (word_addr == mru_addr_ && mru_w_ != 0 && mru_w_ != kWriteAbsent) {
-    ++stats_.mru_hits;
-    ++stats_.probe_skips;
-    GrowableSet::Entry& e = write_set_.at_position(mru_w_);
-    e.data = overlay_bytes(e.data, value, mask);
-    e.mark |= mask;
-    return;
-  }
-  ++stats_.mru_misses;
+WordRef GrowableLogBuffer::insert_write(uintptr_t word_addr, bool merging) {
   if (write_set_.at_hard_capacity()) {
-    doom("write-set exhausted the maximum growable index");
-    return;
+    doom(merging ? "write-set exhausted the maximum growable index while "
+                   "adopting a child commit"
+                 : "write-set exhausted the maximum growable index");
+    ++stats_->overflow_events;
+    return WordRef{};
   }
   bool inserted = false;
   GrowableSet::Entry& e = write_set_.find_or_insert(word_addr, inserted);
-  e.data = overlay_bytes(e.data, value, mask);
-  e.mark |= mask;
-  uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
-  mru_addr_ = word_addr;
-  mru_r_ = mr;
-  mru_w_ = write_set_.position_of(&e);
-}
-
-void GrowableLogBuffer::adopt_write(uintptr_t word_addr, uint64_t data,
-                                    uint64_t mark) {
-  // Adoption mutates the sets behind the MRU's back (and runs at the flag
-  // barrier, not on the access hot path): drop the cache wholesale.
-  mru_invalidate();
-  if (write_set_.at_hard_capacity()) {
-    doom("write-set exhausted the maximum growable index while adopting a "
-         "child commit");
-    return;
-  }
-  bool inserted = false;
-  GrowableSet::Entry& e = write_set_.find_or_insert(word_addr, inserted);
-  e.data = overlay_bytes(e.data, data, mark);
-  e.mark |= mark;
-}
-
-void GrowableLogBuffer::adopt_read(uintptr_t word_addr, uint64_t data) {
-  mru_invalidate();
-  // Reads fully satisfied by this buffer's own writes carry no main-memory
-  // dependency; everything else must survive until this thread's own
-  // validation, so it joins the read-set (first value wins).
-  GrowableSet::Entry* w = write_set_.find(word_addr);
-  if (w && w->mark == kFullMark) return;
-  if (read_set_.at_hard_capacity()) {
-    doom("read-set exhausted the maximum growable index while adopting a "
-         "child commit");
-    return;
-  }
-  bool inserted = false;
-  GrowableSet::Entry& r = read_set_.find_or_insert(word_addr, inserted);
-  if (inserted) r.data = data;
+  return WordRef{&e.data, &e.mark, write_set_.position_of(&e)};
 }
 
 void GrowableLogBuffer::reset() {
   read_set_.clear();
   write_set_.clear();
-  mru_invalidate();
   doomed_ = false;
   doom_reason_ = "";
-  // stats_ intentionally survives reset: the settle paths read the counters
-  // after resetting; clear_stats() re-arms them per speculation.
+  // The stats block belongs to the owning SpecBuffer and intentionally
+  // survives reset: the settle paths read the counters after resetting.
 }
 
 }  // namespace mutls

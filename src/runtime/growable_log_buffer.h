@@ -19,14 +19,12 @@
 // Capacity grows but never shrinks across reset(): a virtual-CPU slot that
 // once ran a large speculation keeps its table, amortizing the rehashes.
 //
-// Hot-path shortcut: a one-line MRU cache of the most recently resolved
-// word view, keyed by log position (resize-stable, unlike entry pointers),
-// sits in front of the two indexes, so consecutive touches of the same
-// word — the load+store pair of every read-modify-write, sub-word sweeps
-// through one word — skip the Fibonacci hash and probe sequence entirely.
-// The line is deliberately tiny: the miss path pays one compare and a
-// three-word refresh, so streaming patterns that never repeat a word lose
-// nothing.
+// Like the static hash, this class provides only the word-granular slot
+// primitives (WordRef in "runtime/memory.h"); the speculative view
+// composition, the MRU word-view cache, validation, commit and the
+// tree-form merge policy live once in SpecBuffer. The handles this backend
+// hands out are log positions — resize-stable, unlike entry pointers — so
+// they stay valid in SpecBuffer's MRU line across rehashes.
 #pragma once
 
 #include <cstdint>
@@ -48,19 +46,22 @@ class GrowableSet {
     uint32_t slot;  // index_ slot holding this entry, for O(entries) clear
   };
 
-  // `log2_entries` fixes the *initial* index capacity; `stats` receives
-  // probe and resize counters.
-  void init(int log2_entries, SpecBufferStats* stats);
-
-  bool initialized() const { return !index_.empty(); }
-
-  // The index never grows past 2^kMaxLog2 slots. At that size the load
-  // factor is allowed to rise until one empty slot remains (probe
+  // The index never grows past 2^kMaxLog2 slots by default. At that size
+  // the load factor is allowed to rise until one empty slot remains (probe
   // termination needs it); the owning buffer dooms the speculation before
   // the next insert instead of aborting the process.
   static constexpr int kMaxLog2 = 28;
+
+  // `log2_entries` fixes the *initial* index capacity; `stats` receives
+  // probe and resize counters; `max_log2` lowers the hard capacity below
+  // kMaxLog2 (a memory bound, and the seam the doom-path tests use —
+  // nothing can allocate its way to 2^28 entries in a test).
+  void init(int log2_entries, SpecBufferStats* stats, int max_log2 = kMaxLog2);
+
+  bool initialized() const { return !index_.empty(); }
+
   bool at_hard_capacity() const {
-    return log2_ >= kMaxLog2 && entry_count() + 1 >= capacity();
+    return log2_ >= max_log2_ && entry_count() + 1 >= capacity();
   }
 
   // Finds the entry for `word_addr`, appending a zeroed one (and growing
@@ -73,7 +74,7 @@ class GrowableSet {
 
   // Log positions (+1, 0 = none) are the resize-stable handle to an entry:
   // they survive both log reallocation and index rehashes, unlike raw
-  // pointers — which is what the owning buffer's MRU cache stores.
+  // pointers — which is what the unified MRU cache stores.
   uint32_t position_of(const Entry* e) const {
     return e ? static_cast<uint32_t>(e - log_.data()) + 1 : 0;
   }
@@ -107,6 +108,7 @@ class GrowableSet {
   std::vector<uint32_t> index_;  // log position + 1; 0 = empty
   int log2_ = 0;
   int shift_ = 64;  // 64 - log2_
+  int max_log2_ = kMaxLog2;
   bool resized_this_epoch_ = false;
   SpecBufferStats* stats_ = nullptr;
 };
@@ -114,34 +116,41 @@ class GrowableSet {
 class GrowableLogBuffer {
  public:
   GrowableLogBuffer() = default;
-  // After init the sets hold a pointer to this object's stats_ member, so
-  // a copied/moved buffer would count into the original. Never needed.
+  // After init the sets hold a pointer to the owning SpecBuffer's stats,
+  // so a copied/moved buffer would count into the original. Never needed.
   GrowableLogBuffer(const GrowableLogBuffer&) = delete;
   GrowableLogBuffer& operator=(const GrowableLogBuffer&) = delete;
 
   // Matches the static-hash init signature so SpecBuffer can configure
   // either backend uniformly; `overflow_cap` has no meaning here (there is
-  // no bounded overflow to cap).
-  void init(int log2_entries, size_t overflow_cap);
+  // no bounded overflow to cap). `max_log2` bounds the growable index.
+  void init(int log2_entries, size_t overflow_cap, SpecBufferStats* stats,
+            int max_log2 = GrowableSet::kMaxLog2);
 
-  // --- word-granular backend primitives (driven by SpecBuffer) ---
+  // --- word-granular slot primitives (driven by SpecBuffer) ---
 
-  // The thread's current view of one whole word: write-set marked bytes
-  // over the read-set observation over main memory. First touch inserts
-  // the word into the read-set. Dooms only at GrowableSet::kMaxLog2 hard
-  // capacity (~2^28 distinct words), where resizing can no longer help.
-  uint64_t read_word_view(uintptr_t word_addr);
+  // Lookups without insertion; .data is null when absent.
+  WordRef find_read(uintptr_t word_addr);
+  WordRef find_write(uintptr_t word_addr);
 
-  // Like read_word_view but never inserts into the read-set.
-  uint64_t peek_word_view(uintptr_t word_addr);
+  // Lookup-or-insert. Dooms (returning a null .data) only at the hard
+  // index capacity — ~2^28 distinct words by default, past the point where
+  // resizing can help — exactly like static-hash exhaustion instead of
+  // aborting the process; a merge-specific reason is used when `merging`.
+  WordRef insert_read(uintptr_t word_addr, bool& inserted, bool merging);
+  WordRef insert_write(uintptr_t word_addr, bool merging);
 
-  // Overlays the bytes selected by `mask` onto the buffered word.
-  void write_word(uintptr_t word_addr, uint64_t value, uint64_t mask);
-
-  // Adoption twins of write_word/first-read-insert, used by the tree-form
-  // merge: same semantics, merge-specific doom reason at hard capacity.
-  void adopt_write(uintptr_t word_addr, uint64_t data, uint64_t mark);
-  void adopt_read(uintptr_t word_addr, uint64_t data);
+  // Handle-indexed access for MRU-cached slots (handle = log position, as
+  // handed out in WordRef::handle; stable across resizes).
+  uint64_t read_data(uint32_t handle) {
+    return read_set_.at_position(handle).data;
+  }
+  uint64_t& write_data(uint32_t handle) {
+    return write_set_.at_position(handle).data;
+  }
+  uint64_t& write_mark(uint32_t handle) {
+    return write_set_.at_position(handle).mark;
+  }
 
   // Visits every read-set entry as fn(word_addr, data).
   template <typename Fn>
@@ -160,8 +169,8 @@ class GrowableLogBuffer {
   // Discards all buffered state; clears doom. Grown index capacity is kept.
   void reset();
 
-  // This backend dooms itself only at the 2^kMaxLog2 hard capacity (no
-  // realistic speculation reaches it); external conditions — wild
+  // This backend dooms itself only at the hard index capacity (no
+  // realistic speculation reaches the default); external conditions — wild
   // accesses, escaped exceptions, abort signals — still doom through here.
   bool doomed() const { return doomed_; }
   const char* doom_reason() const { return doom_reason_; }
@@ -178,31 +187,12 @@ class GrowableLogBuffer {
   size_t read_entries() const { return read_set_.entry_count(); }
   size_t write_entries() const { return write_set_.entry_count(); }
 
-  const SpecBufferStats& stats() const { return stats_; }
-  SpecBufferStats& stats_mutable() { return stats_; }
-  void clear_stats() { stats_.clear(); }
-
  private:
-  // The MRU line: log positions (+1, 0 = not yet resolved; see
-  // GrowableSet::position_of) recomposing the speculative view of
-  // mru_addr_ without probing either index. kWriteAbsent marks a word
-  // proven absent from the write set; 1 is an impossible word address.
-  static constexpr uint32_t kWriteAbsent = 0xffffffffu;
-
-  void mru_invalidate() {
-    mru_addr_ = 1;
-    mru_r_ = 0;
-    mru_w_ = 0;
-  }
-
   GrowableSet read_set_;
   GrowableSet write_set_;
-  uintptr_t mru_addr_ = 1;
-  uint32_t mru_r_ = 0;  // read-set log position +1; 0 = unknown
-  uint32_t mru_w_ = 0;  // write-set log position +1; 0 = unknown; kWriteAbsent
   bool doomed_ = false;
   const char* doom_reason_ = "";
-  SpecBufferStats stats_;
+  SpecBufferStats* stats_ = nullptr;
 };
 
 }  // namespace mutls

@@ -12,17 +12,32 @@
 //   kGrowableLog — open-addressed growable index over an append-only log
 //                  ("runtime/growable_log_buffer.h"); capacity pressure
 //                  resizes instead of dooming.
+//   kAdaptive    — per-slot selection between the two: starts on
+//                  kStaticHash, flips to kGrowableLog after repeated
+//                  overflow events (and back once the footprint calms
+//                  down). The flip happens in rearm(), i.e. when the
+//                  owning virtual-CPU slot is re-armed for its next
+//                  speculation — never mid-speculation.
 //
-// Dispatch is static: the backend enum is resolved once when the owning
-// virtual CPU is configured, and every operation branches once to a fully
-// inlined backend body — no virtual call on the load/store hot path. The
-// byte-splitting load/store loops and the set algorithms (validation,
-// commit, tree-form merge of paper IV-F) are written once here as
-// templates over the backend primitives:
+// Dispatch is static: the *active* backend enum is resolved when the slot
+// is (re-)armed, and every operation branches once to a fully inlined
+// backend body — no virtual call on the load/store hot path.
 //
-//   read_word_view / peek_word_view / write_word / adopt_read
+// The backends themselves are just slot stores: they expose the
+// word-granular primitives
+//
+//   find_read / find_write / insert_read / insert_write   (-> WordRef)
+//   read_data / write_data / write_mark                   (by MRU handle)
 //   for_each_read / for_each_write
-//   reset / doom / pressure / entry counts / SpecBufferStats
+//   reset / doom / pressure / entry counts
+//
+// and every algorithm with policy in it is written once here, generic over
+// those primitives: the byte-splitting load/store loops, the speculative
+// view composition (write-set marked bytes over the read-set observation
+// over main memory), the MRU word-view cache state machine, validation
+// with word counting, commit, and the tree-form merge of paper IV-F
+// including its read-adoption policy (skip-if-covered-by-full-mark, first
+// value wins).
 //
 // Access-path tiers, fastest first:
 //   load_aligned/store_aligned — naturally-aligned accesses of power-of-two
@@ -34,13 +49,15 @@
 //     move as whole words.
 //   load_bytes/store_bytes — the fully generic entry (any size, any
 //     alignment), now a span of length one access.
-// Below all three sit the backends' MRU word-view caches, so consecutive
-// touches of the same words skip the hash probes too.
+// Below all three sits the one MRU word-view cache (shared by the
+// backends, keyed on their handles), so consecutive touches of the same
+// words skip the hash probes too.
 //
 // The double dispatch in validate_against/merge_into makes the join-time
-// pairings generic, so buffers of *different* backends compose (exercised
-// by the cross-backend tests even though a ThreadManager configures all
-// its buffers uniformly).
+// pairings generic, so buffers of *different* backends compose — which is
+// also what makes an adaptive tree with mixed-backend siblings work: a
+// flipped slot merges into (or validates against) an unflipped one through
+// the same two templates.
 #pragma once
 
 #include <algorithm>
@@ -57,65 +74,91 @@
 
 namespace mutls {
 
+// The adaptive flip policy (kAdaptive only; ignored otherwise). The two
+// knobs surface as ManagerConfig::adaptive_overflow_threshold /
+// adaptive_calm_hysteresis and ride the usual Options plumbing.
+// (Namespace-scope rather than nested: it appears as a default argument
+// of SpecBuffer::init, where a nested type's member initializers would
+// not be parsed yet.)
+struct SpecAdaptivePolicy {
+  // Cumulative overflow events on this slot (summed across speculations
+  // since the slot last ran on the static hash afresh) at which the slot
+  // flips to kGrowableLog at its next rearm().
+  uint64_t overflow_threshold = 4;
+  // Consecutive calm speculations — no resizes and a footprint that
+  // would sit at no more than half load in the static table — after
+  // which a flipped slot returns to kStaticHash. The hysteresis is what
+  // keeps one pathological speculation from permanently pinning the slot
+  // to the growable backend, without flapping on every quiet epoch.
+  uint64_t calm_hysteresis = 16;
+};
+
 class SpecBuffer {
   // The whole API funnels through these two: one predictable branch on the
-  // enum fixed at init, then a fully inlined backend body. Defined before
+  // active-backend enum, then a fully inlined backend body. Defined before
   // first use — their deduced return types must be visible to the inline
   // methods below.
   template <typename Fn>
   decltype(auto) dispatch(Fn&& fn) {
-    return backend_ == BufferBackend::kGrowableLog ? fn(growable_log_)
-                                                   : fn(static_hash_);
+    return active_ == BufferBackend::kGrowableLog ? fn(growable_log_)
+                                                  : fn(static_hash_);
   }
   template <typename Fn>
   decltype(auto) dispatch(Fn&& fn) const {
-    return backend_ == BufferBackend::kGrowableLog ? fn(growable_log_)
-                                                   : fn(static_hash_);
-  }
-
-  BufferBackend backend_ = BufferBackend::kStaticHash;
-  GlobalBuffer static_hash_;
-  GrowableLogBuffer growable_log_;
-
-  // Reused gather buffer for the join-time set walks: large sets are
-  // streamed into it, sorted by address, and then touch main memory in
-  // address order (sequential prefetch instead of hash-order hopping).
-  // Small sets fit in cache, where the sort costs more than hash-order
-  // misses ever could — they are walked directly instead; the threshold is
-  // roughly where a set's footprint outgrows L1/L2.
-  struct SetEntry {
-    uintptr_t word_addr;
-    uint64_t data;
-    uint64_t mark;
-  };
-  static constexpr size_t kAddressOrderThreshold = 4096;
-  std::vector<SetEntry> scratch_;
-
-  void sort_scratch() {
-    std::sort(scratch_.begin(), scratch_.end(),
-              [](const SetEntry& a, const SetEntry& b) {
-                return a.word_addr < b.word_addr;
-              });
+    return active_ == BufferBackend::kGrowableLog ? fn(growable_log_)
+                                                  : fn(static_hash_);
   }
 
  public:
+  using AdaptivePolicy = SpecAdaptivePolicy;
+
   SpecBuffer() = default;
-  // The backends are self-referential after init (their maps point at the
-  // owner's stats); copying/moving a buffer is never needed and is deleted
-  // down the whole stack.
+  // The backends are self-referential after init (their maps point at this
+  // buffer's stats block); copying/moving a buffer is never needed and is
+  // deleted down the whole stack.
   SpecBuffer(const SpecBuffer&) = delete;
   SpecBuffer& operator=(const SpecBuffer&) = delete;
 
   // Configures the selected backend. `log2_entries` sizes the table (the
   // static size for kStaticHash, the initial size for kGrowableLog);
   // `overflow_cap` bounds kStaticHash's temporary buffer and is ignored by
-  // kGrowableLog.
-  void init(BufferBackend backend, int log2_entries, size_t overflow_cap) {
-    backend_ = backend;
-    dispatch([&](auto& b) { b.init(log2_entries, overflow_cap); });
+  // kGrowableLog. kAdaptive starts on the static hash and initializes the
+  // growable log lazily at the first flip. `growable_max_log2` bounds the
+  // growable index (a memory bound; also the seam the hard-cap doom tests
+  // use).
+  void init(BufferBackend backend, int log2_entries, size_t overflow_cap,
+            AdaptivePolicy policy = {},
+            int growable_max_log2 = GrowableSet::kMaxLog2) {
+    configured_ = backend;
+    policy_ = policy;
+    log2_ = log2_entries;
+    overflow_cap_ = overflow_cap;
+    growable_max_log2_ = growable_max_log2;
+    overflow_score_ = 0;
+    calm_epochs_ = 0;
+    footprint_hwm_ = 0;
+    growable_ready_ = false;
+    if (backend == BufferBackend::kAdaptive) {
+      MUTLS_CHECK(policy_.overflow_threshold >= 1,
+                  "adaptive overflow threshold must be at least 1");
+      active_ = BufferBackend::kStaticHash;
+    } else {
+      active_ = backend;
+    }
+    if (active_ == BufferBackend::kGrowableLog) {
+      growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_);
+      growable_ready_ = true;
+    } else {
+      static_hash_.init(log2_, overflow_cap_, &stats_);
+    }
+    mru_invalidate();
   }
 
-  BufferBackend backend() const { return backend_; }
+  // The configured backend (what the embedding asked for)...
+  BufferBackend backend() const { return configured_; }
+  // ...and the backend actually serving this slot right now (differs from
+  // backend() only for kAdaptive).
+  BufferBackend active_backend() const { return active_; }
 
   // --- speculative access path (runs on the owning speculative thread) ---
 
@@ -129,22 +172,21 @@ class SpecBuffer {
                  "load_aligned: size must be a power of two <= 8 and addr "
                  "naturally aligned");
     (void)size;  // only the high bytes the caller ignores depend on it
-    return dispatch([&](auto& b) {
-      ++b.stats_mutable().fastpath_hits;
-      uintptr_t word_addr = addr & ~kWordMask;
-      return b.read_word_view(word_addr) >> (8 * (addr - word_addr));
-    });
+    ++stats_.fastpath_hits;
+    uintptr_t word_addr = addr & ~kWordMask;
+    return dispatch([&](auto& b) { return word_view(b, word_addr); }) >>
+           (8 * (addr - word_addr));
   }
 
   void store_aligned(uintptr_t addr, uint64_t value, size_t size) {
     MUTLS_DCHECK(word_sized_aligned(addr, size),
                  "store_aligned: size must be a power of two <= 8 and addr "
                  "naturally aligned");
+    ++stats_.fastpath_hits;
+    uintptr_t word_addr = addr & ~kWordMask;
+    size_t off = addr - word_addr;
     dispatch([&](auto& b) {
-      ++b.stats_mutable().fastpath_hits;
-      uintptr_t word_addr = addr & ~kWordMask;
-      size_t off = addr - word_addr;
-      b.write_word(word_addr, value << (8 * off), byte_mask(off, size));
+      word_write(b, word_addr, value << (8 * off), byte_mask(off, size));
     });
   }
 
@@ -160,21 +202,21 @@ class SpecBuffer {
       size_t head = a & kWordMask;
       if (head != 0) {
         size_t n = std::min(kWordSize - head, left);
-        uint64_t w = b.read_word_view(a - head);
+        uint64_t w = word_view(b, a - head);
         copy_from_word(w, head, n, dst);
         a += n;
         dst += n;
         left -= n;
       }
       while (left >= kWordSize) {
-        uint64_t w = b.read_word_view(a);
+        uint64_t w = word_view(b, a);
         std::memcpy(dst, &w, kWordSize);
         a += kWordSize;
         dst += kWordSize;
         left -= kWordSize;
       }
       if (left > 0) {
-        uint64_t w = b.read_word_view(a);
+        uint64_t w = word_view(b, a);
         copy_from_word(w, 0, left, dst);
       }
     });
@@ -193,7 +235,7 @@ class SpecBuffer {
         size_t n = std::min(kWordSize - head, left);
         uint64_t v = 0;
         copy_into_word(v, head, n, s);
-        b.write_word(a - head, v, byte_mask(head, n));
+        word_write(b, a - head, v, byte_mask(head, n));
         if (b.doomed()) return;
         a += n;
         s += n;
@@ -202,7 +244,7 @@ class SpecBuffer {
       while (left >= kWordSize) {
         uint64_t v;
         std::memcpy(&v, s, kWordSize);
-        b.write_word(a, v, kFullMark);
+        word_write(b, a, v, kFullMark);
         if (b.doomed()) return;
         a += kWordSize;
         s += kWordSize;
@@ -211,7 +253,7 @@ class SpecBuffer {
       if (left > 0) {
         uint64_t v = 0;
         copy_into_word(v, 0, left, s);
-        b.write_word(a, v, byte_mask(0, left));
+        word_write(b, a, v, byte_mask(0, left));
       }
     });
   }
@@ -251,14 +293,16 @@ class SpecBuffer {
           diff |= atomic_word_load(word_addr) ^ data;
         });
       }
-      b.stats_mutable().validated_words += words;
+      stats_.validated_words += words;
       return diff == 0;
     });
   }
 
   // Validates the read-set against a speculative joiner's buffered view.
   // Probes the joiner's maps (address order buys nothing there) but keeps
-  // the branchless XOR accumulation.
+  // the branchless XOR accumulation. Peeks never touch the joiner's MRU
+  // line: they run on the joiner's buffer from *this* thread at the flag
+  // barrier.
   bool validate_against(SpecBuffer& joiner) {
     return dispatch([&](auto& b) {
       return joiner.dispatch([&](auto& j) {
@@ -266,9 +310,9 @@ class SpecBuffer {
         uint64_t words = 0;
         b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
           ++words;
-          diff |= j.peek_word_view(word_addr) ^ data;
+          diff |= word_peek(j, word_addr) ^ data;
         });
-        b.stats_mutable().validated_words += words;
+        stats_.validated_words += words;
         return diff == 0;
       });
     });
@@ -306,17 +350,37 @@ class SpecBuffer {
     });
   }
 
-  // Merges this buffer into a *speculative* joiner: writes overlay the
-  // joiner's write-set (this thread is logically later, so its bytes win);
-  // reads not fully covered by the joiner's writes join the joiner's
-  // read-set so the eventual non-speculative validation still covers them.
+  // Merges this buffer into a *speculative* joiner. The whole tree-form
+  // adoption policy lives here, written once over the slot primitives:
+  //   writes — overlay the joiner's write-set (this thread is logically
+  //     later, so its bytes win) and union the marks;
+  //   reads — a read fully covered by one of the joiner's full-mark writes
+  //     carries no main-memory dependency and is skipped; everything else
+  //     joins the joiner's read-set so the eventual non-speculative
+  //     validation still covers it, first value (the joiner's earlier
+  //     observation) winning.
+  // Capacity exhaustion in the joiner dooms it through the backend's
+  // merge-specific reason (insert_*'s `merging` flag).
   void merge_into(SpecBuffer& joiner) {
+    // Adoption mutates the joiner's sets behind its MRU line (and runs at
+    // the flag barrier, not on the access hot path): drop it wholesale.
+    joiner.mru_invalidate();
     dispatch([&](auto& b) {
       joiner.dispatch([&](auto& j) {
-        b.for_each_write([&](uintptr_t word_addr, uint64_t data,
-                             uint64_t mark) { j.adopt_write(word_addr, data, mark); });
+        b.for_each_write(
+            [&](uintptr_t word_addr, uint64_t data, uint64_t mark) {
+              WordRef w = j.insert_write(word_addr, /*merging=*/true);
+              if (!w.data) return;  // joiner doomed; keep draining
+              *w.data = overlay_bytes(*w.data, data, mark);
+              *w.mark |= mark;
+            });
         b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
-          j.adopt_read(word_addr, data);
+          WordRef w = j.find_write(word_addr);
+          if (w.data && *w.mark == kFullMark) return;  // covered: no dep
+          bool inserted = false;
+          WordRef r = j.insert_read(word_addr, inserted, /*merging=*/true);
+          if (!r.data) return;  // joiner doomed; keep draining
+          if (inserted) *r.data = data;  // first value wins
         });
       });
     });
@@ -324,9 +388,38 @@ class SpecBuffer {
 
   // --- lifecycle, doom and pressure signals, statistics ---
 
-  // Discards all buffered state; clears doom.
+  // Discards all buffered state; clears doom. Part of both the settle path
+  // and rearm(); the cost counters intentionally survive (the settle paths
+  // read them after resetting).
   void reset() {
+    // Track the footprint high-water mark for the adaptive calm check
+    // before the entry counts vanish.
+    footprint_hwm_ = std::max(footprint_hwm_,
+                              std::max(read_entries(), write_entries()));
+    mru_invalidate();
     dispatch([](auto& b) { b.reset(); });
+  }
+
+  // Re-arms this buffer for the next speculation on its virtual-CPU slot:
+  // applies the adaptive flip decision (based on the finished
+  // speculation's counters), resets buffered state and zeroes the per-
+  // speculation counters. A flip is recorded in the *new* speculation's
+  // backend_flips counter — "this speculation started on a freshly flipped
+  // backend" — while the flipped state itself persists per slot.
+  void rearm() {
+    // Capture the retiring speculation's footprint before deciding: in
+    // the standalone flow (no settle-time reset() preceding this call)
+    // the sets are still populated here, and the calm check below would
+    // otherwise compare against an empty high-water mark — flipping a
+    // busy slot back and flapping.
+    footprint_hwm_ = std::max(footprint_hwm_,
+                              std::max(read_entries(), write_entries()));
+    BufferBackend next = active_;
+    if (configured_ == BufferBackend::kAdaptive) next = adapt_next();
+    reset();
+    footprint_hwm_ = 0;
+    clear_stats();
+    if (next != active_) activate(next);
   }
 
   bool doomed() const {
@@ -352,14 +445,225 @@ class SpecBuffer {
     return dispatch([](const auto& b) { return b.write_entries(); });
   }
 
-  // Cost-counter snapshot. Survives reset(); zeroed by clear_stats() when a
-  // virtual-CPU slot is re-armed for a new speculation.
-  const SpecBufferStats& stats() const {
-    return dispatch(
-        [](const auto& b) -> const SpecBufferStats& { return b.stats(); });
+  // Cost-counter snapshot. One block per buffer, shared by whichever
+  // backend is active (so an adaptive flip never strands counters).
+  // Survives reset(); zeroed by clear_stats()/rearm() when a virtual-CPU
+  // slot is re-armed for a new speculation.
+  const SpecBufferStats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+ private:
+  // --- the unified MRU word-view cache + view composition ---
+  //
+  // One line caching the most recently resolved word view, shared by both
+  // backends and parameterized on their handle accessors: mru_r_/mru_w_
+  // hold the backend's WordRef::handle for the word's read-/write-set slot
+  // (+1 encoded by the backend; 0 = not yet resolved), with kWriteAbsent
+  // marking a word *proven* absent from the write set. 1 is an impossible
+  // word address. Handles are only ever interpreted by the backend that
+  // produced them: the line is invalidated on reset(), and adaptive flips
+  // happen strictly after a reset, so a handle can never cross backends.
+  // Consecutive touches of the same word — the load+store pair of every
+  // read-modify-write, sub-word sweeps through one word — skip the hash
+  // probes entirely; the miss path pays one compare and a three-word
+  // refresh, so streaming patterns that never repeat a word lose nothing.
+  static constexpr uint32_t kWriteAbsent = 0xffffffffu;
+
+  void mru_invalidate() {
+    mru_addr_ = 1;
+    mru_r_ = 0;
+    mru_w_ = 0;
   }
-  void clear_stats() {
-    dispatch([](auto& b) { b.clear_stats(); });
+
+  // The thread's current view of one whole word: write-set marked bytes
+  // over the read-set observation over main memory. First touch inserts
+  // the word into the read-set; capacity exhaustion dooms the thread (via
+  // the backend's insert_read) and falls back to the main-memory value.
+  template <typename B>
+  uint64_t word_view(B& b, uintptr_t word_addr) {
+    if (word_addr == mru_addr_) {
+      // Serve entirely from the cached handles when the line knows
+      // everything the probing path would re-derive.
+      if (mru_w_ != 0 && mru_w_ != kWriteAbsent) {
+        uint64_t mark = b.write_mark(mru_w_);
+        if (mark == kFullMark) {
+          ++stats_.mru_hits;
+          ++stats_.probe_skips;
+          return b.write_data(mru_w_);
+        }
+        if (mru_r_ != 0) {
+          ++stats_.mru_hits;
+          stats_.probe_skips += 2;
+          return overlay_bytes(b.read_data(mru_r_), b.write_data(mru_w_),
+                               mark);
+        }
+      } else if (mru_w_ == kWriteAbsent && mru_r_ != 0) {
+        ++stats_.mru_hits;
+        stats_.probe_skips += 2;
+        return b.read_data(mru_r_);
+      }
+    }
+    ++stats_.mru_misses;
+    // Keep whatever half of the line is still valid when re-resolving the
+    // same word (e.g. a read after a store that only knew the write slot).
+    uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+
+    WordRef w = b.find_write(word_addr);
+    uint32_t mw = w.data ? w.handle : kWriteAbsent;
+    if (w.data && *w.mark == kFullMark) {
+      mru_addr_ = word_addr;
+      mru_r_ = mr;
+      mru_w_ = mw;
+      return *w.data;
+    }
+
+    bool inserted = false;
+    WordRef r = b.insert_read(word_addr, inserted, /*merging=*/false);
+    if (!r.data) {
+      // Capacity doom (the backend already doomed itself): fall back to
+      // the main-memory value; nothing stable to cache.
+      uint64_t base = atomic_word_load(word_addr);
+      if (w.data) base = overlay_bytes(base, *w.data, *w.mark);
+      mru_invalidate();
+      return base;
+    }
+    if (inserted) {
+      // First touch: load the whole word from main memory and remember it
+      // for validation.
+      *r.data = atomic_word_load(word_addr);
+    }
+    mru_addr_ = word_addr;
+    mru_r_ = r.handle;
+    mru_w_ = mw;
+    uint64_t base = *r.data;
+    if (w.data) {
+      // Overlay the bytes this thread already wrote. `w` points into the
+      // write set, untouched by the read-set insertion above.
+      base = overlay_bytes(base, *w.data, *w.mark);
+    }
+    return base;
+  }
+
+  // Like word_view but never inserts into the read-set and leaves the MRU
+  // line untouched (used when a speculative joiner's view is evaluated
+  // from the child's thread).
+  template <typename B>
+  static uint64_t word_peek(B& b, uintptr_t word_addr) {
+    WordRef w = b.find_write(word_addr);
+    if (w.data && *w.mark == kFullMark) return *w.data;
+    WordRef r = b.find_read(word_addr);
+    uint64_t base = r.data ? *r.data : atomic_word_load(word_addr);
+    if (w.data) base = overlay_bytes(base, *w.data, *w.mark);
+    return base;
+  }
+
+  // Overlays the bytes selected by `mask` onto the buffered word; dooms on
+  // capacity exhaustion (via the backend's insert_write).
+  template <typename B>
+  void word_write(B& b, uintptr_t word_addr, uint64_t value, uint64_t mask) {
+    if (word_addr == mru_addr_ && mru_w_ != 0 && mru_w_ != kWriteAbsent) {
+      ++stats_.mru_hits;
+      ++stats_.probe_skips;
+      uint64_t& d = b.write_data(mru_w_);
+      d = overlay_bytes(d, value, mask);
+      b.write_mark(mru_w_) |= mask;
+      return;
+    }
+    ++stats_.mru_misses;
+    WordRef w = b.insert_write(word_addr, /*merging=*/false);
+    if (!w.data) return;  // capacity doom; the backend set the reason
+    *w.data = overlay_bytes(*w.data, value, mask);
+    *w.mark |= mask;
+    uint32_t mr = word_addr == mru_addr_ ? mru_r_ : 0;
+    mru_addr_ = word_addr;
+    mru_r_ = mr;
+    mru_w_ = w.handle;
+  }
+
+  // --- adaptive backend selection (kAdaptive) ---
+
+  // The flip decision, evaluated in rearm() against the finished
+  // speculation's counters (they survive reset() until clear_stats()).
+  BufferBackend adapt_next() {
+    if (active_ == BufferBackend::kStaticHash) {
+      overflow_score_ += stats_.overflow_events;
+      if (overflow_score_ >= policy_.overflow_threshold) {
+        return BufferBackend::kGrowableLog;
+      }
+    } else {
+      // Calm = the speculation neither resized nor ran a footprint the
+      // static table couldn't hold at low load (half capacity is the
+      // comfort proxy: near-full static tables collision-doom). Without
+      // the footprint check a flipped slot whose big footprints fit the
+      // *grown* index without resizing would flip back, overflow-doom, and
+      // flip up again — exactly the flapping the hysteresis exists to
+      // prevent.
+      bool calm = stats_.resize_events == 0 &&
+                  footprint_hwm_ * 2 <= (size_t{1} << log2_);
+      if (!calm) {
+        calm_epochs_ = 0;
+      } else if (++calm_epochs_ >= policy_.calm_hysteresis) {
+        overflow_score_ = 0;
+        calm_epochs_ = 0;
+        return BufferBackend::kStaticHash;
+      }
+    }
+    return active_;
+  }
+
+  void activate(BufferBackend target) {
+    if (target == BufferBackend::kGrowableLog && !growable_ready_) {
+      growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_);
+      growable_ready_ = true;
+    }
+    active_ = target;
+    // The target starts clean (it was reset when deactivated, but a flip
+    // must never trust that); grown growable capacity is carried forward —
+    // clear() keeps the index.
+    dispatch([](auto& b) { b.reset(); });
+    ++stats_.backend_flips;
+  }
+
+  BufferBackend configured_ = BufferBackend::kStaticHash;
+  BufferBackend active_ = BufferBackend::kStaticHash;
+  GlobalBuffer static_hash_;
+  GrowableLogBuffer growable_log_;
+  SpecBufferStats stats_;
+
+  uintptr_t mru_addr_ = 1;
+  uint32_t mru_r_ = 0;  // read-set handle; 0 = unknown
+  uint32_t mru_w_ = 0;  // write-set handle; 0 = unknown; kWriteAbsent
+
+  // Adaptive state (kAdaptive only). Persists across rearm() — that is the
+  // point: the *slot* learns, while the counters stay per-speculation.
+  AdaptivePolicy policy_;
+  int log2_ = 0;
+  size_t overflow_cap_ = 0;
+  int growable_max_log2_ = GrowableSet::kMaxLog2;
+  uint64_t overflow_score_ = 0;
+  uint64_t calm_epochs_ = 0;
+  size_t footprint_hwm_ = 0;
+  bool growable_ready_ = false;
+
+  // Reused gather buffer for the join-time set walks: large sets are
+  // streamed into it, sorted by address, and then touch main memory in
+  // address order (sequential prefetch instead of hash-order hopping).
+  // Small sets fit in cache, where the sort costs more than hash-order
+  // misses ever could — they are walked directly instead; the threshold is
+  // roughly where a set's footprint outgrows L1/L2.
+  struct SetEntry {
+    uintptr_t word_addr;
+    uint64_t data;
+    uint64_t mark;
+  };
+  static constexpr size_t kAddressOrderThreshold = 4096;
+  std::vector<SetEntry> scratch_;
+
+  void sort_scratch() {
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const SetEntry& a, const SetEntry& b) {
+                return a.word_addr < b.word_addr;
+              });
   }
 };
 

@@ -82,11 +82,12 @@ struct ThreadData {
     joiner = nullptr;
     force_rollback = false;
     children.clear();
-    sbuf.reset();
-    // The buffer's cost counters survive reset() (the settle paths read
-    // them after resetting); zero them here so a slot's next speculation
-    // does not re-report its predecessors' events.
-    sbuf.clear_stats();
+    // Re-arm the speculative buffer: reset buffered state, zero the cost
+    // counters (they survive reset() so the settle paths could read them;
+    // a slot's next speculation must not re-report its predecessors'
+    // events), and — for the adaptive backend — apply the per-slot flip
+    // decision based on the finished speculation's counters.
+    sbuf.rearm();
     lbuf.reset();
     stats.clear();
     user_tag = 0;

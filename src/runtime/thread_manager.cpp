@@ -34,7 +34,10 @@ ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
     Cpu& c = *cpus_.back();
     c.data.rank = r;
     c.data.sbuf.init(config_.buffer_backend, config_.buffer_log2,
-                     config_.overflow_cap);
+                     config_.overflow_cap,
+                     SpecBuffer::AdaptivePolicy{
+                         config_.adaptive_overflow_threshold,
+                         config_.adaptive_calm_hysteresis});
     c.data.lbuf.init(config_.register_slots);
   }
   // Seed the idle freelist in reverse so the first claims pop rank 1, 2, …

@@ -36,9 +36,17 @@ struct ManagerConfig {
   size_t overflow_cap = 4096;
 
   // Speculative-buffer backend for every virtual CPU (see BufferBackend in
-  // "runtime/enums.h"): the paper's static hash with overflow-doom, or the
-  // growable log that resizes under capacity pressure.
+  // "runtime/enums.h"): the paper's static hash with overflow-doom, the
+  // growable log that resizes under capacity pressure, or the adaptive
+  // per-slot selection between the two.
   BufferBackend buffer_backend = BufferBackend::kStaticHash;
+
+  // kAdaptive knobs (ignored by the other backends); see
+  // SpecBuffer::AdaptivePolicy. A slot flips to the growable log once its
+  // cumulative overflow events reach the threshold, and flips back after
+  // this many consecutive calm speculations.
+  uint64_t adaptive_overflow_threshold = 4;
+  uint64_t adaptive_calm_hysteresis = 16;
 
   // RegisterBuffer slots per frame (paper IV-G3).
   int register_slots = 256;
@@ -72,6 +80,8 @@ ManagerConfig manager_config_from(const Opts& opt, int register_slots) {
   c.buffer_log2 = opt.buffer_log2;
   c.overflow_cap = opt.overflow_cap;
   c.buffer_backend = opt.buffer_backend;
+  c.adaptive_overflow_threshold = opt.adaptive_overflow_threshold;
+  c.adaptive_calm_hysteresis = opt.adaptive_calm_hysteresis;
   c.register_slots = register_slots;
   c.rollback_probability = opt.rollback_probability;
   c.seed = opt.seed;

@@ -13,14 +13,14 @@
 
 #include "runtime/thread_data.h"
 #include "support/prng.h"
+#include "tests/backend_param.h"
 
 namespace mutls {
 namespace {
 
 std::string backend_test_name(
     const ::testing::TestParamInfo<BufferBackend>& info) {
-  return info.param == BufferBackend::kStaticHash ? "StaticHash"
-                                                  : "GrowableLog";
+  return backend_camel_name(info.param);
 }
 
 class SpecBufferTest : public ::testing::TestWithParam<BufferBackend> {
@@ -263,7 +263,8 @@ TEST_P(SpecBufferTest, SubWordMergeCombinesMarks) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, SpecBufferTest,
                          ::testing::Values(BufferBackend::kStaticHash,
-                                           BufferBackend::kGrowableLog),
+                                           BufferBackend::kGrowableLog,
+                                           BufferBackend::kAdaptive),
                          backend_test_name);
 
 // --- backend-specific capacity behavior ---
@@ -332,9 +333,13 @@ TEST(SpecBufferGrowableLog, PressureClearsOnReset) {
 
 // --- cross-backend join-time pairings ---
 //
-// A ThreadManager configures all its buffers uniformly, but the SpecBuffer
-// join-time operations are generic over the (child, joiner) backend pair;
-// pin that down so backends stay interchangeable at the contract level.
+// A ThreadManager configures all its buffers with the same BufferBackend,
+// but the SpecBuffer join-time operations are generic over the (child,
+// joiner) backend pair — and under kAdaptive, sibling slots genuinely run
+// mixed backends (a flipped parent joining an unflipped child and vice
+// versa). Pin every pairing down so backends stay interchangeable at the
+// contract level, including the merge-time read-adoption policy that now
+// lives once in SpecBuffer::merge_into.
 
 struct BackendPair {
   BufferBackend child;
@@ -367,18 +372,74 @@ TEST_P(SpecBufferCrossBackend, MergeAndValidateCompose) {
   EXPECT_EQ(x, 5u);
 }
 
+// Read adoption is policy, not backend code: a child read fully covered by
+// one of the joiner's *full-mark* writes carries no main-memory dependency
+// and must be skipped; a partial-mark cover must NOT suppress it. Every
+// (child, joiner) pairing runs the same hoisted SpecBuffer::merge_into.
+TEST_P(SpecBufferCrossBackend, FullMarkWriteSuppressesReadAdoption) {
+  alignas(8) uint64_t full = 7, partial = 7;
+  SpecBuffer joiner, child;
+  joiner.init(GetParam().joiner, 8, 64);
+  child.init(GetParam().child, 8, 64);
+
+  uint64_t v = 7;
+  joiner.store_bytes(reinterpret_cast<uintptr_t>(&full), &v, 8);  // full mark
+  uint8_t b = 7;
+  joiner.store_bytes(reinterpret_cast<uintptr_t>(&partial), &b, 1);  // partial
+  uint64_t out;
+  child.load_bytes(reinterpret_cast<uintptr_t>(&full), &out, 8);
+  child.load_bytes(reinterpret_cast<uintptr_t>(&partial), &out, 8);
+  child.merge_into(joiner);
+  ASSERT_FALSE(joiner.doomed());
+  EXPECT_EQ(joiner.read_entries(), 1u)
+      << "only the partially covered read may be adopted";
+
+  // The fully covered word can change behind the joiner with no effect...
+  full = 99;
+  EXPECT_TRUE(joiner.validate_against_memory())
+      << "a read covered by a full-mark write carries no memory dependency";
+  // ...while the partially covered one still guards validation.
+  partial = 99;
+  EXPECT_FALSE(joiner.validate_against_memory())
+      << "a partial-mark cover must not suppress read adoption";
+}
+
+TEST_P(SpecBufferCrossBackend, AdoptedReadKeepsJoinersFirstObservation) {
+  alignas(8) uint64_t x = 10;
+  SpecBuffer joiner, child;
+  joiner.init(GetParam().joiner, 8, 64);
+  child.init(GetParam().child, 8, 64);
+
+  uint64_t out;
+  joiner.load_bytes(reinterpret_cast<uintptr_t>(&x), &out, 8);  // observes 10
+  x = 20;  // memory moves between the two observations
+  child.load_bytes(reinterpret_cast<uintptr_t>(&x), &out, 8);  // observes 20
+  ASSERT_EQ(out, 20u);
+  child.merge_into(joiner);
+
+  // First value wins: the joiner's earlier observation (10) must survive
+  // the merge, so validation fails against the current 20 and passes once
+  // memory returns to 10. (Were the child's 20 adopted over it, the two
+  // outcomes would be inverted.)
+  EXPECT_FALSE(joiner.validate_against_memory());
+  x = 10;
+  EXPECT_TRUE(joiner.validate_against_memory());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Pairs, SpecBufferCrossBackend,
     ::testing::Values(
+        BackendPair{BufferBackend::kStaticHash, BufferBackend::kStaticHash},
         BackendPair{BufferBackend::kStaticHash, BufferBackend::kGrowableLog},
-        BackendPair{BufferBackend::kGrowableLog, BufferBackend::kStaticHash}),
+        BackendPair{BufferBackend::kGrowableLog, BufferBackend::kStaticHash},
+        BackendPair{BufferBackend::kGrowableLog, BufferBackend::kGrowableLog},
+        BackendPair{BufferBackend::kAdaptive, BufferBackend::kGrowableLog},
+        BackendPair{BufferBackend::kGrowableLog, BufferBackend::kAdaptive},
+        BackendPair{BufferBackend::kStaticHash, BufferBackend::kAdaptive},
+        BackendPair{BufferBackend::kAdaptive, BufferBackend::kStaticHash}),
     [](const ::testing::TestParamInfo<BackendPair>& info) {
-      std::string n = info.param.child == BufferBackend::kStaticHash
-                          ? "StaticChild"
-                          : "GrowableChild";
-      n += info.param.joiner == BufferBackend::kStaticHash ? "IntoStaticJoiner"
-                                                           : "IntoGrowableJoiner";
-      return n;
+      return backend_camel_name(info.param.child) + "ChildInto" +
+             backend_camel_name(info.param.joiner) + "Joiner";
     });
 
 // --- fast-path / slow-path equivalence ---
@@ -545,9 +606,66 @@ TEST_P(SpecBufferEquivalence, MruInvalidatedAcrossResetForSpeculation) {
       << "clear_stats + reset must leave no pre-armed MRU hit";
 }
 
+// The MRU word-view cache is now ONE state machine in SpecBuffer,
+// parameterized on the backends' slot handles; walk it through every line
+// state deterministically and pin the exact hit/miss/skip accounting —
+// identical for every backend, since the machine no longer lives in them.
+TEST_P(SpecBufferEquivalence, MruStateMachineCoversEveryLineState) {
+  alignas(8) uint64_t x = 0x0807060504030201ull;
+  alignas(8) uint64_t y = 0xbbbbbbbbbbbbbbbbull;
+  auto addr = [](uint64_t& v) { return reinterpret_cast<uintptr_t>(&v); };
+  const SpecBufferStats& s = fast_.stats();
+
+  // 1. Partial-mark store: write-set miss, line learns the write handle.
+  uint8_t b = 0xAA;
+  fast_.store_span(addr(x), &b, 1);
+  EXPECT_EQ(s.mru_misses, 1u);
+  EXPECT_EQ(s.mru_hits, 0u);
+
+  // 2. Load of the same word: the line knows a *partial* write but no read
+  // slot yet -> miss path resolves the read slot, keeping the write half.
+  uint64_t out = fast_.load_aligned(addr(x), 8);
+  EXPECT_EQ(out, 0x08070605040302AAull) << "written byte over memory base";
+  EXPECT_EQ(s.mru_misses, 2u);
+
+  // 3. Load again: partial write + read slot both cached -> overlay hit.
+  out = fast_.load_aligned(addr(x), 8);
+  EXPECT_EQ(out, 0x08070605040302AAull);
+  EXPECT_EQ(s.mru_hits, 1u);
+  EXPECT_EQ(s.probe_skips, 2u);
+
+  // 4. Store through the cached write handle -> hit, one probe skipped.
+  fast_.store_aligned(addr(x), 0x1111111111111111ull, 8);
+  EXPECT_EQ(s.mru_hits, 2u);
+  EXPECT_EQ(s.probe_skips, 3u);
+
+  // 5. Load of a now fully-marked word -> served from the write slot.
+  out = fast_.load_aligned(addr(x), 8);
+  EXPECT_EQ(out, 0x1111111111111111ull);
+  EXPECT_EQ(s.mru_hits, 3u);
+  EXPECT_EQ(s.probe_skips, 4u);
+
+  // 6. Different, read-only word: miss, line proves the write absent...
+  out = fast_.load_aligned(addr(y), 8);
+  EXPECT_EQ(out, 0xbbbbbbbbbbbbbbbbull);
+  EXPECT_EQ(s.mru_misses, 3u);
+
+  // 7. ...so the repeat load is a read-only hit skipping both probes.
+  out = fast_.load_aligned(addr(y), 8);
+  EXPECT_EQ(out, 0xbbbbbbbbbbbbbbbbull);
+  EXPECT_EQ(s.mru_hits, 4u);
+  EXPECT_EQ(s.probe_skips, 6u);
+
+  // The shortcuts above must not have perturbed the sets themselves.
+  EXPECT_EQ(fast_.read_entries(), 2u);
+  EXPECT_EQ(fast_.write_entries(), 1u);
+  EXPECT_TRUE(fast_.validate_against_memory());
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, SpecBufferEquivalence,
                          ::testing::Values(BufferBackend::kStaticHash,
-                                           BufferBackend::kGrowableLog),
+                                           BufferBackend::kGrowableLog,
+                                           BufferBackend::kAdaptive),
                          backend_test_name);
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "mutls/mutls.h"
 #include "support/prng.h"
+#include "tests/backend_param.h"
 
 namespace mutls {
 namespace {
@@ -69,13 +70,12 @@ TEST_P(BufferSemantics, SpeculativeViewMatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(
     BackendsAndSeeds, BufferSemantics,
     ::testing::Combine(::testing::Values(BufferBackend::kStaticHash,
-                                         BufferBackend::kGrowableLog),
+                                         BufferBackend::kGrowableLog,
+                                         BufferBackend::kAdaptive),
                        ::testing::Range(1, 9)),
     [](const ::testing::TestParamInfo<std::tuple<BufferBackend, int>>& info) {
-      return std::string(std::get<0>(info.param) == BufferBackend::kStaticHash
-                             ? "StaticHash"
-                             : "GrowableLog") +
-             "Seed" + std::to_string(std::get<1>(info.param));
+      return backend_camel_name(std::get<0>(info.param)) + "Seed" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // --- randomized speculation trees vs sequential execution ---------------
@@ -154,17 +154,16 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, SpecTreeStress,
     ::testing::Combine(
         ::testing::Values(BufferBackend::kStaticHash,
-                          BufferBackend::kGrowableLog),
+                          BufferBackend::kGrowableLog,
+                          BufferBackend::kAdaptive),
         ::testing::Values(TreeCase{1, 0.0, 10, 1}, TreeCase{2, 0.0, 10, 2},
                           TreeCase{4, 0.0, 10, 3}, TreeCase{4, 0.3, 10, 4},
                           TreeCase{2, 1.0, 10, 5}, TreeCase{4, 0.1, 4, 6},
                           TreeCase{8, 0.05, 8, 7})),
     [](const ::testing::TestParamInfo<std::tuple<BufferBackend, TreeCase>>&
            info) {
-      return std::string(std::get<0>(info.param) == BufferBackend::kStaticHash
-                             ? "StaticHash"
-                             : "GrowableLog") +
-             "Case" + std::to_string(std::get<1>(info.param).seed);
+      return backend_camel_name(std::get<0>(info.param)) + "Case" +
+             std::to_string(std::get<1>(info.param).seed);
     });
 
 // --- growable-log backend: resize while the speculation is live ----------
