@@ -10,9 +10,35 @@ namespace {
 
 using namespace mutls;
 
+// Warm-up fork/joins executed before the timed loop: enough for every
+// virtual-CPU slot to pay its arena segments, pool classes along the
+// growable doubling ladder, retired local frames — and for the adaptive
+// backend to cross its overflow threshold and flip. Past this point the
+// runtime's zero-allocation steady-state invariant holds.
+constexpr int kAllocWarmup = 8;
+
+// Steady-state heap-fallback allocations: everything after the warm-up
+// snapshot. Reported absolute (not per iteration) — the CI alloc budget
+// requires exactly zero. The critical counter only lands at end_run, so it
+// is absent from the mid-run snapshot; the root forker's handles stay
+// inline (or in warmed root-arena segments), keeping that term zero too.
+double steady_alloc_events(const RunStats& final_rs, const RunStats& warm) {
+  uint64_t total = final_rs.speculative.buffer.alloc_events +
+                   final_rs.critical.buffer.alloc_events;
+  uint64_t warmed = warm.speculative.buffer.alloc_events +
+                    warm.critical.buffer.alloc_events;
+  return static_cast<double>(total - warmed);
+}
+
 void BM_ForkJoinRoundTrip(benchmark::State& state) {
   Runtime rt({.num_cpus = 1, .buffer_log2 = 10});
+  RunStats warm;
   RunStats rs = rt.run([&](Ctx& ctx) {
+    for (int i = 0; i < kAllocWarmup; ++i) {
+      Spec s = rt.fork(ctx, ForkModel::kMixed, [](Ctx&) {});
+      rt.join(ctx, s);
+    }
+    warm = rt.manager().collect_stats();
     for (auto _ : state) {
       Spec s = rt.fork(ctx, ForkModel::kMixed, [](Ctx&) {});
       JoinOutcome r = rt.join(ctx, s);
@@ -30,6 +56,7 @@ void BM_ForkJoinRoundTrip(benchmark::State& state) {
   state.counters["fork_arm_ns"] = per_iter(TimeCat::kFork);
   state.counters["fork_handoff_ns"] = per_iter(TimeCat::kForkHandoff);
   state.counters["join_ns"] = per_iter(TimeCat::kJoin);
+  state.counters["alloc_events"] = steady_alloc_events(rs, warm);
 }
 BENCHMARK(BM_ForkJoinRoundTrip);
 
@@ -88,20 +115,25 @@ void BM_BufferedLoadStore(benchmark::State& state) {
   constexpr int64_t kBatch = 4096;
   Runtime rt({.num_cpus = 1, .buffer_log2 = 16, .buffer_backend = backend});
   SharedArray<uint64_t> data(rt, 1024, 0);
+  RunStats warm;
+  auto body = [&](Ctx& ctx) {
+    Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      SharedSpan<uint64_t> d = data.span(c);
+      for (int64_t k = 0; k < kBatch; ++k) {
+        d[static_cast<size_t>(k) & 1023] += 1;
+      }
+    });
+    rt.join(ctx, s);
+  };
   RunStats rs = rt.run([&](Ctx& ctx) {
-    for (auto _ : state) {
-      Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
-        SharedSpan<uint64_t> d = data.span(c);
-        for (int64_t k = 0; k < kBatch; ++k) {
-          d[static_cast<size_t>(k) & 1023] += 1;
-        }
-      });
-      rt.join(ctx, s);
-    }
+    for (int i = 0; i < kAllocWarmup; ++i) body(ctx);
+    warm = rt.manager().collect_stats();
+    for (auto _ : state) body(ctx);
   });
   state.SetItemsProcessed(state.iterations() * kBatch);
   state.SetLabel(buffer_backend_name(backend));
   attach_buffer_counters(state, rs);
+  state.counters["alloc_events"] = steady_alloc_events(rs, warm);
 }
 BENCHMARK(BM_BufferedLoadStore)->ArgNames({"backend"})->Arg(0)->Arg(1)->Arg(2);
 
@@ -120,17 +152,23 @@ void BM_BufferedLargeFootprint(benchmark::State& state) {
   constexpr size_t kN = 16384;
   SharedArray<uint64_t> data(rt, kN, 0);
   int64_t iters = 0;
+  RunStats warm;
+  auto body = [&](Ctx& ctx) {
+    Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
+      SharedSpan<uint64_t> d = data.span(c);
+      for (size_t k = 0; k < kN; ++k) {
+        c.check_point();  // a doomed run stops here, as real code would
+        d[k] += 1;
+      }
+    });
+    rt.join(ctx, s);
+  };
   RunStats rs = rt.run([&](Ctx& ctx) {
+    for (int i = 0; i < kAllocWarmup; ++i) body(ctx);
+    warm = rt.manager().collect_stats();
     for (auto _ : state) {
       ++iters;
-      Spec s = rt.fork(ctx, ForkModel::kMixed, [&](Ctx& c) {
-        SharedSpan<uint64_t> d = data.span(c);
-        for (size_t k = 0; k < kN; ++k) {
-          c.check_point();  // a doomed run stops here, as real code would
-          d[k] += 1;
-        }
-      });
-      rt.join(ctx, s);
+      body(ctx);
     }
   });
   state.SetItemsProcessed(iters * static_cast<int64_t>(kN));
@@ -138,6 +176,7 @@ void BM_BufferedLargeFootprint(benchmark::State& state) {
   attach_buffer_counters(state, rs);
   state.counters["rollbacks"] = static_cast<double>(rs.speculative.rollbacks);
   state.counters["commits"] = static_cast<double>(rs.speculative.commits);
+  state.counters["alloc_events"] = steady_alloc_events(rs, warm);
 }
 BENCHMARK(BM_BufferedLargeFootprint)
     ->ArgNames({"backend"})

@@ -68,7 +68,7 @@ COUNTER_KEYS = (
     "items_per_second", "resize_events", "overflow_events",
     "validated_words", "avg_probe_len", "rollbacks", "commits",
     "fastpath_hits", "mru_hits", "mru_misses", "probe_skips",
-    "backend_flips",
+    "backend_flips", "alloc_events",
     "find_cpu_ns", "fork_arm_ns", "fork_handoff_ns", "join_ns",
     "resizes", "overflow_dooms", "doom_rate", "real_time", "cpu_time",
 )
@@ -146,6 +146,35 @@ def run_gbench(bench_dir: Path, name: str, bfilter: str, timeout: int,
     return entry
 
 
+def check_alloc_budget(entry):
+    """Enforce the zero-allocation steady-state budget on the microbench.
+
+    Every microbench run reports alloc_events — the runtime's own count of
+    arena heap-fallback allocations after its warm-up window. A nonzero
+    value is a regression of the zero-allocation invariant; a *missing*
+    counter means the bench silently stopped measuring it. Both flip the
+    entry's status so the exit code fails the CI step loudly.
+    """
+    if entry.get("status") != "ok":
+        return entry
+    missing = [r.get("name") for r in entry.get("runs", [])
+               if "alloc_events" not in r]
+    if missing:
+        entry["status"] = "missing-counter"
+        entry["missing_alloc_events"] = missing
+        print(f"[bench_json] {entry['bench']}: runs missing the "
+              f"alloc_events counter: {missing}", file=sys.stderr)
+        return entry
+    over = [{"name": r.get("name"), "alloc_events": r["alloc_events"]}
+            for r in entry.get("runs", []) if r["alloc_events"] > 0]
+    if over:
+        entry["status"] = "alloc-budget-exceeded"
+        entry["over_budget"] = over
+        print(f"[bench_json] {entry['bench']}: steady-state allocation "
+              f"budget exceeded: {over}", file=sys.stderr)
+    return entry
+
+
 def extract_baseline(path: Path):
     """Pull the perf-trajectory rows out of a previous results document.
 
@@ -189,6 +218,9 @@ def main() -> int:
     ap.add_argument("--no-measured", action="store_true")
     ap.add_argument("--no-micro", action="store_true",
                     help="skip the backend-sweeping microbench counters")
+    ap.add_argument("--micro-only", action="store_true",
+                    help="run only the microbench sweep (the CI allocation-"
+                         "budget gate), skipping figures and ablation")
     ap.add_argument("--no-ablation", action="store_true",
                     help="skip the buffer-map ablation sweep")
     ap.add_argument("--baseline", default=None,
@@ -211,7 +243,7 @@ def main() -> int:
 
     repo = Path(__file__).resolve().parent.parent
     results = []
-    for name in FIG_BENCHES:
+    for name in [] if args.micro_only else FIG_BENCHES:
         exe = bench_dir / name
         if not exe.exists():
             results.append({"bench": name, "status": "missing"})
@@ -242,11 +274,12 @@ def main() -> int:
     if not args.no_micro:
         entry = run_gbench(bench_dir, MICRO_BENCH, MICRO_FILTER,
                            args.timeout, args.mode == "quick")
+        entry = check_alloc_budget(entry)
         results.append(entry)
         print(f"[bench_json] {MICRO_BENCH}: {entry['status']} "
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
-    if not args.no_ablation:
+    if not args.no_ablation and not args.micro_only:
         entry = run_gbench(bench_dir, ABLATION_BENCH, ABLATION_FILTER,
                            args.timeout, args.mode == "quick")
         results.append(entry)

@@ -34,16 +34,16 @@
 #include <cstdint>
 #include <cstring>
 #include <exception>
-#include <functional>
 #include <optional>
 #include <thread>
 #include <utility>
-#include <vector>
 
 #include "api/ctx.h"
 #include "api/scalar_access.h"
 #include "runtime/thread_manager.h"
 #include "support/check.h"
+#include "support/inline_task.h"
+#include "support/small_vec.h"
 #include "support/timing.h"
 
 namespace mutls {
@@ -66,6 +66,11 @@ struct Prediction {
   }
 };
 
+// Predictions ride through ForkOpts by value and are retained by the Spec
+// until its join validates them; four inline slots cover every realistic
+// live-in list without touching the heap.
+using PredictionList = SmallVec<Prediction, 4>;
+
 // The one fork entry point's options. Defaults give a plain mixed-model
 // speculation; the fields subsume the v1 fork_predicted / fork_tagged
 // variants.
@@ -77,7 +82,7 @@ struct ForkOpts {
   // validated against the parent's variable at the join point. Incompatible
   // with `detached` (validation happens in join(), which detached forks
   // never pass through) — fork() CHECKs the combination.
-  std::vector<Prediction> predictions{};
+  PredictionList predictions{};
 
   // Opaque payload the eventual joiner receives through join_next(); used
   // by detached loop chains to re-execute a region after rollback.
@@ -159,8 +164,13 @@ class Spec {
   bool speculated_ = false;
   bool detached_ = false;
   bool joined_ = false;
-  std::function<void(Ctx&)> task_;
-  std::vector<Prediction> predictions_;
+  // The retained region, for inline (re-)execution at join. An InlineTask
+  // bound to the forker's arena: bodies that outgrow the inline buffer
+  // spill into arena storage that the forker's own epoch reclaims — never
+  // the global heap at steady state. The handle must therefore not outlive
+  // the forking thread's epoch, which the join obligation already enforces.
+  InlineTask<void(Ctx&)> task_;
+  PredictionList predictions_;
   int unwind_depth_ = std::uncaught_exceptions();
 };
 
@@ -217,12 +227,18 @@ class Runtime {
       MUTLS_CHECK(p.size > 0 && p.size <= sizeof(uint64_t),
                   "Prediction.size must be 1..8 bytes");
     }
+    static_assert(std::is_copy_constructible_v<std::decay_t<F>>,
+                  "fork bodies must be copyable: the joiner keeps a copy "
+                  "for inline re-execution on rollback");
     Spec s;
     s.detached_ = opts.detached;
-    s.task_ = std::function<void(Ctx&)>(std::forward<F>(body));
+    // The handle keeps its own copy of the region (join may run it inline),
+    // stored in the *forker's* arena; the speculated wrapper below is
+    // emplaced by speculate() into the *child's* arena. Neither touches the
+    // global heap at steady state.
+    s.task_.emplace(body, &ctx.thread_data().arena);
     s.predictions_ = std::move(opts.predictions);
-    auto task = s.task_;
-    const std::vector<Prediction>& predictions = s.predictions_;
+    const PredictionList& predictions = s.predictions_;
     const uint64_t tag = opts.tag;
     // MUTLS_set_regvar_*: the proxy stores predicted live-ins into the
     // child's RegisterBuffer before the stub starts consuming them.
@@ -235,9 +251,9 @@ class Runtime {
     };
     int rank = mgr_.speculate(
         ctx.thread_data(), opts.model,
-        [this, task](ThreadData& td) {
+        [this, body = std::forward<F>(body)](ThreadData& td) mutable {
           Ctx child(*this, td);
-          task(child);
+          body(child);
         },
         setup);
     if (rank != 0) {

@@ -32,6 +32,11 @@ struct SpecBufferStats {
                                  // freshly flipped backend (the flipped
                                  // *state* persists per slot; the counter,
                                  // like the rest, is per speculation)
+  uint64_t alloc_events = 0;     // heap-fallback allocations the slot's
+                                 // arena performed during this speculation
+                                 // (segment growth, pool misses, oversized
+                                 // closures). Zero at steady state — the
+                                 // invariant the CI alloc budget enforces.
 
   void clear() { *this = SpecBufferStats{}; }
 
@@ -53,6 +58,7 @@ struct SpecBufferStats {
     mru_misses += o.mru_misses;
     probe_skips += o.probe_skips;
     backend_flips += o.backend_flips;
+    alloc_events += o.alloc_events;
     return *this;
   }
 };

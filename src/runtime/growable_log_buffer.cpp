@@ -1,21 +1,51 @@
 #include "runtime/growable_log_buffer.h"
 
+#include <cstring>
+
 namespace mutls {
 
+namespace {
+// Initial dense-log capacity (entries). Matches the old std::vector
+// reserve: small speculations never grow the log, and one pool class holds
+// it for every slot.
+constexpr size_t kInitialLogCap = 1024;
+}  // namespace
+
 void GrowableSet::init(int log2_entries, SpecBufferStats* stats,
-                       int max_log2) {
+                       int max_log2, Arena* arena) {
   MUTLS_CHECK(log2_entries >= 4 && log2_entries <= kMaxLog2,
               "buffer log2 size out of range");
   MUTLS_CHECK(max_log2 >= log2_entries && max_log2 <= kMaxLog2,
               "growable hard cap out of range");
+  // Re-init releases prior storage through the arena it was grabbed from
+  // before re-binding (the arrays may shrink back to the initial sizes;
+  // the pool keeps the released blocks for the next growth).
+  release_storage();
+  arena_ = arena;
   log2_ = log2_entries;
   shift_ = 64 - log2_;
   max_log2_ = max_log2;
-  index_.assign(size_t{1} << log2_, 0);
-  log_.clear();
-  log_.reserve(1024);
+  const size_t cap = size_t{1} << log2_;
+  index_ = static_cast<uint32_t*>(arena_grab(arena_, cap * sizeof(uint32_t)));
+  std::memset(index_, 0, cap * sizeof(uint32_t));
+  log_cap_ = kInitialLogCap;
+  log_ = static_cast<Entry*>(arena_grab(arena_, log_cap_ * sizeof(Entry)));
+  log_size_ = 0;
   resized_this_epoch_ = false;
   stats_ = stats;
+}
+
+void GrowableSet::release_storage() {
+  if (index_ != nullptr) {
+    arena_release(arena_, index_, (size_t{1} << log2_) * sizeof(uint32_t));
+    index_ = nullptr;
+  }
+  if (log_ != nullptr) {
+    arena_release(arena_, log_, log_cap_ * sizeof(Entry));
+    log_ = nullptr;
+  }
+  log_size_ = 0;
+  log_cap_ = 0;
 }
 
 GrowableSet::Entry& GrowableSet::find_or_insert(uintptr_t word_addr,
@@ -34,7 +64,7 @@ GrowableSet::Entry& GrowableSet::find_or_insert(uintptr_t word_addr,
       // sequences stay short (a lookup hit must never pay a rehash); past
       // max_log2_ the factor rises instead (the caller dooms before the
       // table could actually fill).
-      if (log_.size() + 1 > capacity() - capacity() / 4 &&
+      if (log_size_ + 1 > capacity() - capacity() / 4 &&
           log2_ < max_log2_) {
         grow();
         // Re-probe for the empty slot in the grown index.
@@ -42,10 +72,12 @@ GrowableSet::Entry& GrowableSet::find_or_insert(uintptr_t word_addr,
         idx = home_slot(word_addr);
         while (index_[idx] != 0) idx = (idx + 1) & grown_mask;
       }
-      log_.push_back(Entry{word_addr, 0, 0, static_cast<uint32_t>(idx)});
-      index_[idx] = static_cast<uint32_t>(log_.size());
+      if (log_size_ == log_cap_) grow_log();
+      log_[log_size_] = Entry{word_addr, 0, 0, static_cast<uint32_t>(idx)};
+      ++log_size_;
+      index_[idx] = static_cast<uint32_t>(log_size_);
       inserted = true;
-      return log_.back();
+      return log_[log_size_ - 1];
     }
     Entry& e = log_[pos - 1];
     if (e.word_addr == word_addr) {
@@ -58,7 +90,7 @@ GrowableSet::Entry& GrowableSet::find_or_insert(uintptr_t word_addr,
 }
 
 GrowableSet::Entry* GrowableSet::find(uintptr_t word_addr) {
-  if (index_.empty()) return nullptr;
+  if (index_ == nullptr) return nullptr;
   const size_t mask = capacity() - 1;
   size_t idx = home_slot(word_addr);
   ++stats_->probe_ops;
@@ -72,35 +104,72 @@ GrowableSet::Entry* GrowableSet::find(uintptr_t word_addr) {
   }
 }
 
-void GrowableSet::grow() {
-  ++log2_;
+void GrowableSet::rebuild_index(int new_log2) {
+  arena_release(arena_, index_, (size_t{1} << log2_) * sizeof(uint32_t));
+  log2_ = new_log2;
   shift_ = 64 - log2_;
-  resized_this_epoch_ = true;
-  ++stats_->resize_events;
-  index_.assign(size_t{1} << log2_, 0);
-  const size_t mask = capacity() - 1;
+  const size_t cap = size_t{1} << log2_;
+  index_ = static_cast<uint32_t*>(arena_grab(arena_, cap * sizeof(uint32_t)));
+  std::memset(index_, 0, cap * sizeof(uint32_t));
+  const size_t mask = cap - 1;
   // Rehash from the dense log; re-probe costs are part of the resize, not
   // the per-access probe counters.
-  for (uint32_t i = 0; i < log_.size(); ++i) {
+  for (size_t i = 0; i < log_size_; ++i) {
     size_t idx = home_slot(log_[i].word_addr);
     while (index_[idx] != 0) idx = (idx + 1) & mask;
-    index_[idx] = i + 1;
+    index_[idx] = static_cast<uint32_t>(i + 1);
     log_[i].slot = static_cast<uint32_t>(idx);
   }
 }
 
+void GrowableSet::grow() {
+  resized_this_epoch_ = true;
+  ++stats_->resize_events;
+  rebuild_index(log2_ + 1);
+}
+
+void GrowableSet::grow_log() {
+  const size_t cap = log_cap_ * 2;
+  Entry* fresh = static_cast<Entry*>(arena_grab(arena_, cap * sizeof(Entry)));
+  std::memcpy(fresh, log_, log_size_ * sizeof(Entry));
+  arena_release(arena_, log_, log_cap_ * sizeof(Entry));
+  log_ = fresh;
+  log_cap_ = cap;
+}
+
+void GrowableSet::reserve_entries(size_t entries) {
+  if (entries == 0 || index_ == nullptr) return;
+  if (entries > log_cap_) {
+    size_t cap = log_cap_;
+    while (cap < entries) cap *= 2;
+    Entry* fresh =
+        static_cast<Entry*>(arena_grab(arena_, cap * sizeof(Entry)));
+    std::memcpy(fresh, log_, log_size_ * sizeof(Entry));
+    arena_release(arena_, log_, log_cap_ * sizeof(Entry));
+    log_ = fresh;
+    log_cap_ = cap;
+  }
+  int target = log2_;
+  while (target < max_log2_ &&
+         entries > (size_t{1} << target) - (size_t{1} << target) / 4) {
+    ++target;
+  }
+  if (target != log2_) rebuild_index(target);
+}
+
 void GrowableSet::clear() {
-  for (const Entry& e : log_) index_[e.slot] = 0;
-  log_.clear();
+  for (size_t i = 0; i < log_size_; ++i) index_[log_[i].slot] = 0;
+  log_size_ = 0;
   resized_this_epoch_ = false;
 }
 
 void GrowableLogBuffer::init(int log2_entries, size_t overflow_cap,
-                             SpecBufferStats* stats, int max_log2) {
+                             SpecBufferStats* stats, int max_log2,
+                             Arena* arena) {
   (void)overflow_cap;  // no bounded overflow in this backend
   stats_ = stats;
-  read_set_.init(log2_entries, stats, max_log2);
-  write_set_.init(log2_entries, stats, max_log2);
+  read_set_.init(log2_entries, stats, max_log2, arena);
+  write_set_.init(log2_entries, stats, max_log2, arena);
 }
 
 WordRef GrowableLogBuffer::find_read(uintptr_t word_addr) {

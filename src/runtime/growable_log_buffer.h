@@ -18,6 +18,10 @@
 //
 // Capacity grows but never shrinks across reset(): a virtual-CPU slot that
 // once ran a large speculation keeps its table, amortizing the rehashes.
+// Both arrays live in the owning slot's Arena pool when one is attached
+// (heap otherwise): a resize releases the old block into a size-class free
+// list and grabs the next class, so the read- and write-set of a slot
+// recycle each other's outgrown arrays instead of round-tripping malloc.
 //
 // Like the static hash, this class provides only the word-granular slot
 // primitives (WordRef in "runtime/memory.h"); the speculative view
@@ -28,10 +32,10 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "runtime/buffer_stats.h"
 #include "runtime/memory.h"
+#include "support/arena.h"
 #include "support/check.h"
 
 namespace mutls {
@@ -55,10 +59,15 @@ class GrowableSet {
   // `log2_entries` fixes the *initial* index capacity; `stats` receives
   // probe and resize counters; `max_log2` lowers the hard capacity below
   // kMaxLog2 (a memory bound, and the seam the doom-path tests use —
-  // nothing can allocate its way to 2^28 entries in a test).
-  void init(int log2_entries, SpecBufferStats* stats, int max_log2 = kMaxLog2);
+  // nothing can allocate its way to 2^28 entries in a test). `arena`, when
+  // given, backs the log and index arrays through its persistent pool.
+  void init(int log2_entries, SpecBufferStats* stats, int max_log2 = kMaxLog2,
+            Arena* arena = nullptr);
 
-  bool initialized() const { return !index_.empty(); }
+  GrowableSet() = default;
+  ~GrowableSet() { release_storage(); }
+
+  bool initialized() const { return index_ != nullptr; }
 
   bool at_hard_capacity() const {
     return log2_ >= max_log2_ && entry_count() + 1 >= capacity();
@@ -76,19 +85,29 @@ class GrowableSet {
   // they survive both log reallocation and index rehashes, unlike raw
   // pointers — which is what the unified MRU cache stores.
   uint32_t position_of(const Entry* e) const {
-    return e ? static_cast<uint32_t>(e - log_.data()) + 1 : 0;
+    return e ? static_cast<uint32_t>(e - log_) + 1 : 0;
   }
   Entry& at_position(uint32_t pos) { return log_[pos - 1]; }
 
   // Visits every entry in insertion order.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (Entry& e : log_) fn(e);
+    for (size_t i = 0; i < log_size_; ++i) fn(log_[i]);
   }
 
-  size_t entry_count() const { return log_.size(); }
-  size_t capacity() const { return index_.size(); }
+  size_t entry_count() const { return log_size_; }
+  size_t capacity() const {
+    return index_ != nullptr ? size_t{1} << log2_ : 0;
+  }
   bool resized_this_epoch() const { return resized_this_epoch_; }
+
+  // Pre-sizes both arrays for `entries` entries — the index at or below
+  // its 3/4 load factor (clamped to the hard cap) — so a speculation of
+  // that footprint walks no doubling ladder. Used to seed a freshly
+  // flipped adaptive slot at the footprint the static hash observed.
+  // Deliberately not counted as resize_events: it happens between
+  // speculations, not under one.
+  void reserve_entries(size_t entries);
 
   // Empties the set in O(entries), not O(capacity); keeps the grown index.
   void clear();
@@ -103,14 +122,23 @@ class GrowableSet {
   }
 
   void grow();
+  void grow_log();
+  // Releases both arrays back to the pool (or heap) they came from.
+  void release_storage();
+  // Swaps the index for a zeroed one of 2^new_log2 slots and rehashes
+  // every log entry into it.
+  void rebuild_index(int new_log2);
 
-  std::vector<Entry> log_;
-  std::vector<uint32_t> index_;  // log position + 1; 0 = empty
+  Entry* log_ = nullptr;          // arena-pooled; dense [0, log_size_)
+  size_t log_size_ = 0;
+  size_t log_cap_ = 0;
+  uint32_t* index_ = nullptr;     // log position + 1; 0 = empty; 2^log2_
   int log2_ = 0;
   int shift_ = 64;  // 64 - log2_
   int max_log2_ = kMaxLog2;
   bool resized_this_epoch_ = false;
   SpecBufferStats* stats_ = nullptr;
+  Arena* arena_ = nullptr;
 };
 
 class GrowableLogBuffer {
@@ -123,9 +151,17 @@ class GrowableLogBuffer {
 
   // Matches the static-hash init signature so SpecBuffer can configure
   // either backend uniformly; `overflow_cap` has no meaning here (there is
-  // no bounded overflow to cap). `max_log2` bounds the growable index.
+  // no bounded overflow to cap). `max_log2` bounds the growable index;
+  // `arena` backs both sets' arrays through its persistent pool.
   void init(int log2_entries, size_t overflow_cap, SpecBufferStats* stats,
-            int max_log2 = GrowableSet::kMaxLog2);
+            int max_log2 = GrowableSet::kMaxLog2, Arena* arena = nullptr);
+
+  // Pre-sizes both sets for `entries` entries (see
+  // GrowableSet::reserve_entries).
+  void reserve(size_t entries) {
+    read_set_.reserve_entries(entries);
+    write_set_.reserve_entries(entries);
+  }
 
   // --- word-granular slot primitives (driven by SpecBuffer) ---
 

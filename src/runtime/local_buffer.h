@@ -94,55 +94,71 @@ struct LocalFrame {
   int function_id = -1;
 };
 
+// Frames beyond depth_ are retired, not destroyed: a virtual-CPU slot that
+// once speculated through a deep call chain keeps those frames (and their
+// register arrays) and re-arms by recycling them in place, so resetting
+// the buffer for the next speculation allocates nothing — part of the
+// runtime's zero-allocation steady-state invariant.
 class LocalBuffer {
  public:
   void init(int register_slots) {
     register_slots_ = register_slots;
-    reset();
-  }
-
-  void reset() {
+    // A changed slot count invalidates retired frames' register arrays;
+    // drop them and rebuild the entry frame.
     frames_.clear();
+    depth_ = 0;
     push_frame(0, -1);
   }
 
-  // Enter point (paper IV-H): register a new stack frame for a nested call.
+  // Re-arms for a new speculation: recycles the entry frame in place
+  // (registers zeroed, stack copies dropped) instead of destroying and
+  // re-allocating it.
+  void reset() {
+    depth_ = 0;
+    push_frame(0, -1);
+  }
+
+  // Enter point (paper IV-H): register a new stack frame for a nested
+  // call, reusing a retired frame when one exists.
   LocalFrame& push_frame(int entry_counter, int function_id) {
-    frames_.emplace_back();
-    frames_.back().regs.init(register_slots_);
-    frames_.back().entry_counter = entry_counter;
-    frames_.back().function_id = function_id;
-    return frames_.back();
+    if (depth_ == frames_.size()) frames_.emplace_back();
+    LocalFrame& f = frames_[depth_++];
+    f.regs.init(register_slots_);  // zero in place; allocates only once
+    f.stack.clear();
+    f.entry_counter = entry_counter;
+    f.function_id = function_id;
+    return f;
   }
 
   // Return point: pop the nested frame. Returns false when only the entry
   // frame remains (the paper restricts speculative threads from returning
-  // from their entry function).
+  // from their entry function). The frame is retired for reuse, not freed.
   bool pop_frame() {
-    if (frames_.size() <= 1) return false;
-    frames_.pop_back();
+    if (depth_ <= 1) return false;
+    --depth_;
     return true;
   }
 
   LocalFrame& top() {
-    MUTLS_DCHECK(!frames_.empty(), "no local frame");
-    return frames_.back();
+    MUTLS_DCHECK(depth_ != 0, "no local frame");
+    return frames_[depth_ - 1];
   }
   LocalFrame& frame(size_t i) { return frames_[i]; }
-  size_t frame_count() const { return frames_.size(); }
+  size_t frame_count() const { return depth_; }
 
   // Pointer mapping (paper IV-G3): translate `value` if it points into any
   // saved speculative stack variable; otherwise return it unchanged.
   uintptr_t map_pointer(uintptr_t value) const {
-    for (const LocalFrame& f : frames_) {
-      uintptr_t m = f.stack.map_pointer(value);
+    for (size_t i = 0; i < depth_; ++i) {
+      uintptr_t m = frames_[i].stack.map_pointer(value);
       if (m) return m;
     }
     return value;
   }
 
  private:
-  std::vector<LocalFrame> frames_;
+  std::vector<LocalFrame> frames_;  // live [0, depth_), retired past depth_
+  size_t depth_ = 0;
   int register_slots_ = 256;
 };
 

@@ -63,13 +63,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
-#include <vector>
 
 #include "runtime/buffer_stats.h"
 #include "runtime/enums.h"
 #include "runtime/global_buffer.h"
 #include "runtime/growable_log_buffer.h"
 #include "runtime/memory.h"
+#include "support/arena.h"
 #include "support/check.h"
 
 namespace mutls {
@@ -125,15 +125,21 @@ class SpecBuffer {
   // kGrowableLog. kAdaptive starts on the static hash and initializes the
   // growable log lazily at the first flip. `growable_max_log2` bounds the
   // growable index (a memory bound; also the seam the hard-cap doom tests
-  // use).
+  // use). `arena`, when given (the owning virtual-CPU slot's arena), backs
+  // the growable arrays and the join-time sort scratch through its
+  // persistent pool; without one those fall back to the heap (standalone
+  // buffers in tests).
   void init(BufferBackend backend, int log2_entries, size_t overflow_cap,
             AdaptivePolicy policy = {},
-            int growable_max_log2 = GrowableSet::kMaxLog2) {
+            int growable_max_log2 = GrowableSet::kMaxLog2,
+            Arena* arena = nullptr) {
     configured_ = backend;
     policy_ = policy;
     log2_ = log2_entries;
     overflow_cap_ = overflow_cap;
     growable_max_log2_ = growable_max_log2;
+    arena_ = arena;
+    scratch_.attach(arena);
     overflow_score_ = 0;
     calm_epochs_ = 0;
     footprint_hwm_ = 0;
@@ -146,7 +152,8 @@ class SpecBuffer {
       active_ = backend;
     }
     if (active_ == BufferBackend::kGrowableLog) {
-      growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_);
+      growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_,
+                         arena_);
       growable_ready_ = true;
     } else {
       static_hash_.init(log2_, overflow_cap_, &stats_);
@@ -416,10 +423,13 @@ class SpecBuffer {
                               std::max(read_entries(), write_entries()));
     BufferBackend next = active_;
     if (configured_ == BufferBackend::kAdaptive) next = adapt_next();
+    // The observed footprint seeds a flip target's capacity so the next
+    // speculation does not rediscover it through the doubling ladder.
+    const size_t flip_hint = footprint_hwm_;
     reset();
     footprint_hwm_ = 0;
     clear_stats();
-    if (next != active_) activate(next);
+    if (next != active_) activate(next, flip_hint);
   }
 
   bool doomed() const {
@@ -611,9 +621,10 @@ class SpecBuffer {
     return active_;
   }
 
-  void activate(BufferBackend target) {
+  void activate(BufferBackend target, size_t footprint_hint = 0) {
     if (target == BufferBackend::kGrowableLog && !growable_ready_) {
-      growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_);
+      growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_,
+                         arena_);
       growable_ready_ = true;
     }
     active_ = target;
@@ -621,6 +632,12 @@ class SpecBuffer {
     // must never trust that); grown growable capacity is carried forward —
     // clear() keeps the index.
     dispatch([](auto& b) { b.reset(); });
+    if (target == BufferBackend::kGrowableLog && footprint_hint != 0) {
+      // Seed the flipped slot at the footprint the static hash observed
+      // (entries at the doom point — a lower bound on the true footprint,
+      // but it skips the bulk of the doubling ladder right after a flip).
+      growable_log_.reserve(footprint_hint);
+    }
     ++stats_.backend_flips;
   }
 
@@ -644,20 +661,22 @@ class SpecBuffer {
   uint64_t calm_epochs_ = 0;
   size_t footprint_hwm_ = 0;
   bool growable_ready_ = false;
+  Arena* arena_ = nullptr;
 
   // Reused gather buffer for the join-time set walks: large sets are
   // streamed into it, sorted by address, and then touch main memory in
   // address order (sequential prefetch instead of hash-order hopping).
   // Small sets fit in cache, where the sort costs more than hash-order
   // misses ever could — they are walked directly instead; the threshold is
-  // roughly where a set's footprint outgrows L1/L2.
+  // roughly where a set's footprint outgrows L1/L2. Arena-pooled (capacity
+  // retained across epochs): the settle path stays allocation-free.
   struct SetEntry {
     uintptr_t word_addr;
     uint64_t data;
     uint64_t mark;
   };
   static constexpr size_t kAddressOrderThreshold = 4096;
-  std::vector<SetEntry> scratch_;
+  PodVec<SetEntry> scratch_;
 
   void sort_scratch() {
     std::sort(scratch_.begin(), scratch_.end(),

@@ -10,6 +10,7 @@
 #include "runtime/local_buffer.h"
 #include "runtime/spec_buffer.h"
 #include "runtime/stats.h"
+#include "support/arena.h"
 #include "support/prng.h"
 
 namespace mutls {
@@ -42,8 +43,18 @@ struct ThreadData {
   // the child must roll back regardless of its read-set (paper IV-G4).
   bool force_rollback = false;
 
-  // Children stack of the tree-form mixed model (paper IV-F).
+  // Children stack of the tree-form mixed model (paper IV-F). Reserved to
+  // num_cpus at manager construction: every live speculation occupies one
+  // virtual-CPU slot and sits on exactly one parent's stack, so no stack
+  // (even through adoption) can outgrow that — push_back never reallocates.
   std::vector<ChildRef> children;
+
+  // Per-slot arena (see "support/arena.h"): transient bump storage for the
+  // epoch (spilled task closures) plus the persistent pool backing sbuf's
+  // growable arrays and scratch. Declared before sbuf, whose pooled
+  // storage must release into a live arena at destruction. Ownership
+  // follows the slot's speculation protocol — no locks.
+  Arena arena;
 
   SpecBuffer sbuf;
   LocalBuffer lbuf;
@@ -82,6 +93,12 @@ struct ThreadData {
     joiner = nullptr;
     force_rollback = false;
     children.clear();
+    // Re-arm the arena first: the previous epoch's bump storage (the
+    // settled task's spilled closure was already destroyed at settle) is
+    // reclaimed wholesale and the epoch heap-fallback counter zeroes, so
+    // alloc_events reports exactly this speculation. sbuf's pooled storage
+    // survives — rearm() touches only the bump region.
+    arena.rearm();
     // Re-arm the speculative buffer: reset buffered state, zero the cost
     // counters (they survive reset() so the settle paths could read them;
     // a slot's next speculation must not re-report its predecessors'

@@ -11,8 +11,12 @@ namespace {
 // Folds the buffer backend's cost counters into the thread's statistics at
 // settle time. The buffer's counters survive reset() and are zeroed when
 // the slot is re-armed, so each settle reports exactly one speculation.
+// The slot arena's heap-fallback trips ride along the same way: its epoch
+// counter covers everything since the slot was re-armed — including the
+// forker's closure spill — and zero is the steady-state expectation.
 void accumulate_buffer_stats(ThreadData& td) {
   td.stats.buffer += td.sbuf.stats();
+  td.stats.buffer.alloc_events += td.arena.epoch_heap_allocs();
 }
 
 // Iterations a worker spins on the handoff flag before parking on its
@@ -28,6 +32,11 @@ ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
   MUTLS_CHECK(config_.num_cpus >= 1, "need at least one virtual CPU");
   root_.rank = 0;
   root_.lbuf.init(config_.register_slots);
+  // A children stack never holds more than num_cpus live refs (each live
+  // speculation occupies one slot and sits on exactly one stack), so one
+  // up-front reservation makes every push_back — including adoption at
+  // join time — allocation-free.
+  root_.children.reserve(static_cast<size_t>(config_.num_cpus));
   cpus_.reserve(static_cast<size_t>(config_.num_cpus));
   for (int r = 1; r <= config_.num_cpus; ++r) {
     cpus_.push_back(std::make_unique<Cpu>());
@@ -37,8 +46,10 @@ ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
                      config_.overflow_cap,
                      SpecBuffer::AdaptivePolicy{
                          config_.adaptive_overflow_threshold,
-                         config_.adaptive_calm_hysteresis});
+                         config_.adaptive_calm_hysteresis},
+                     GrowableSet::kMaxLog2, &c.data.arena);
     c.data.lbuf.init(config_.register_slots);
+    c.data.children.reserve(static_cast<size_t>(config_.num_cpus));
   }
   // Seed the idle freelist in reverse so the first claims pop rank 1, 2, …
   // (the order the old linear scan produced).
@@ -120,11 +131,8 @@ bool ThreadManager::admission_allows(const ThreadData& td,
   return false;
 }
 
-int ThreadManager::speculate(ThreadData& forker, ForkModel model, Task task,
-                             const std::function<void(ThreadData&)>& setup) {
+int ThreadManager::admit_and_claim(ThreadData& forker, ForkModel model) {
   ForkModel m = config_.model_override.value_or(model);
-  uint64_t t0 = now_ns();
-  int rank = 0;
   if (m == ForkModel::kInOrder) {
     // In-order admission must check-then-claim atomically against other
     // in-order forks (two links of the chain must not both win), so it
@@ -134,33 +142,29 @@ int ThreadManager::speculate(ThreadData& forker, ForkModel model, Task task,
         (live_.load(std::memory_order_relaxed) == 0 && forker.rank == 0) ||
         (forker.rank != 0 &&
          forker.rank == most_speculative_rank_.load(std::memory_order_relaxed));
-    if (ok) rank = claim_cpu();
-  } else if (m == ForkModel::kMixed || forker.rank == 0) {
+    return ok ? claim_cpu() : 0;
+  }
+  if (m == ForkModel::kMixed || forker.rank == 0) {
     // kMixed admits everyone and kOutOfOrder admits the non-speculative
     // thread: no shared policy state to consult, so the claim is one CAS
     // on the idle freelist — no mutex on the fast path.
-    rank = claim_cpu();
+    return claim_cpu();
   }
-  forker.stats.ledger.add(TimeCat::kFindCpu, now_ns() - t0);
-  if (rank == 0) {
-    ++forker.stats.fork_denied;
-    return 0;
-  }
+  return 0;
+}
 
-  uint64_t t1 = now_ns();
+ThreadManager::Cpu& ThreadManager::arm_cpu(int rank, ThreadData& forker) {
   Cpu& c = cpu(rank);
   c.state.store(CpuState::kRunning, std::memory_order_release);
   c.data.reset_for_speculation(forker.rank, forker.epoch, c.next_epoch++,
                                config_.seed, config_.rollback_probability);
   forker.children.push_back(ChildRef{rank, c.data.epoch});
-  if (setup) setup(c.data);
-  ++forker.stats.forks;
-  uint64_t t2 = now_ns();
-  forker.stats.ledger.add(TimeCat::kFork, t2 - t1);
+  return c;
+}
 
+void ThreadManager::publish_task(Cpu& c) {
   // Hand the task to the worker: publish, then wake only a parked worker —
   // one in its spin window picks the flag up without any syscall.
-  c.task = std::move(task);
   c.has_task.store(true, std::memory_order_seq_cst);
   if (c.parked.load(std::memory_order_seq_cst)) {
     {
@@ -168,8 +172,6 @@ int ThreadManager::speculate(ThreadData& forker, ForkModel model, Task task,
     }
     c.cv.notify_one();
   }
-  forker.stats.ledger.add(TimeCat::kForkHandoff, now_ns() - t2);
-  return rank;
 }
 
 void ThreadManager::worker_loop(Cpu& c) {
@@ -209,11 +211,11 @@ void ThreadManager::worker_loop(Cpu& c) {
       // Cascading rollback stays inside this subtree (paper IV-F).
       nosync_children(td);
     }
-    barrier_and_settle(c);
+    barrier_and_settle(c, task);
   }
 }
 
-void ThreadManager::barrier_and_settle(Cpu& c) {
+void ThreadManager::barrier_and_settle(Cpu& c, Task& task) {
   ThreadData& td = c.data;
 
   uint64_t idle0 = now_ns();
@@ -235,6 +237,10 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
                         td.stats.runtime_ns > accounted
                             ? td.stats.runtime_ns - accounted
                             : 0);
+    // Destroy the task before the settle publishes: a spilled closure lives
+    // in this slot's arena, and the next forker re-arms that arena the
+    // moment the slot is claimable again.
+    task.reset();
     accumulate_buffer_stats(td);
     aggregate_stats(td);
     on_thread_finished(td.rank);
@@ -275,6 +281,9 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
   }
 
   uint64_t f0 = now_ns();
+  // Same lifetime rule as the NOSYNC path: the spilled closure must not
+  // outlive its epoch, and valid_status is the hand-back to the joiner.
+  task.reset();
   accumulate_buffer_stats(td);
   td.sbuf.reset();
   td.stats.ledger.add(TimeCat::kFinalize, now_ns() - f0);
@@ -294,27 +303,32 @@ void ThreadManager::barrier_and_settle(Cpu& c) {
 
 ThreadManager::JoinResult ThreadManager::synchronize(
     ThreadData& joiner, ChildRef expect, bool force_rollback,
-    uint64_t* out_tag, const std::function<void(ThreadData&)>& on_settled) {
+    uint64_t* out_tag, FunctionRef<void(ThreadData&)> on_settled) {
   uint64_t t0 = now_ns();
-  bool found = false;
-  std::vector<ChildRef> discarded;
-  while (!joiner.children.empty()) {
-    ChildRef ref = joiner.children.back();
-    joiner.children.pop_back();
-    if (ref.rank == expect.rank && ref.epoch == expect.epoch) {
-      found = true;
-      break;
-    }
-    // Non-conforming mixed-model usage (paper IV-F): NOSYNC the mismatched
-    // child and keep searching. The child frees its own CPU.
-    signal_discard(ref);
-    discarded.push_back(ref);
+  // Scan down from the top of the stack without popping: in the conforming
+  // case (expected child on top) no container is touched, and in the
+  // non-conforming case the entries above the match double as the discard
+  // list — no side vector, no allocation.
+  std::vector<ChildRef>& kids = joiner.children;
+  size_t found_at = kids.size();
+  while (found_at > 0) {
+    const ChildRef& ref = kids[found_at - 1];
+    if (ref.rank == expect.rank && ref.epoch == expect.epoch) break;
+    --found_at;
   }
-  if (!found) {
-    for (const ChildRef& ref : discarded) wait_discarded(ref);
+  if (found_at == 0) {
+    // Not found: every child on the stack is non-conforming (paper IV-F).
+    // Signal them all before waiting on any so their subtrees drain
+    // concurrently; each frees its own CPU.
+    for (size_t i = kids.size(); i > 0; --i) signal_discard(kids[i - 1]);
+    for (size_t i = kids.size(); i > 0; --i) wait_discarded(kids[i - 1]);
+    kids.clear();
     joiner.stats.ledger.add(TimeCat::kJoin, now_ns() - t0);
     return JoinResult::kNotFound;
   }
+  // Non-conforming mixed-model usage: NOSYNC the mismatched children above
+  // the match. Each frees its own CPU.
+  for (size_t i = kids.size(); i > found_at; --i) signal_discard(kids[i - 1]);
 
   Cpu& c = cpu(expect.rank);
   MUTLS_CHECK(c.data.epoch == expect.epoch,
@@ -327,7 +341,8 @@ ThreadManager::JoinResult ThreadManager::synchronize(
 
   // Drain the discarded mismatched children only after SYNC is raised, so
   // their teardown overlaps the expected child's validate/commit.
-  for (const ChildRef& ref : discarded) wait_discarded(ref);
+  for (size_t i = kids.size(); i > found_at; --i) wait_discarded(kids[i - 1]);
+  kids.resize(found_at - 1);  // drop the discarded refs and the match
 
   uint64_t i0 = now_ns();
   ValidStatus v = spin_while_equal(c.data.valid_status, ValidStatus::kNone);
@@ -458,6 +473,10 @@ void ThreadManager::reset_stats() {
 
 void ThreadManager::begin_run() {
   reset_stats();
+  // The root thread's arena follows run boundaries instead of speculation
+  // epochs (the root never settles): re-arm here so each run's critical
+  // alloc_events covers exactly that run.
+  root_.arena.rearm();
   run_start_ns_ = now_ns();
 }
 
@@ -469,6 +488,7 @@ void ThreadManager::end_run() {
                          root_.stats.runtime_ns > accounted
                              ? root_.stats.runtime_ns - accounted
                              : 0);
+  root_.stats.buffer.alloc_events += root_.arena.epoch_heap_allocs();
 }
 
 }  // namespace mutls

@@ -8,17 +8,20 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/enums.h"
 #include "runtime/stats.h"
 #include "runtime/thread_data.h"
+#include "support/function_ref.h"
+#include "support/inline_task.h"
 #include "support/interval_set.h"
+#include "support/timing.h"
 
 namespace mutls {
 
@@ -91,7 +94,10 @@ ManagerConfig manager_config_from(const Opts& opt, int register_slots) {
 
 class ThreadManager {
  public:
-  using Task = std::function<void(ThreadData&)>;
+  // Owning task storage of a virtual-CPU slot: 128 bytes inline, arena
+  // spill past that — never the global heap after warm-up (the
+  // zero-allocation steady-state invariant).
+  using Task = InlineTask<void(ThreadData&)>;
 
   explicit ThreadManager(const ManagerConfig& config);
   ~ThreadManager();
@@ -109,23 +115,55 @@ class ThreadManager {
   // continues sequentially, as in the paper. `setup`, when given, runs on
   // the forker between arming and launching: this is where the proxy
   // function stores live-in register/stack variables into the child's
-  // LocalBuffer (paper IV-D step (2)).
-  int speculate(ThreadData& forker, ForkModel model, Task task,
-                const std::function<void(ThreadData&)>& setup = {});
+  // LocalBuffer (paper IV-D step (2)); it is invoked synchronously, so a
+  // non-owning FunctionRef suffices.
+  //
+  // A template so the caller's closure moves straight into the claimed
+  // slot's Task storage — inline for small captures, the slot's arena for
+  // large ones — with no intermediate type-erased heap copy. On denial the
+  // closure is never stored at all.
+  template <typename TaskF>
+  int speculate(ThreadData& forker, ForkModel model, TaskF&& task,
+                FunctionRef<void(ThreadData&)> setup = {}) {
+    uint64_t t0 = now_ns();
+    int rank = admit_and_claim(forker, model);
+    forker.stats.ledger.add(TimeCat::kFindCpu, now_ns() - t0);
+    if (rank == 0) {
+      ++forker.stats.fork_denied;
+      return 0;
+    }
+    uint64_t t1 = now_ns();
+    Cpu& c = arm_cpu(rank, forker);
+    if (setup) setup(c.data);
+    ++forker.stats.forks;
+    uint64_t t2 = now_ns();
+    forker.stats.ledger.add(TimeCat::kFork, t2 - t1);
+    // Emplaced only after the claim, spilling (if at all) into the *child*
+    // slot's just-rearmed arena: between claim and handoff the slot has a
+    // single owner, and the worker destroys the task before the slot
+    // settles, so a spilled closure never outlives its epoch.
+    c.task.emplace(std::forward<TaskF>(task), &c.data.arena);
+    publish_task(c);
+    forker.stats.ledger.add(TimeCat::kForkHandoff, now_ns() - t2);
+    return rank;
+  }
 
   enum class JoinResult { kCommit, kRollback, kNotFound };
 
-  // MUTLS_synchronize: pops `joiner.children` until `expect` is found,
-  // NOSYNC-ing mismatched children (non-conforming mixed-model usage);
-  // performs the flag-based barrier with the child; adopts the child's
-  // children either way; reclaims the CPU. `force_rollback` communicates a
-  // failed live-in validation. `out_tag`, when non-null, receives the
-  // child's user_tag (see ThreadData) so adopted children can be
-  // re-executed after rollback.
+  // MUTLS_synchronize: scans `joiner.children` down to `expect`,
+  // NOSYNC-ing mismatched children stacked above it (non-conforming
+  // mixed-model usage); performs the flag-based barrier with the child;
+  // adopts the child's children either way; reclaims the CPU. The
+  // conforming case — joining the most recent fork — touches no container
+  // at all. `force_rollback` communicates a failed live-in validation.
+  // `out_tag`, when non-null, receives the child's user_tag (see
+  // ThreadData) so adopted children can be re-executed after rollback.
+  // `on_settled` is invoked synchronously before the child's slot is
+  // reclaimed (a non-owning FunctionRef, like `setup`).
   JoinResult synchronize(ThreadData& joiner, ChildRef expect,
                          bool force_rollback = false,
                          uint64_t* out_tag = nullptr,
-                         const std::function<void(ThreadData&)>& on_settled = {});
+                         FunctionRef<void(ThreadData&)> on_settled = {});
 
   // Aborts the remaining subtree of `td` down to `keep` children (used when
   // a speculative task unwinds without joining its children, and for
@@ -213,9 +251,19 @@ class ThreadManager {
   // only in whether they hold policy_mu_ around it.
   int claim_cpu();
 
+  // The non-template halves of speculate(): model admission + CPU claim
+  // (0 = denied), arming the claimed slot for the forker, and the
+  // spin-then-park handoff publication.
+  int admit_and_claim(ThreadData& forker, ForkModel model);
+  Cpu& arm_cpu(int rank, ThreadData& forker);
+  void publish_task(Cpu& cpu);
+
   // Barrier-side protocol of the speculative thread: wait for a signal,
-  // validate, commit or roll back, publish valid_status.
-  void barrier_and_settle(Cpu& cpu);
+  // validate, commit or roll back, publish valid_status. Owns destroying
+  // `task` (the slot's closure): before the settle publication, so a
+  // spilled closure is recycled before any new forker can re-arm the
+  // slot's arena.
+  void barrier_and_settle(Cpu& cpu, Task& task);
 
   // Policy bookkeeping when a speculative thread finishes (either reclaimed
   // by a joiner or self-freed after NOSYNC). Takes policy_mu_ internally to

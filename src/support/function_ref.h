@@ -1,0 +1,50 @@
+// Non-owning callable reference: the std::function replacement for hook
+// parameters that are only ever invoked synchronously inside the callee
+// (speculate()'s live-in setup, synchronize()'s on_settled). A FunctionRef
+// is two words — object pointer + invoker — and never allocates, where
+// std::function may heap-allocate its capture even for a hook that dies
+// before the call returns. The referee must outlive the call; binding a
+// temporary lambda at a call site is fine (it lives to the end of the full
+// expression), storing a FunctionRef is not.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mutls {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT: match std::function's = {} idiom
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT: implicit by design, like std::function
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace mutls

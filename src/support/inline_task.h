@@ -1,0 +1,156 @@
+// Owning type-erased closure with fixed inline storage — the steady-path
+// replacement for std::function in the fork/join protocol.
+//
+// std::function heap-allocates whenever the capture outgrows its (small,
+// implementation-defined) SBO; on the speculation hot path that is one or
+// two mallocs per fork. InlineTask fixes the inline buffer at a size that
+// covers every closure the runtime itself ships (kInlineBytes = 128: the
+// fork wrapper is a runtime pointer plus the user body, and real bodies
+// capture a handful of pointers/values), and when a capture does exceed it,
+// the closure spills into the owning slot's Arena bump region instead of
+// the global heap — recycled at the slot's next rearm(), so even the spill
+// path allocates nothing at steady state. Only an oversized capture with no
+// arena attached falls back to ::operator new.
+//
+// Move-only, like the closures it stores. The inline path additionally
+// requires a noexcept-movable callable (the move must not throw while two
+// InlineTasks are in flight); throwing-movable types are forced onto the
+// spill path, where moving the task just re-seats a pointer.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/arena.h"
+#include "support/check.h"
+
+namespace mutls {
+
+template <typename Sig, size_t InlineBytes = 128>
+class InlineTask;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineTask<R(Args...), InlineBytes> {
+ public:
+  InlineTask() = default;
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  InlineTask(InlineTask&& o) noexcept { take(o); }
+  InlineTask& operator=(InlineTask&& o) noexcept {
+    if (this != &o) {
+      reset();
+      take(o);
+    }
+    return *this;
+  }
+
+  ~InlineTask() { reset(); }
+
+  // Stores `f`. Captures beyond the inline buffer (or with a throwing move
+  // constructor) spill into `arena`'s bump region when one is given — the
+  // block is recycled on destruction and reclaimed wholesale by the
+  // arena's next rearm() — else onto the heap.
+  template <typename F>
+  void emplace(F&& f, Arena* arena = nullptr) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable does not match the task signature");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    reset();
+    void* mem;
+    if constexpr (fits_inline<Fn>()) {
+      mem = &storage_;
+    } else {
+      mem = arena != nullptr ? arena->alloc(sizeof(Fn), alignof(Fn))
+                             : ::operator new(sizeof(Fn));
+      spill_ = mem;
+      spill_bytes_ = sizeof(Fn);
+      arena_ = arena;
+    }
+    ::new (mem) Fn(std::forward<F>(f));
+    vt_ = &kVTable<Fn>;
+  }
+
+  void reset() {
+    if (vt_ == nullptr) return;
+    vt_->destroy(target());
+    if (spill_ != nullptr) {
+      if (arena_ != nullptr) {
+        arena_->recycle(spill_, spill_bytes_);
+      } else {
+        ::operator delete(spill_);
+      }
+      spill_ = nullptr;
+      spill_bytes_ = 0;
+      arena_ = nullptr;
+    }
+    vt_ = nullptr;
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    MUTLS_DCHECK(vt_ != nullptr, "invoking an empty InlineTask");
+    return vt_->invoke(target(), std::forward<Args>(args)...);
+  }
+
+  // True when the stored closure lives in the inline buffer (exposed for
+  // the allocation-budget tests).
+  bool inlined() const { return vt_ != nullptr && spill_ == nullptr; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args...);
+    void (*destroy)(void*);
+    // Move-construct into `to`, destroy the source (inline storage only;
+    // spilled closures move by pointer steal).
+    void (*relocate)(void* from, void* to);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr VTable kVTable = {
+      [](void* obj, Args... args) -> R {
+        return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      },
+      [](void* obj) { static_cast<Fn*>(obj)->~Fn(); },
+      [](void* from, void* to) {
+        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+        static_cast<Fn*>(from)->~Fn();
+      },
+  };
+
+  void* target() { return spill_ != nullptr ? spill_ : &storage_; }
+
+  void take(InlineTask& o) noexcept {
+    vt_ = o.vt_;
+    spill_ = o.spill_;
+    spill_bytes_ = o.spill_bytes_;
+    arena_ = o.arena_;
+    if (vt_ != nullptr && spill_ == nullptr) {
+      vt_->relocate(&o.storage_, &storage_);
+    }
+    o.vt_ = nullptr;
+    o.spill_ = nullptr;
+    o.spill_bytes_ = 0;
+    o.arena_ = nullptr;
+  }
+
+  const VTable* vt_ = nullptr;
+  void* spill_ = nullptr;
+  size_t spill_bytes_ = 0;
+  Arena* arena_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+};
+
+}  // namespace mutls

@@ -1,0 +1,115 @@
+// Small-buffer vector for trivially-copyable payloads: the first N
+// elements live inline (no allocation at all — the common case for
+// ForkOpts::predictions, which carries 0 or a couple of live-ins), heap
+// storage only past that. Copyable, because it rides through options
+// structs passed by value.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+
+namespace mutls {
+
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for trivially copyable payloads only");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& o) { assign(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      clear_storage();
+      assign(o);
+    }
+    return *this;
+  }
+
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      clear_storage();
+      steal(o);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { clear_storage(); }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data()[size_++] = v;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& operator[](size_t i) { return data()[i]; }
+
+  bool inlined() const { return heap_ == nullptr; }
+
+ private:
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  void grow() {
+    size_t cap = cap_ * 2;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = fresh;
+    cap_ = cap;
+  }
+
+  void clear_storage() {
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = nullptr;
+    cap_ = N;
+    size_ = 0;
+  }
+
+  void assign(const SmallVec& o) {
+    if (o.size_ > N) {
+      heap_ = static_cast<T*>(::operator new(o.cap_ * sizeof(T)));
+      cap_ = o.cap_;
+    }
+    size_ = o.size_;
+    std::memcpy(data(), o.data(), size_ * sizeof(T));
+  }
+
+  void steal(SmallVec& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      size_ = o.size_;
+      std::memcpy(inline_, o.inline_, size_ * sizeof(T));
+      o.size_ = 0;
+    }
+  }
+
+  T inline_[N] = {};
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = N;
+};
+
+}  // namespace mutls

@@ -587,6 +587,27 @@ TEST_F(AdaptiveBackendTest, FlippedSlotSurvivesReuseAcrossSpeculations) {
       << "grown capacity carried forward across slot reuse";
 }
 
+TEST_F(AdaptiveBackendTest, FlipSeedsGrowableIndexAtObservedFootprint) {
+  ThreadManager mgr(adaptive_config(/*threshold=*/1, /*hysteresis=*/16));
+  mgr.begin_run();
+  // R1: static dooms after filling the 16-slot table plus the 2 overflow
+  // slots — the slot observes a ~18-entry footprint at the doom point.
+  EXPECT_FALSE(run_round(mgr, 64));
+  mgr.end_run();
+  // R2: freshly flipped. The growable index is seeded at that observed
+  // footprint rather than the 16-slot configured floor, so a footprint of
+  // the same order commits with ZERO resizes instead of rediscovering the
+  // capacity through the doubling ladder.
+  mgr.begin_run();
+  BufferBackend active = BufferBackend::kStaticHash;
+  EXPECT_TRUE(run_round(mgr, 20, &active));
+  EXPECT_EQ(active, BufferBackend::kGrowableLog);
+  mgr.end_run();
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative.buffer.resize_events, 0u)
+      << "the flip hint must pre-size the index past the doubling ladder";
+}
+
 TEST_F(AdaptiveBackendTest, MixedBackendParentChildMergeIsExact) {
   // A flipped (growable) parent slot joins an unflipped (static) child:
   // the child validates against and merges into a different backend than

@@ -1,0 +1,202 @@
+// Arena unit and randomized property tests (run under ASan and TSan in CI:
+// the randomized mix is the memory-safety net for the bump/pool machinery
+// that the allocation-budget test only observes through counters).
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "support/prng.h"
+
+namespace mutls {
+namespace {
+
+TEST(Arena, BumpAllocAlignsAndCounts) {
+  Arena a;
+  void* p = a.alloc(10);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+  void* q = a.alloc(1, 1);
+  EXPECT_NE(p, q);
+  ArenaStats st = a.stats();
+  EXPECT_GE(st.bytes_in_use, 11u);
+  EXPECT_EQ(st.segments, 1u);
+  EXPECT_EQ(st.fallback_heap_allocs, 1u);  // the one segment
+}
+
+TEST(Arena, LifoRecycleRewindsTheBump) {
+  Arena a;
+  (void)a.alloc(64);
+  void* b = a.alloc(64);
+  size_t used = a.stats().bytes_in_use;
+  a.recycle(b, 64);
+  EXPECT_EQ(a.stats().bytes_in_use, used - 64);
+  // The rewound space is handed out again.
+  EXPECT_EQ(a.alloc(64), b);
+}
+
+TEST(Arena, OutOfOrderRecycleIsAbandonedUntilRearm) {
+  Arena a;
+  void* b0 = a.alloc(64);
+  (void)a.alloc(64);
+  size_t used = a.stats().bytes_in_use;
+  a.recycle(b0, 64);  // not the top — no rewind
+  EXPECT_EQ(a.stats().bytes_in_use, used);
+  a.rearm();
+  EXPECT_EQ(a.stats().bytes_in_use, 0u);
+}
+
+TEST(Arena, OversizedBlocksAreDedicatedAndFreed) {
+  Arena a;
+  size_t n = Arena::kOversizeBytes + 1;
+  void* p = a.alloc(n);
+  std::memset(p, 0xab, n);
+  EXPECT_EQ(a.stats().bytes_in_use, n);
+  a.recycle(p, n);
+  EXPECT_EQ(a.stats().bytes_in_use, 0u);
+  // And via rearm instead of recycle:
+  void* q = a.alloc(n);
+  std::memset(q, 0xcd, n);
+  a.rearm();
+  EXPECT_EQ(a.stats().bytes_in_use, 0u);
+}
+
+TEST(Arena, WarmedEpochsNeverTouchTheHeap) {
+  Arena a;
+  constexpr size_t kPerEpoch = 3 * Arena::kSegmentBytes / 2;
+  // Warm-up epoch: pays for its segments once.
+  while (a.stats().bytes_in_use < kPerEpoch) (void)a.alloc(1024);
+  EXPECT_GT(a.epoch_heap_allocs(), 0u);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    a.rearm();
+    while (a.stats().bytes_in_use < kPerEpoch) (void)a.alloc(1024);
+    EXPECT_EQ(a.epoch_heap_allocs(), 0u) << "epoch " << epoch;
+  }
+}
+
+TEST(Arena, PoolReusesReleasedBlocks) {
+  Arena a;
+  void* p = a.grab(100);
+  uint64_t base = a.stats().fallback_heap_allocs;
+  a.release(p, 100);
+  // Same size class (128B) — must come back from the free list.
+  EXPECT_EQ(a.grab(65), p);
+  EXPECT_EQ(a.stats().fallback_heap_allocs, base);
+  // Pool storage survives rearm.
+  a.release(p, 100);
+  a.rearm();
+  EXPECT_EQ(a.grab(128), p);
+  EXPECT_EQ(a.stats().fallback_heap_allocs, base);
+}
+
+TEST(Arena, PooledSizeRoundsToClasses) {
+  EXPECT_EQ(Arena::pooled_size(1), Arena::kMinPoolBytes);
+  EXPECT_EQ(Arena::pooled_size(64), 64u);
+  EXPECT_EQ(Arena::pooled_size(65), 128u);
+  EXPECT_EQ(Arena::pooled_size(4096), 4096u);
+  EXPECT_EQ(Arena::pooled_size(4097), 8192u);
+}
+
+TEST(PodVec, GrowsPreservesAndRecyclesThroughThePool) {
+  Arena a;
+  PodVec<uint32_t> v;
+  v.attach(&a);
+  for (uint32_t i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+  size_t cap = v.capacity();
+  uint64_t warm = a.stats().fallback_heap_allocs;
+  // Steady state: clearing keeps capacity; refilling to the same footprint
+  // allocates nothing.
+  for (int round = 0; round < 3; ++round) {
+    v.clear();
+    for (uint32_t i = 0; i < 1000; ++i) v.push_back(i);
+  }
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_EQ(a.stats().fallback_heap_allocs, warm);
+}
+
+TEST(PodVec, WorksUnattached) {
+  PodVec<uint64_t> v;
+  for (uint64_t i = 0; i < 200; ++i) v.push_back(i * 3);
+  for (uint64_t i = 0; i < 200; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+// Randomized property test: a shadow model of live blocks checks that the
+// arena never hands out overlapping storage and never corrupts a live
+// block, across bump allocs (including oversized), LIFO and out-of-order
+// recycles, pool grab/release cycles, and epoch rearms.
+TEST(ArenaProperty, RandomizedMixKeepsLiveBlocksIntact) {
+  struct Block {
+    void* p;
+    size_t n;
+    unsigned char tag;
+    bool pooled;
+  };
+  Xorshift64 rng(20260807);
+  Arena a;
+  std::vector<Block> bump_live;  // stack order == allocation order
+  std::vector<Block> pool_live;
+  unsigned char next_tag = 1;
+
+  auto fill = [](const Block& b) { std::memset(b.p, b.tag, b.n); };
+  auto check = [](const Block& b) {
+    const unsigned char* c = static_cast<const unsigned char*>(b.p);
+    for (size_t i = 0; i < b.n; ++i) {
+      ASSERT_EQ(c[i], b.tag) << "live block corrupted at byte " << i;
+    }
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t op = rng.next_below(100);
+    if (op < 45) {
+      // Bump alloc; ~1 in 30 is oversized.
+      size_t n = rng.next_below(30) == 0
+                     ? Arena::kOversizeBytes + 1 + rng.next_below(4096)
+                     : 1 + rng.next_below(512);
+      Block b{a.alloc(n), n, next_tag, false};
+      next_tag = next_tag == 255 ? 1 : static_cast<unsigned char>(next_tag + 1);
+      fill(b);
+      bump_live.push_back(b);
+    } else if (op < 60 && !bump_live.empty()) {
+      // Recycle — usually the top (LIFO), sometimes mid-stack. Either way
+      // the block is dead to the model from here on.
+      size_t i = rng.next_below(4) != 0
+                     ? bump_live.size() - 1
+                     : rng.next_below(bump_live.size());
+      check(bump_live[i]);
+      a.recycle(bump_live[i].p, bump_live[i].n);
+      bump_live.erase(bump_live.begin() + static_cast<ptrdiff_t>(i));
+    } else if (op < 75) {
+      size_t n = 1 + rng.next_below(2048);
+      Block b{a.grab(n), Arena::pooled_size(n), next_tag, true};
+      next_tag = next_tag == 255 ? 1 : static_cast<unsigned char>(next_tag + 1);
+      fill(b);
+      pool_live.push_back(b);
+    } else if (op < 90 && !pool_live.empty()) {
+      size_t i = rng.next_below(pool_live.size());
+      check(pool_live[i]);
+      a.release(pool_live[i].p, pool_live[i].n);
+      pool_live.erase(pool_live.begin() + static_cast<ptrdiff_t>(i));
+    } else if (op < 92) {
+      // Epoch boundary: every bump block dies, pool blocks survive.
+      for (const Block& b : bump_live) check(b);
+      bump_live.clear();
+      a.rearm();
+      EXPECT_EQ(a.epoch_heap_allocs(), 0u);
+      EXPECT_EQ(a.stats().bytes_in_use, 0u);
+      for (const Block& b : pool_live) check(b);
+    } else {
+      // Spot-check everything still live.
+      for (const Block& b : bump_live) check(b);
+      for (const Block& b : pool_live) check(b);
+    }
+  }
+  for (const Block& b : bump_live) check(b);
+  for (const Block& b : pool_live) check(b);
+}
+
+}  // namespace
+}  // namespace mutls
