@@ -25,6 +25,7 @@
 #include "sim/sim.h"
 #include "workloads/bh.h"
 #include "workloads/fft.h"
+#include "workloads/http_serving.h"
 #include "workloads/mandelbrot.h"
 #include "workloads/matmult.h"
 #include "workloads/md.h"
@@ -206,6 +207,28 @@ inline std::vector<BenchWorkload> make_workloads(const HarnessArgs& a) {
           return Tsp::run_spec(rt, p, m);
         },
         [] { return sim::model_tsp(); }});
+  }
+  {
+    // Not a Table II row: the server-shaped workload of src/serving/
+    // (short tasks, shared cache index). Rides the same harness so the
+    // equivalence and figure machinery cover it.
+    HttpServing::Params p;
+    p.batches = paper ? 256 : (quick ? 8 : 64);
+    p.batch = 256;
+    p.chunks = 8;
+    p.zipf_s = 1.1;  // hot keys: real conflicts through the index
+    ws.push_back(BenchWorkload{
+        "http-serving", false, "loop",
+        paper ? "64K requests, Zipf 1.1" : "16K requests, Zipf 1.1",
+        [p] { return HttpServing::run_seq(p); },
+        [p](int cpus, ForkModel m, double rb) {
+          Runtime rt(runtime_opts(cpus, 14, rb));
+          return HttpServing::run_spec(rt, p, m);
+        },
+        [p] {
+          return sim::model_http_serving(static_cast<int>(p.batches),
+                                         p.chunks);
+        }});
   }
   return ws;
 }

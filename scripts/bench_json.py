@@ -11,7 +11,15 @@ re-parsing free text; the raw stdout is preserved verbatim as well.
 Usage:
   scripts/bench_json.py --bench-dir build/bench [--out BENCH_results.json]
                         [--mode quick|full|paper] [--no-sim|--no-measured]
-                        [--no-micro] [--no-ablation] [--baseline OLD.json]
+                        [--no-micro] [--no-ablation] [--no-sustained]
+                        [--baseline OLD.json]
+
+The sustained-load serving bench (bench_sustained_load) contributes a
+sustained_load section: per-{backend x skew x batch} cells with req/s,
+fork-to-settle latency percentiles, doom rate, alloc_events and a
+validated duration_s field. It always runs at full duration (the committed
+document must clear the >=1M fork/join floor); CI smoke uses the binary's
+own --quick flag instead.
 
 Besides the figure benches, the backend-sweeping microbenches
 (bench_micro_runtime) and the buffer-map ablation (bench_ablation_buffer_map)
@@ -57,6 +65,19 @@ MICRO_BENCH = "bench_micro_runtime"
 MICRO_FILTER = "Buffered|ForkJoin"
 ABLATION_BENCH = "bench_ablation_buffer_map"
 ABLATION_FILTER = "SpecBuffer|ValidateCommit|OverCapacity|ResetSmall"
+
+# Sustained-load serving bench: duration-based sweep over
+# {backend x key-skew x batch size}, reporting req/s, fork-to-settle
+# latency percentiles and the doom rate per cell. Parsed from the
+# machine-readable "SUSTAINED key=value ..." lines into the sustained_load
+# section. Every backend must report BOTH skews — a missing cell means the
+# sweep silently lost a contestant.
+SUSTAINED_BENCH = "bench_sustained_load"
+SUSTAINED_SKEWS = ("uniform", "zipf-1.1")
+# Fields every cell must carry; duration_s in particular is validated so a
+# cell that stopped measuring its window cannot slip into the document.
+SUSTAINED_CELL_KEYS = ("duration_s", "req_per_s", "p50_ns", "p99_ns",
+                       "p999_ns", "doom_rate", "alloc_events")
 
 # Every backend the swept benches must report. A backend silently missing
 # from a sweep (dropped Arg, renamed label, dispatch regression) would
@@ -175,6 +196,94 @@ def check_alloc_budget(entry):
     return entry
 
 
+def parse_kv_line(line: str):
+    """Parse one 'PREFIX key=value key=value ...' line into a dict."""
+    out = {}
+    for tok in line.split()[1:]:
+        key, sep, val = tok.partition("=")
+        if not sep:
+            continue
+        try:
+            out[key] = int(val)
+        except ValueError:
+            try:
+                out[key] = float(val)
+            except ValueError:
+                out[key] = val
+    return out
+
+
+def run_sustained(bench_dir: Path, timeout: int):
+    """Run the sustained-load serving bench and validate its cell matrix.
+
+    Always runs at the binary's full duration and fork/join floor — even in
+    --mode quick — because the committed BENCH_results.json must be a
+    steady-state sample (>=1M fork/joins, zero post-warm-up allocations);
+    the cheap smoke path is the binary's own --quick flag in CI.
+    """
+    exe = bench_dir / SUSTAINED_BENCH
+    entry = {"bench": SUSTAINED_BENCH, "status": "missing"}
+    if not exe.exists():
+        return entry
+    start = time.monotonic()
+    try:
+        proc = subprocess.run([str(exe)], capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        entry["status"] = "timeout"
+        entry["seconds"] = round(time.monotonic() - start, 3)
+        return entry
+    entry["seconds"] = round(time.monotonic() - start, 3)
+    entry["exit_code"] = proc.returncode
+    cells, total = [], {}
+    for line in proc.stdout.splitlines():
+        if line.startswith("SUSTAINED_TOTAL "):
+            total = parse_kv_line(line)
+        elif line.startswith("SUSTAINED backend="):
+            cells.append(parse_kv_line(line))
+    entry["cells"] = cells
+    entry["total"] = total
+    if proc.returncode != 0:
+        # The binary polices its own floor and allocation budget.
+        entry["status"] = "failed"
+        entry["stderr"] = proc.stderr.splitlines()
+        return entry
+
+    # Cell-matrix validation: every backend, under both skews, with every
+    # required field — and a positive measured duration per cell.
+    problems = []
+    seen = {}
+    for c in cells:
+        missing = [k for k in SUSTAINED_CELL_KEYS if k not in c]
+        if missing:
+            problems.append(f"cell {c.get('backend')}/{c.get('skew')} "
+                            f"missing {missing}")
+            continue
+        if c["duration_s"] <= 0:
+            problems.append(f"cell {c.get('backend')}/{c.get('skew')} has "
+                            f"non-positive duration_s")
+        seen.setdefault(c.get("backend"), set()).add(c.get("skew"))
+    for backend in EXPECTED_BACKENDS:
+        missing_skews = [s for s in SUSTAINED_SKEWS
+                         if s not in seen.get(backend, set())]
+        if missing_skews:
+            problems.append(f"backend {backend} missing skew cells: "
+                            f"{missing_skews}")
+    if "duration_s" not in total or total.get("duration_s", 0) <= 0:
+        problems.append("SUSTAINED_TOTAL missing a positive duration_s")
+    if any(c.get("alloc_events") for c in cells):
+        problems.append("post-warm-up allocations in a sustained cell")
+    if problems:
+        entry["status"] = "missing-backend" if any(
+            "backend" in p for p in problems) else "invalid"
+        entry["problems"] = problems
+        for p in problems:
+            print(f"[bench_json] {SUSTAINED_BENCH}: {p}", file=sys.stderr)
+        return entry
+    entry["status"] = "ok"
+    return entry
+
+
 def extract_baseline(path: Path):
     """Pull the perf-trajectory rows out of a previous results document.
 
@@ -223,6 +332,8 @@ def main() -> int:
                          "budget gate), skipping figures and ablation")
     ap.add_argument("--no-ablation", action="store_true",
                     help="skip the buffer-map ablation sweep")
+    ap.add_argument("--no-sustained", action="store_true",
+                    help="skip the sustained-load serving sweep")
     ap.add_argument("--baseline", default=None,
                     help="previous BENCH_results.json whose hot-path rows "
                          "are embedded as the before of a before/after")
@@ -284,6 +395,12 @@ def main() -> int:
                            args.timeout, args.mode == "quick")
         results.append(entry)
         print(f"[bench_json] {ABLATION_BENCH}: {entry['status']} "
+              f"({entry.get('seconds', 0)}s)", file=sys.stderr)
+
+    if not args.no_sustained and not args.micro_only:
+        entry = run_sustained(bench_dir, args.timeout)
+        results.append(entry)
+        print(f"[bench_json] {SUSTAINED_BENCH}: {entry['status']} "
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
     doc = {

@@ -21,6 +21,8 @@
 #include "api/shared.h"
 #include "api/spec.h"
 #include "support/check.h"
+#include "support/latency_histogram.h"
+#include "support/timing.h"
 
 namespace mutls {
 
@@ -71,16 +73,29 @@ void spec_for_nested(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
 // cascades (the rest of the chain is NOSYNCed and re-executed inline), the
 // classic in-order rollback behaviour.
 // The body receives (ctx, chunk_index, lo, hi).
+//
+// Fork-to-settle latency sampling (the serving bench's percentile source):
+// pass a histogram plus a scratch array of at least `chunks` entries. The
+// forker of link i stamps fork_ns_scratch[i] just before forking it, and
+// the joining thread records now - stamp after each adopted join. A denied
+// fork leaves a stale stamp that is never read (its tag is never joined);
+// visibility of a worker's stamp to the joiner rides the fork-publish and
+// settle/adopt edges the chain already synchronizes on.
 template <typename BodyFn>
 void spec_for(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end, int chunks,
-              ForkModel model, const BodyFn& body) {
+              ForkModel model, const BodyFn& body,
+              LatencyHistogram* fork_latency = nullptr,
+              uint64_t* fork_ns_scratch = nullptr) {
   if (begin >= end || chunks <= 0) return;
+  MUTLS_CHECK(fork_latency == nullptr || fork_ns_scratch != nullptr,
+              "latency sampling needs a per-chunk scratch array");
   struct Driver {
     Runtime& rt;
     int64_t begin, end;
     int chunks;
     ForkModel model;
     const BodyFn& body;
+    uint64_t* fork_ns;  // null when sampling is off
 
     int64_t bound(int i) const {
       return begin + (end - begin) * i / chunks;
@@ -94,6 +109,7 @@ void spec_for(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end, int chunks,
         bool forked = false;
         if (i + 1 < chunks) {
           int next = i + 1;
+          if (fork_ns != nullptr) fork_ns[next] = now_ns();
           Spec s = rt.fork(
               c,
               ForkOpts{.model = model,
@@ -109,7 +125,8 @@ void spec_for(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end, int chunks,
       }
     }
   };
-  Driver d{rt, begin, end, chunks, model, body};
+  Driver d{rt,    begin, end, chunks,
+           model, body,  fork_latency ? fork_ns_scratch : nullptr};
 
   size_t base_children = ctx.thread_data().children.size();
   d.chain(ctx, 0);
@@ -117,6 +134,12 @@ void spec_for(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end, int chunks,
   while (ctx.thread_data().children.size() > base_children) {
     Runtime::AdoptedJoin j = rt.join_next(ctx);
     MUTLS_CHECK(j.joined, "loop chain lost a child");
+    if (fork_latency != nullptr &&
+        j.tag < static_cast<uint64_t>(chunks)) {
+      // Every settle counts, commit or rollback: the bench's percentiles
+      // describe round-trip cost, and rollbacks are part of that cost.
+      fork_latency->record(now_ns() - fork_ns_scratch[j.tag]);
+    }
     if (j.outcome == JoinOutcome::kRolledBack) {
       // In-order cascade: everything after the failed link is discarded
       // and re-executed inline from the failed link's first chunk.
@@ -144,6 +167,14 @@ struct LoopOpts {
   // chunk (element-wise algorithms only); the drivers always poll at chunk
   // boundaries.
   int64_t checkpoint_every = 0;
+
+  // Fork-to-settle latency sampling (adoption-chain driver only; the
+  // nested driver ignores it). Both must be set together: the histogram
+  // receives one sample per adopted join, stamped through the scratch
+  // array, which needs capacity for `chunks` entries and whose contents
+  // are meaningless between calls.
+  LatencyHistogram* fork_latency = nullptr;
+  uint64_t* fork_ns_scratch = nullptr;
 };
 
 inline int resolve_chunks(const Runtime& rt, const LoopOpts& opts) {
@@ -159,7 +190,8 @@ void for_each_chunk(Runtime& rt, Ctx& ctx, int64_t begin, int64_t end,
   if (opts.nested) {
     spec_for_nested(rt, ctx, begin, end, chunks, opts.model, body);
   } else {
-    spec_for(rt, ctx, begin, end, chunks, opts.model, body);
+    spec_for(rt, ctx, begin, end, chunks, opts.model, body,
+             opts.fork_latency, opts.fork_ns_scratch);
   }
 }
 

@@ -201,6 +201,9 @@ class Runtime {
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;
+    // Worker handoff spin budget; 0 calibrates a machine-appropriate value
+    // at first manager construction (see ManagerConfig).
+    int handoff_spin_budget = 0;
     // How long run() waits for a protocol violation (a fork the user never
     // joined) to drain before CHECK-failing instead of hanging.
     uint64_t missing_join_timeout_ns = 5'000'000'000ull;

@@ -57,6 +57,9 @@ class Interpreter {
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;
+    // Worker handoff spin budget; 0 calibrates at first manager
+    // construction (see ManagerConfig::handoff_spin_budget).
+    int handoff_spin_budget = 0;
   };
 
   Interpreter(ir::Module module, const Options& opt);

@@ -19,16 +19,43 @@ void accumulate_buffer_stats(ThreadData& td) {
   td.stats.buffer.alloc_events += td.arena.epoch_heap_allocs();
 }
 
-// Iterations a worker spins on the handoff flag before parking on its
-// condvar: 64 pause instructions, then OS-thread yields (see
-// spin_until_bounded). Generous enough that a forker running ahead of its
-// workers never pays a futex wakeup, short enough that an idle pool is off
-// the scheduler within microseconds.
-constexpr int kHandoffSpinBudget = 256;
+// One-shot calibration probe behind resolve_handoff_spin_budget(): times a
+// burst of spin iterations (the same pause-then-yield ladder
+// spin_until_bounded runs, predicate cost included) and sizes the budget
+// so a worker spins ~4µs before parking. The old fixed count of 256 was
+// tuned on one machine: on hosts where cpu_relax degrades to a sched_yield
+// syscall the same count spun for milliseconds, and on fast cores it
+// covered well under a microsecond of forker lead.
+int measure_spin_budget() {
+  constexpr int kProbeIters = 4096;
+  constexpr uint64_t kTargetNs = 4000;
+  std::atomic<bool> never{false};
+  uint64_t t0 = now_ns();
+  spin_until_bounded([&] { return never.load(std::memory_order_seq_cst); },
+                     kProbeIters);
+  uint64_t elapsed = now_ns() - t0;
+  if (elapsed == 0) elapsed = 1;
+  double ns_per_iter = static_cast<double>(elapsed) / kProbeIters;
+  int budget = static_cast<int>(static_cast<double>(kTargetNs) / ns_per_iter);
+  if (budget < 64) budget = 64;
+  if (budget > 8192) budget = 8192;
+  return budget;
+}
 
 }  // namespace
 
-ThreadManager::ThreadManager(const ManagerConfig& config) : config_(config) {
+int resolve_handoff_spin_budget(int configured) {
+  if (configured > 0) return configured;
+  // Memoized: one probe per process, shared by every manager (the property
+  // being measured — spin iteration cost — is per-machine, not per-run).
+  static const int calibrated = measure_spin_budget();
+  return calibrated;
+}
+
+ThreadManager::ThreadManager(const ManagerConfig& config)
+    : config_(config),
+      handoff_spin_budget_(
+          resolve_handoff_spin_budget(config.handoff_spin_budget)) {
   MUTLS_CHECK(config_.num_cpus >= 1, "need at least one virtual CPU");
   root_.rank = 0;
   root_.lbuf.init(config_.register_slots);
@@ -184,7 +211,7 @@ void ThreadManager::worker_loop(Cpu& c) {
               return c.has_task.load(std::memory_order_seq_cst) ||
                      c.shutdown.load(std::memory_order_seq_cst);
             },
-            kHandoffSpinBudget)) {
+            handoff_spin_budget_)) {
       std::unique_lock lock(c.mu);
       c.parked.store(true, std::memory_order_seq_cst);
       c.cv.wait(lock, [&] {

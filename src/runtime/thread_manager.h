@@ -70,6 +70,16 @@ struct ManagerConfig {
   // raise it for workloads with genuinely long check-point-free stretches.
   // 0 waits forever.
   uint64_t discard_settle_timeout_ns = 30'000'000'000ull;
+
+  // Iterations a worker spins on the handoff flag before parking on its
+  // condvar. 0 (the default) calibrates at first manager construction: a
+  // one-shot probe times the spin primitive on this machine and sizes the
+  // budget to ~4µs of spinning — long enough that a forker running ahead
+  // of its workers never pays a futex wakeup, short enough that an idle
+  // pool is off the scheduler within microseconds regardless of how the
+  // host implements cpu_relax (pause vs yield changes the per-iteration
+  // cost by orders of magnitude, which is why a fixed count was wrong).
+  int handoff_spin_budget = 0;
 };
 
 // The one mapping from an embedding's options struct (Runtime::Options,
@@ -89,8 +99,14 @@ ManagerConfig manager_config_from(const Opts& opt, int register_slots) {
   c.rollback_probability = opt.rollback_probability;
   c.seed = opt.seed;
   c.model_override = opt.model_override;
+  c.handoff_spin_budget = opt.handoff_spin_budget;
   return c;
 }
+
+// The handoff spin budget a manager with this config will run with: the
+// explicit value, or the memoized calibration probe's (see
+// ManagerConfig::handoff_spin_budget). Exposed for tests and diagnostics.
+int resolve_handoff_spin_budget(int configured);
 
 class ThreadManager {
  public:
@@ -207,6 +223,10 @@ class ThreadManager {
 
   int num_cpus() const { return config_.num_cpus; }
 
+  // The spin budget workers actually use (calibrated when the config said
+  // 0; see resolve_handoff_spin_budget).
+  int handoff_spin_budget() const { return handoff_spin_budget_; }
+
  private:
   struct Cpu {
     ThreadData data;
@@ -287,6 +307,7 @@ class ThreadManager {
   }
 
   ManagerConfig config_;
+  int handoff_spin_budget_ = 0;  // resolved at construction
   std::vector<std::unique_ptr<Cpu>> cpus_;
   ThreadData root_;
 

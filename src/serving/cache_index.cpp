@@ -1,0 +1,55 @@
+#include "serving/cache_index.h"
+
+#include "api/spec.h"
+#include "workloads/workload.h"
+
+namespace mutls::serving {
+
+namespace {
+std::vector<uint64_t> make_slots(size_t capacity_log2) {
+  MUTLS_CHECK(capacity_log2 >= 1 && capacity_log2 <= 28,
+              "cache capacity_log2 out of range");
+  return std::vector<uint64_t>((size_t{1} << capacity_log2) *
+                               CacheIndex::kWordsPerEntry);
+}
+}  // namespace
+
+CacheIndex::CacheIndex(Runtime& rt, size_t capacity_log2)
+    : rt_(&rt),
+      capacity_(size_t{1} << capacity_log2),
+      mask_(capacity_ - 1),
+      slots_(make_slots(capacity_log2)) {
+  rt_->register_memory(slots_.data(), slots_.size() * sizeof(uint64_t));
+}
+
+CacheIndex::CacheIndex(size_t capacity_log2)
+    : rt_(nullptr),
+      capacity_(size_t{1} << capacity_log2),
+      mask_(capacity_ - 1),
+      slots_(make_slots(capacity_log2)) {}
+
+CacheIndex::~CacheIndex() {
+  if (rt_ != nullptr) {
+    rt_->unregister_memory(slots_.data(), slots_.size() * sizeof(uint64_t));
+  }
+}
+
+size_t CacheIndex::live_entries() const {
+  size_t n = 0;
+  for (size_t slot = 0; slot < capacity_; ++slot) {
+    if (slots_[slot * kWordsPerEntry + kKeyWord] != kEmptyKey) ++n;
+  }
+  return n;
+}
+
+uint64_t CacheIndex::checksum() const {
+  uint64_t h = workloads::hash_begin();
+  for (uint64_t w : slots_) h = workloads::hash_mix(h, w);
+  return h;
+}
+
+void CacheIndex::clear() {
+  std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+}  // namespace mutls::serving

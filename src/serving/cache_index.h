@@ -1,0 +1,185 @@
+// Shared, speculation-visible cache index for the serving subsystem.
+//
+// An open-addressed hash index mapping cache keys to {hit count, freshness
+// epoch, byte size} — the metadata a web cache touches on every request
+// (squid/lusca keep exactly this triple hot in StoreEntry). The slot array
+// is registered runtime memory, and the speculative accessors route every
+// word through `Ctx`, so two speculative handlers touching the same key
+// conflict through the buffer map exactly like a real shared cache: GETs
+// are read-mostly but bump the hit count (a write!), PUTs insert or evict.
+// Zipf-skewed traffic concentrates keys and therefore conflicts — the knob
+// the sustained-load bench sweeps.
+//
+// Probe/update logic is one template over a word accessor; the sequential
+// reference (`*_seq`) and the routed speculative path instantiate the same
+// code, so their decisions (probe order, eviction victim) are identical by
+// construction and seq/spec checksum equality is a real invariant, not a
+// hope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/ctx.h"
+#include "support/check.h"
+
+namespace mutls {
+class Runtime;
+}
+
+namespace mutls::serving {
+
+class CacheIndex {
+ public:
+  // Linear-probe window: a key lives within kProbeWindow slots of its home
+  // slot or not at all. A full window evicts the coldest entry in it
+  // (second pass over the hit counts), which keeps the speculative
+  // read/write footprint of one request bounded.
+  static constexpr size_t kProbeWindow = 16;
+  // Slot layout: 4 words per entry.
+  static constexpr size_t kWordsPerEntry = 4;
+  static constexpr size_t kKeyWord = 0;
+  static constexpr size_t kHitsWord = 1;
+  static constexpr size_t kEpochWord = 2;
+  static constexpr size_t kSizeWord = 3;
+  // Key word 0 marks an empty slot; client keys must be nonzero.
+  static constexpr uint64_t kEmptyKey = 0;
+
+  // Speculation-visible index: the slot array is registered with `rt` for
+  // the object's lifetime.
+  CacheIndex(Runtime& rt, size_t capacity_log2);
+  // Sequential-only index (no registration): for the seq reference run and
+  // parser-free unit tests. Only the *_seq accessors may be used.
+  explicit CacheIndex(size_t capacity_log2);
+  ~CacheIndex();
+
+  CacheIndex(const CacheIndex&) = delete;
+  CacheIndex& operator=(const CacheIndex&) = delete;
+
+  struct GetResult {
+    bool hit = false;
+    uint64_t byte_size = 0;
+  };
+
+  // Looks `key` up; on a hit, bumps the entry's hit count (the write that
+  // makes even a read-mostly workload conflict under speculation).
+  GetResult get(Ctx& ctx, uint64_t key) {
+    return get_impl(RoutedAcc{ctx, slots_.data()}, key);
+  }
+  GetResult get_seq(uint64_t key) {
+    return get_impl(DirectAcc{slots_.data()}, key);
+  }
+
+  // Inserts or refreshes `key` with the given size and freshness epoch.
+  // Returns true when an existing (different) entry was evicted for it.
+  bool put(Ctx& ctx, uint64_t key, uint64_t byte_size, uint64_t epoch) {
+    return put_impl(RoutedAcc{ctx, slots_.data()}, key, byte_size, epoch);
+  }
+  bool put_seq(uint64_t key, uint64_t byte_size, uint64_t epoch) {
+    return put_impl(DirectAcc{slots_.data()}, key, byte_size, epoch);
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Occupied slots (direct scan; call outside runs).
+  size_t live_entries() const;
+  // Order-independent-free content digest (direct scan; call outside runs).
+  // Equal checksums mean bit-identical slot arrays.
+  uint64_t checksum() const;
+  void clear();
+
+  // Home-slot hash (splitmix64 finalizer).
+  static uint64_t hash_key(uint64_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  // Word accessors the probe templates are instantiated over. Indices are
+  // words into the flat slot array.
+  struct DirectAcc {
+    uint64_t* base;
+    uint64_t load(size_t w) const { return base[w]; }
+    void store(size_t w, uint64_t v) const { base[w] = v; }
+  };
+  struct RoutedAcc {
+    Ctx& ctx;
+    uint64_t* base;
+    uint64_t load(size_t w) const { return ctx.load(base + w); }
+    void store(size_t w, uint64_t v) const { ctx.store(base + w, v); }
+  };
+
+  size_t home_slot(uint64_t key) const {
+    return static_cast<size_t>(hash_key(key)) & mask_;
+  }
+  size_t slot_word(size_t slot, size_t field) const {
+    return slot * kWordsPerEntry + field;
+  }
+
+  template <typename Acc>
+  GetResult get_impl(Acc acc, uint64_t key) {
+    MUTLS_DCHECK(key != kEmptyKey, "cache keys must be nonzero");
+    size_t home = home_slot(key);
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      size_t slot = (home + i) & mask_;
+      uint64_t k = acc.load(slot_word(slot, kKeyWord));
+      if (k == key) {
+        size_t hits_w = slot_word(slot, kHitsWord);
+        acc.store(hits_w, acc.load(hits_w) + 1);
+        return GetResult{true, acc.load(slot_word(slot, kSizeWord))};
+      }
+      // Inserts take the first empty slot in the window, so an empty slot
+      // here proves the key is absent.
+      if (k == kEmptyKey) break;
+    }
+    return GetResult{};
+  }
+
+  template <typename Acc>
+  bool put_impl(Acc acc, uint64_t key, uint64_t byte_size, uint64_t epoch) {
+    MUTLS_DCHECK(key != kEmptyKey, "cache keys must be nonzero");
+    size_t home = home_slot(key);
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      size_t slot = (home + i) & mask_;
+      uint64_t k = acc.load(slot_word(slot, kKeyWord));
+      if (k == key) {  // refresh in place, hit count survives
+        acc.store(slot_word(slot, kEpochWord), epoch);
+        acc.store(slot_word(slot, kSizeWord), byte_size);
+        return false;
+      }
+      if (k == kEmptyKey) {
+        acc.store(slot_word(slot, kKeyWord), key);
+        acc.store(slot_word(slot, kHitsWord), 0);
+        acc.store(slot_word(slot, kEpochWord), epoch);
+        acc.store(slot_word(slot, kSizeWord), byte_size);
+        return false;
+      }
+    }
+    // Window full of other keys: evict the coldest (lowest hit count,
+    // lowest probe index on ties — deterministic, so seq and spec pick the
+    // same victim).
+    size_t victim = home & mask_;
+    uint64_t victim_hits = UINT64_MAX;
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      size_t slot = (home + i) & mask_;
+      uint64_t hits = acc.load(slot_word(slot, kHitsWord));
+      if (hits < victim_hits) {
+        victim_hits = hits;
+        victim = slot;
+      }
+    }
+    acc.store(slot_word(victim, kKeyWord), key);
+    acc.store(slot_word(victim, kHitsWord), 0);
+    acc.store(slot_word(victim, kEpochWord), epoch);
+    acc.store(slot_word(victim, kSizeWord), byte_size);
+    return true;
+  }
+
+  Runtime* rt_;  // null for the sequential-only variant
+  size_t capacity_;
+  size_t mask_;
+  std::vector<uint64_t> slots_;
+};
+
+}  // namespace mutls::serving

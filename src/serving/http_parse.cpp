@@ -1,0 +1,221 @@
+#include "serving/http_parse.h"
+
+#include <cstring>
+
+namespace mutls::serving {
+
+namespace {
+
+// RFC 9110 tchar: the characters legal in a token (methods, header names).
+constexpr bool is_tchar(char c) {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Legal in a request target (origin-form): visible ASCII except SP; the
+// target grammar proper is stricter, but excluding CTLs and whitespace is
+// what keeps the parse single-pass and bounded.
+constexpr bool is_target_char(char c) {
+  return c > ' ' && c != 0x7f;
+}
+
+// Legal in a header value: visible ASCII, SP and HTAB (obs-text excluded —
+// the serving path has no use for it and rejecting keeps values clean).
+constexpr bool is_value_char(char c) {
+  return c == '\t' || (c >= ' ' && c != 0x7f);
+}
+
+constexpr bool is_ows(char c) { return c == ' ' || c == '\t'; }
+
+bool ascii_iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char x = a[i], y = b[i];
+    if (x >= 'A' && x <= 'Z') x = static_cast<char>(x - 'A' + 'a');
+    if (y >= 'A' && y <= 'Z') y = static_cast<char>(y - 'A' + 'a');
+    if (x != y) return false;
+  }
+  return true;
+}
+
+Method method_of(std::string_view token) {
+  if (token == "GET") return Method::kGet;
+  if (token == "PUT") return Method::kPut;
+  if (token == "POST") return Method::kPost;
+  if (token == "HEAD") return Method::kHead;
+  if (token == "DELETE") return Method::kDelete;
+  return Method::kOther;
+}
+
+// One CRLF-terminated line starting at `pos`. Returns kOk with the line
+// content (CRLF excluded) and advances pos past the CRLF; kIncomplete when
+// the buffer ends before the CRLF; kMalformed on a bare LF, a stray CR or
+// a line exceeding kMaxLine.
+ParseStatus take_line(std::string_view buf, size_t* pos,
+                      std::string_view* line) {
+  size_t start = *pos;
+  size_t limit = buf.size();
+  if (limit - start > kMaxLine) limit = start + kMaxLine;
+  for (size_t i = start; i < limit; ++i) {
+    char c = buf[i];
+    if (c == '\r') {
+      if (i + 1 >= buf.size()) return ParseStatus::kIncomplete;
+      if (buf[i + 1] != '\n') return ParseStatus::kMalformed;
+      *line = buf.substr(start, i - start);
+      *pos = i + 2;
+      return ParseStatus::kOk;
+    }
+    if (c == '\n') return ParseStatus::kMalformed;  // bare LF
+  }
+  // No terminator within the window: past kMaxLine it can never become
+  // well-formed, otherwise more bytes could still complete the line.
+  return limit < buf.size() ? ParseStatus::kMalformed
+                            : ParseStatus::kIncomplete;
+}
+
+bool all_of(std::string_view s, bool (*pred)(char)) {
+  for (char c : s) {
+    if (!pred(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPut: return "PUT";
+    case Method::kPost: return "POST";
+    case Method::kDelete: return "DELETE";
+    case Method::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+std::string_view ParsedRequest::header_value(std::string_view name) const {
+  for (size_t i = 0; i < header_count; ++i) {
+    if (ascii_iequals(header(i).name, name)) return header(i).value;
+  }
+  return {};
+}
+
+bool ParsedRequest::has_header(std::string_view name) const {
+  for (size_t i = 0; i < header_count; ++i) {
+    if (ascii_iequals(header(i).name, name)) return true;
+  }
+  return false;
+}
+
+ParseStatus parse_request(std::string_view buf, ParsedRequest& out,
+                          Arena* arena) {
+  out = ParsedRequest{};
+  auto fail = [&](ParseStatus s) {
+    out = ParsedRequest{};
+    out.status = s;
+    return s;
+  };
+
+  // --- request line: METHOD SP TARGET SP VERSION CRLF ---
+  size_t pos = 0;
+  std::string_view line;
+  ParseStatus s = take_line(buf, &pos, &line);
+  if (s != ParseStatus::kOk) return fail(s);
+
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return fail(ParseStatus::kMalformed);
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return fail(ParseStatus::kMalformed);
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+
+  if (method.empty() || !all_of(method, is_tchar)) {
+    return fail(ParseStatus::kMalformed);
+  }
+  // Origin-form target only: "/path[?query]". (The single-SP splits above
+  // already reject "GET  /x" — the double space yields an empty target.)
+  if (target.empty() || target[0] != '/' ||
+      !all_of(target, is_target_char)) {
+    return fail(ParseStatus::kMalformed);
+  }
+  // HTTP/1.x exactly: 8 chars, fixed prefix, one digit minor.
+  if (version.size() != 8 || version.substr(0, 7) != "HTTP/1." ||
+      version[7] < '0' || version[7] > '9') {
+    return fail(ParseStatus::kMalformed);
+  }
+
+  out.method_text = method;
+  out.method = method_of(method);
+  out.target = target;
+  size_t q = target.find('?');
+  out.path = q == std::string_view::npos ? target : target.substr(0, q);
+  out.query = q == std::string_view::npos ? std::string_view{}
+                                          : target.substr(q + 1);
+  out.version = version;
+
+  // --- header fields until the empty line ---
+  while (true) {
+    s = take_line(buf, &pos, &line);
+    if (s != ParseStatus::kOk) return fail(s);
+    if (line.empty()) break;  // CRLF CRLF: end of head
+
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(ParseStatus::kMalformed);
+    }
+    std::string_view name = line.substr(0, colon);
+    // No whitespace between the field name and the colon (RFC 9112 §5.1
+    // MUST-reject: response-splitting hygiene).
+    if (!all_of(name, is_tchar)) return fail(ParseStatus::kMalformed);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && is_ows(value.front())) value.remove_prefix(1);
+    while (!value.empty() && is_ows(value.back())) value.remove_suffix(1);
+    if (!all_of(value, is_value_char)) return fail(ParseStatus::kMalformed);
+
+    if (out.header_count == kMaxHeaders) return fail(ParseStatus::kMalformed);
+    if (out.header_count == kInlineHeaders && out.spill_ == nullptr) {
+      if (arena == nullptr) {
+        // No spill storage: bound the header set at the inline capacity
+        // (431 Request Header Fields Too Large, in parser form).
+        return fail(ParseStatus::kMalformed);
+      }
+      auto* spill = static_cast<HeaderField*>(
+          arena->alloc(kMaxHeaders * sizeof(HeaderField),
+                       alignof(HeaderField)));
+      std::memcpy(spill, out.inline_, sizeof(out.inline_));
+      out.spill_ = spill;
+    }
+    HeaderField* fields = out.spill_ ? out.spill_ : out.inline_;
+    fields[out.header_count++] = HeaderField{name, value};
+  }
+
+  out.consumed = pos;
+  out.status = ParseStatus::kOk;
+  return ParseStatus::kOk;
+}
+
+bool parse_decimal(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace mutls::serving

@@ -1,0 +1,104 @@
+// Zero-copy HTTP/1.1 request-head parser for the serving subsystem.
+//
+// parse_request() reads one request head (request line + header fields +
+// the terminating empty line) out of a caller-owned buffer and fills a
+// ParsedRequest whose every string_view points back INTO that buffer: the
+// parse path performs no allocation and no copying. Header sets larger
+// than the inline capacity spill into a caller-provided Arena (the
+// virtual-CPU slot's arena on the speculative serve path, reclaimed at the
+// epoch's rearm), so even pathological requests stay off the global heap.
+//
+// The grammar is the origin-form RFC 9112 request head, strict where
+// laxness would hide bugs (CRLF line endings only, single spaces in the
+// request line, no whitespace before the header colon) and bounded
+// everywhere (line length, header count) so a hostile buffer cannot make
+// the parser scan unbounded memory. The parser never reads past
+// buf.size() — the serving_test property suite runs it against
+// exactly-sized heap buffers under ASan to hold that line.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/arena.h"
+
+namespace mutls::serving {
+
+enum class Method : uint8_t {
+  kGet,
+  kHead,
+  kPut,
+  kPost,
+  kDelete,
+  kOther,  // syntactically valid token that is none of the above
+};
+
+const char* method_name(Method m);
+
+enum class ParseStatus : uint8_t {
+  kOk,          // a complete, well-formed request head was consumed
+  kIncomplete,  // the buffer ends before the head does (torn read)
+  kMalformed,   // protocol violation; the buffer can only be rejected
+};
+
+struct HeaderField {
+  std::string_view name;   // as written (header names are case-insensitive)
+  std::string_view value;  // OWS-trimmed
+};
+
+// Hard parser bounds. A request line or header line longer than kMaxLine,
+// or more than kMaxHeaders fields, is malformed — bounding what one
+// request can make the parser (and any arena spill) do.
+inline constexpr size_t kMaxLine = 8192;
+inline constexpr size_t kMaxHeaders = 64;
+// Header fields stored inline in the ParsedRequest itself; fields beyond
+// this spill into the arena passed to parse_request.
+inline constexpr size_t kInlineHeaders = 8;
+
+struct ParsedRequest {
+  ParseStatus status = ParseStatus::kIncomplete;
+  Method method = Method::kOther;
+  std::string_view method_text;  // the raw method token
+  std::string_view target;       // full request target (path + query)
+  std::string_view path;         // target up to '?'
+  std::string_view query;        // after '?', empty when absent
+  std::string_view version;      // "HTTP/1.0" or "HTTP/1.1"
+  size_t header_count = 0;
+  // Bytes of the buffer consumed by the head, including the terminating
+  // CRLFCRLF; only meaningful when status == kOk (a body would start here).
+  size_t consumed = 0;
+
+  // Header field i of [0, header_count). Storage is the inline array until
+  // it fills, then the arena spill block (valid for the arena's epoch).
+  const HeaderField& header(size_t i) const {
+    return (spill_ ? spill_ : inline_)[i];
+  }
+
+  // Case-insensitive lookup of the first field with this name; empty view
+  // when absent. (An empty *value* is legal HTTP — use has_header to tell
+  // the cases apart when it matters.)
+  std::string_view header_value(std::string_view name) const;
+  bool has_header(std::string_view name) const;
+
+  // True when the header fields outgrew the inline array (testing seam).
+  bool spilled() const { return spill_ != nullptr; }
+
+ private:
+  friend ParseStatus parse_request(std::string_view, ParsedRequest&, Arena*);
+  HeaderField inline_[kInlineHeaders];
+  HeaderField* spill_ = nullptr;
+};
+
+// Parses one request head from `buf`. Every view in `out` aliases `buf`;
+// the caller owns both the buffer and (via `arena`) any spill storage.
+// With a null arena, requests with more than kInlineHeaders fields are
+// rejected as malformed (the 431-style bound) instead of spilling.
+// Returns out.status for convenience.
+ParseStatus parse_request(std::string_view buf, ParsedRequest& out,
+                          Arena* arena = nullptr);
+
+// Parses a non-negative decimal integer (e.g. a Content-Length value).
+// Returns false on empty input, non-digits or overflow.
+bool parse_decimal(std::string_view s, uint64_t* out);
+
+}  // namespace mutls::serving

@@ -1,0 +1,97 @@
+#include "serving/request_gen.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mutls::serving {
+
+namespace {
+
+// Deterministic payload size for a PUT of `key`: 64..4159 bytes, mixed so
+// neighbouring keys differ.
+uint64_t body_bytes_for(uint64_t key) {
+  uint64_t z = key * 0x9e3779b97f4a7c15ull;
+  z ^= z >> 29;
+  return 64 + (z & 4095);
+}
+
+}  // namespace
+
+RequestGen::RequestGen(const TrafficConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      zipf_(cfg.num_keys, cfg.zipf_s > 0.0 ? cfg.zipf_s : 1.0) {
+  MUTLS_CHECK(cfg.num_keys >= 1, "traffic needs at least one key");
+  MUTLS_CHECK(cfg.put_ratio >= 0.0 && cfg.put_ratio <= 1.0 &&
+                  cfg.malformed_ratio >= 0.0 && cfg.malformed_ratio <= 1.0,
+              "traffic ratios must be in [0, 1]");
+}
+
+size_t RequestGen::generate(char* buf, size_t cap) {
+  MUTLS_CHECK(cap >= kMaxRequestBytes, "request buffer too small");
+  uint64_t key = cfg_.zipf_s > 0.0 ? zipf_.sample(rng_)
+                                   : 1 + rng_.next_below(cfg_.num_keys);
+  bool is_put = rng_.bernoulli(cfg_.put_ratio);
+  last_ = Shape{};
+  last_.is_put = is_put;
+  last_.key = key;
+
+  int n;
+  if (is_put) {
+    last_.content_length = body_bytes_for(key);
+    n = std::snprintf(buf, cap,
+                      "PUT /cache/items/%llu HTTP/1.1\r\n"
+                      "Host: bench.local\r\n"
+                      "Content-Length: %llu\r\n"
+                      "\r\n",
+                      static_cast<unsigned long long>(key),
+                      static_cast<unsigned long long>(last_.content_length));
+  } else {
+    n = std::snprintf(buf, cap,
+                      "GET /cache/items/%llu HTTP/1.1\r\n"
+                      "Host: bench.local\r\n"
+                      "Accept: */*\r\n"
+                      "\r\n",
+                      static_cast<unsigned long long>(key));
+  }
+  MUTLS_CHECK(n > 0 && static_cast<size_t>(n) < cap,
+              "generated request overflowed its slot");
+  size_t len = static_cast<size_t>(n);
+
+  if (cfg_.malformed_ratio > 0.0 && rng_.bernoulli(cfg_.malformed_ratio)) {
+    last_.corrupted = true;
+    switch (rng_.next_below(5)) {
+      case 0:  // torn read: truncate mid-head
+        len = 1 + rng_.next_below(len - 1);
+        break;
+      case 1:  // leading space: empty method token
+        buf[0] = ' ';
+        break;
+      case 2: {  // mangle the version field
+        char* v = std::strstr(buf, "HTTP/");
+        v[5] = 'X';
+        break;
+      }
+      case 3: {  // drop the first header colon
+        char* c = static_cast<char*>(std::memchr(buf, ':', len));
+        if (c != nullptr) *c = ' ';
+        break;
+      }
+      case 4: {  // bare LF line ending
+        char* cr = static_cast<char*>(std::memchr(buf, '\r', len));
+        if (cr != nullptr) *cr = '\n';
+        break;
+      }
+    }
+  }
+  return len;
+}
+
+void RequestGen::fill(RequestBatch& batch) {
+  for (size_t i = 0; i < batch.count(); ++i) {
+    batch.len_[i] =
+        static_cast<uint32_t>(generate(batch.slot(i), kMaxRequestBytes));
+  }
+}
+
+}  // namespace mutls::serving

@@ -1,0 +1,94 @@
+// Deterministic synthetic HTTP traffic for the serving benches and tests.
+//
+// RequestGen writes wire-format request heads (the same bytes a socket
+// would deliver) into caller-owned fixed storage: a RequestBatch is
+// allocated once and refilled in place, so sustained generation allocates
+// nothing. The stream is fully determined by TrafficConfig::seed — the
+// sequential reference run and the speculative run replay the identical
+// byte stream, which is what makes their cache-index checksums comparable.
+//
+// Knobs: key skew (uniform or Zipf — hot keys concentrate cache-index
+// conflicts), GET/PUT mix (PUTs insert/evict, widening the write
+// footprint), and a malformed-injection ratio (corrupted heads the parse
+// stage must reject without ever reading past the buffer).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "serving/http_parse.h"
+#include "support/prng.h"
+
+namespace mutls::serving {
+
+// Upper bound on one generated request head; RequestBatch reserves this
+// much per slot. Generated heads are well under it — the bound exists so
+// batch storage is a flat fixed-size array.
+inline constexpr size_t kMaxRequestBytes = 192;
+
+struct TrafficConfig {
+  uint64_t num_keys = 4096;
+  // Zipf exponent of the key distribution; 0 disables the sampler and
+  // draws keys uniformly.
+  double zipf_s = 0.0;
+  double put_ratio = 0.125;
+  double malformed_ratio = 0.0;
+  uint64_t seed = 1;
+};
+
+// Fixed-storage batch of request buffers, refilled in place by
+// RequestGen::fill. Construction allocates; fills never do.
+class RequestBatch {
+ public:
+  explicit RequestBatch(size_t count)
+      : count_(count), len_(count, 0), bytes_(count * kMaxRequestBytes, 0) {}
+
+  size_t count() const { return count_; }
+  std::string_view request(size_t i) const {
+    MUTLS_DCHECK(i < count_, "RequestBatch index out of range");
+    return std::string_view(bytes_.data() + i * kMaxRequestBytes, len_[i]);
+  }
+
+ private:
+  friend class RequestGen;
+  char* slot(size_t i) { return bytes_.data() + i * kMaxRequestBytes; }
+
+  size_t count_;
+  std::vector<uint32_t> len_;
+  std::vector<char> bytes_;
+};
+
+class RequestGen {
+ public:
+  explicit RequestGen(const TrafficConfig& cfg);
+
+  // Writes the next request head into buf (capacity >= kMaxRequestBytes)
+  // and returns its length. Advances the deterministic stream by exactly
+  // the consumed rng draws.
+  size_t generate(char* buf, size_t cap);
+
+  // Refills every slot of `batch` with the next batch.count() requests.
+  void fill(RequestBatch& batch);
+
+  // Shape of the most recently generated request, for test oracles.
+  // `corrupted` requests were damaged after generation and must NOT parse
+  // to kOk; the other fields describe the pre-corruption request.
+  struct Shape {
+    bool corrupted = false;
+    bool is_put = false;
+    uint64_t key = 0;
+    uint64_t content_length = 0;  // PUTs only
+  };
+  const Shape& last() const { return last_; }
+
+  const TrafficConfig& config() const { return cfg_; }
+
+ private:
+  TrafficConfig cfg_;
+  Xorshift64 rng_;
+  Zipf zipf_;  // consulted only when cfg_.zipf_s > 0
+  Shape last_;
+};
+
+}  // namespace mutls::serving

@@ -1,0 +1,84 @@
+// Route table of the serving subsystem: maps request paths to route ids.
+//
+// Routes are installed once at server construction (setup-time allocation
+// is fine; the match path allocates nothing) and matched per request:
+// exact routes win over prefix routes, and among matching prefixes the
+// longest wins — the rule every production router (nginx location, squid
+// acl) converges on. The table is immutable during serving, so concurrent
+// speculative handlers read it as plain shared data with no registration.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mutls::serving {
+
+class RouteTable {
+ public:
+  static constexpr int kNoRoute = -1;
+
+  // Returns the route id (dense, starting at 0) for use as a handler
+  // index. Ids are assigned in registration order across both kinds.
+  int add_exact(std::string_view path) { return add(path, /*prefix=*/false); }
+  int add_prefix(std::string_view prefix) { return add(prefix, true); }
+
+  struct Match {
+    int route = kNoRoute;
+    // The target suffix after the matched prefix ("/cache/items/42"
+    // against prefix "/cache/items/" leaves "42"); empty for exact
+    // matches and misses.
+    std::string_view rest;
+  };
+
+  Match match(std::string_view path) const {
+    Match best;
+    size_t best_len = 0;
+    bool best_exact = false;
+    for (const Rule& r : rules_) {
+      if (!r.prefix) {
+        if (path == r.pattern) {
+          best = Match{r.id, {}};
+          best_exact = true;
+          // Exact beats everything; rules are unique, stop scanning.
+          break;
+        }
+        continue;
+      }
+      if (!best_exact && path.size() >= r.pattern.size() &&
+          path.substr(0, r.pattern.size()) == r.pattern &&
+          r.pattern.size() >= best_len) {
+        best = Match{r.id, path.substr(r.pattern.size())};
+        best_len = r.pattern.size();
+      }
+    }
+    return best;
+  }
+
+  size_t size() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    std::string pattern;
+    bool prefix;
+    int id;
+  };
+
+  int add(std::string_view pattern, bool prefix) {
+    MUTLS_CHECK(!pattern.empty() && pattern.front() == '/',
+                "routes must be absolute paths");
+    for (const Rule& r : rules_) {
+      MUTLS_CHECK(r.prefix != prefix || r.pattern != pattern,
+                  "duplicate route registration");
+    }
+    int id = static_cast<int>(rules_.size());
+    rules_.push_back(Rule{std::string(pattern), prefix, id});
+    return id;
+  }
+
+  std::vector<Rule> rules_;
+};
+
+}  // namespace mutls::serving

@@ -208,6 +208,25 @@ SimModel model_tsp(int n, int cutoff, double leaf_us) {
   return m;
 }
 
+SimModel model_http_serving(int batches, int chunks, int requests_per_chunk,
+                            double us_per_request) {
+  SimModel m;
+  // Every index probe and outcome store is buffered; parse/route are plain
+  // reads of the request bytes.
+  m.spec_work_factor = 1.3;
+  // Per request: ~4 probed words on the lookup side, ~2 written (hit count
+  // or inserted entry, plus the outcome word).
+  double reads = 4.0 * requests_per_chunk;
+  double writes = 2.0 * requests_per_chunk;
+  for (int b = 0; b < batches; ++b) {
+    SimNode* chain =
+        build_chain(m, chunks, us_per_request * requests_per_chunk, reads,
+                    writes);
+    m.phases.push_back(chain);
+  }
+  return m;
+}
+
 const std::vector<NamedModel>& paper_models() {
   static const std::vector<NamedModel> kModels = {
       {"3x+1", [] { return model_threex(); }, true},

@@ -51,6 +51,14 @@ SimModel model_nqueen(int n = 14, int cutoff = 3, double leaf_us = 900);
 // tsp: same DFS skeleton with factorial branching (paper: 12 cities).
 SimModel model_tsp(int n = 12, int cutoff = 3, double leaf_us = 450);
 
+// http-serving: batches of request chunks against a shared cache index —
+// the server-shaped workload (src/serving/). Tiny per-chunk work relative
+// to fork cost and a buffered footprint of a few index words per request;
+// not part of Table II (paper_models() stays the paper's suite).
+SimModel model_http_serving(int batches = 64, int chunks = 8,
+                            int requests_per_chunk = 32,
+                            double us_per_request = 1.5);
+
 struct NamedModel {
   const char* name;
   SimModel (*build)();

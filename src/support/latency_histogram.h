@@ -1,0 +1,126 @@
+// Log-bucketed latency histogram (HDR-histogram style) for the
+// sustained-load serving harness: fixed storage, no allocation per sample,
+// ~3% relative value resolution across the full uint64 nanosecond range.
+//
+// Percentile benches record one sample per fork-to-settle round trip — at
+// hundreds of thousands per second, so record() must be a handful of bit
+// operations on in-object storage. Values bucket by (octave, 5-bit
+// sub-bucket): every power-of-two range splits into 32 linear sub-buckets,
+// bounding the relative error of any reported percentile at 1/32. The
+// whole histogram is one flat array — memset-clearable, mergeable across
+// sweep cells, trivially copyable.
+//
+// Not thread-safe by design (like TimeLedger): the joiner thread owns the
+// histogram and records at each settle it observes; merge() combines
+// per-thread or per-cell histograms afterwards.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace mutls {
+
+class LatencyHistogram {
+ public:
+  // 32 linear sub-buckets per octave: ~3.1% worst-case relative error.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  // Values below kSubBuckets map identity (exact); each of the remaining
+  // 64 - kSubBits octaves contributes kSubBuckets buckets.
+  static constexpr int kBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  void record(uint64_t value) {
+    ++counts_[bucket_of(value)];
+    ++total_;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  uint64_t count() const { return total_; }
+  uint64_t min() const { return total_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+
+  // Value at quantile q in [0, 1] (q = 0.5 → p50, 0.999 → p999): the upper
+  // edge of the bucket holding the sample of rank ceil(q * count), i.e. at
+  // most ~3.1% above the true sample. 0 when empty. q = 0 reports min().
+  uint64_t percentile(double q) const {
+    if (total_ == 0) return 0;
+    if (q <= 0.0) return min();
+    if (q > 1.0) q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total_));
+    if (rank == 0) rank = 1;
+    if (rank > total_) rank = total_;
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += counts_[b];
+      if (cum >= rank) {
+        uint64_t edge = bucket_upper_edge(b);
+        // The top bucket's edge can overshoot the largest recorded sample;
+        // never report a percentile beyond the observed max.
+        return edge < max_ ? edge : max_;
+      }
+    }
+    return max_;
+  }
+
+  // Mean of bucket upper edges weighted by count — an upper estimate of
+  // the true mean with the same ~3.1% bound.
+  double mean() const {
+    if (total_ == 0) return 0.0;
+    double sum = 0.0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts_[b]) {
+        sum += static_cast<double>(counts_[b]) *
+               static_cast<double>(bucket_upper_edge(b));
+      }
+    }
+    return sum / static_cast<double>(total_);
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (int b = 0; b < kBuckets; ++b) counts_[b] += o.counts_[b];
+    total_ += o.total_;
+    if (o.total_) {
+      if (o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+  }
+
+  void clear() {
+    std::memset(counts_, 0, sizeof(counts_));
+    total_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+  }
+
+  // Exposed for the bucketing unit tests.
+  static int bucket_of(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    int exp = 63 - std::countl_zero(v);  // v >= 32, so exp >= kSubBits
+    int sub = static_cast<int>((v >> (exp - kSubBits)) & (kSubBuckets - 1));
+    return (exp - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  // Largest value mapping into bucket `b` (inclusive).
+  static uint64_t bucket_upper_edge(int b) {
+    MUTLS_DCHECK(b >= 0 && b < kBuckets, "histogram bucket out of range");
+    if (b < kSubBuckets) return static_cast<uint64_t>(b);
+    int exp = b / kSubBuckets - 1 + kSubBits;
+    int sub = b % kSubBuckets;
+    uint64_t base = (uint64_t{1} << exp) +
+                    (static_cast<uint64_t>(sub) << (exp - kSubBits));
+    uint64_t width = uint64_t{1} << (exp - kSubBits);
+    return base + width - 1;
+  }
+
+ private:
+  uint64_t counts_[kBuckets] = {};
+  uint64_t total_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace mutls

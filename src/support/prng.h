@@ -1,9 +1,13 @@
 // Deterministic per-thread PRNG used for rollback injection (paper Fig. 11)
 // and workload generation. xoshiro-style xorshift with splitmix seeding so
-// two runs with the same seed inject rollbacks at the same decisions.
+// two runs with the same seed inject rollbacks at the same decisions. The
+// Zipf sampler below drives the serving traffic generator's hot-key skew.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+
+#include "support/check.h"
 
 namespace mutls {
 
@@ -42,6 +46,101 @@ class Xorshift64 {
 
  private:
   uint64_t state_;
+};
+
+// Bounded Zipf(s) sampler over {1..n} by rejection inversion (Hörmann &
+// Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions"): P(k) ∝ k^-s. Inverting the integral of the
+// continuous majorizing density h(x) = x^-s needs no per-value tables, so
+// construction is O(1) and sampling is allocation-free with an expected
+// <2 rejection rounds for any s > 0 — including the serving benches'
+// adversarial hot-key skews (s ≈ 1, where naive inversion over precomputed
+// CDF tables would need all n harmonic partial sums). The three harmonic
+// integral terms that depend only on (n, s) are precomputed here.
+class Zipf {
+ public:
+  // `s` is the exponent (> 0); s → 0 approaches uniform, s ≥ 1 makes the
+  // first few keys dominate (s = 1.1 over 4k keys puts ~12% of all traffic
+  // on key 1).
+  Zipf(uint64_t n, double s) : n_(n), s_(s) {
+    MUTLS_CHECK(n >= 1, "Zipf needs a nonempty value range");
+    MUTLS_CHECK(s > 0.0, "Zipf exponent must be positive");
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n) + 0.5);
+    cutoff_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // One variate in [1, n]. Consumes a variable (expected < 2) number of
+  // rng draws; deterministic for a given rng state.
+  uint64_t sample(Xorshift64& rng) {
+    while (true) {
+      double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+      double x = h_integral_inverse(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) {
+        k = 1;
+      } else if (k > n_) {
+        k = n_;
+      }
+      // Accept k either inside the unconditional-acceptance band around
+      // the inverse (covers the tail, where h hugs the histogram) or by
+      // the exact rejection test against the majorizing integral.
+      if (static_cast<double>(k) - x <= cutoff_ ||
+          u >= h_integral(static_cast<double>(k) + 0.5) -
+                   h(static_cast<double>(k))) {
+        return k;
+      }
+    }
+  }
+
+  // Exact probability mass of value k (for distribution-shape tests):
+  // k^-s / H(n, s), with the generalized harmonic number summed directly.
+  double mass(uint64_t k) const {
+    MUTLS_DCHECK(k >= 1 && k <= n_, "Zipf::mass out of range");
+    double harmonic = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      harmonic += h(static_cast<double>(i));
+    }
+    return h(static_cast<double>(k)) / harmonic;
+  }
+
+ private:
+  // h(x) = x^-s, the continuous majorizing density.
+  double h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+  // ∫ h = (x^(1-s) - 1) / (1 - s), computed via expm1/log1p helpers so the
+  // s → 1 singularity degrades to log(x) smoothly instead of cancelling.
+  double h_integral(double x) const {
+    double log_x = std::log(x);
+    return expm1_over_x((1.0 - s_) * log_x) * log_x;
+  }
+
+  double h_integral_inverse(double x) const {
+    double t = x * (1.0 - s_);
+    if (t < -1.0) t = -1.0;  // numerical round-off guard near the tail
+    return std::exp(log1p_over_x(t) * x);
+  }
+
+  // expm1(x)/x and log1p(x)/x with their removable singularities at 0
+  // filled by the Taylor series (the |x| < 1e-8 window keeps double
+  // precision through the s ≈ 1 cancellation).
+  static double expm1_over_x(double x) {
+    if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+    return 1.0 + x * 0.5 * (1.0 + x / 3.0);
+  }
+  static double log1p_over_x(double x) {
+    if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+    return 1.0 - x * 0.5 * (1.0 - x * (2.0 / 3.0));
+  }
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;    // hIntegral(1.5) - 1: top of the inversion range
+  double h_n_;     // hIntegral(n + 0.5): bottom of the inversion range
+  double cutoff_;  // unconditional-acceptance band width
 };
 
 }  // namespace mutls

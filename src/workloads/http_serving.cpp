@@ -1,0 +1,69 @@
+#include "workloads/http_serving.h"
+
+namespace mutls::workloads {
+
+namespace {
+
+serving::TrafficConfig traffic_of(const HttpServing::Params& p) {
+  serving::TrafficConfig t;
+  t.num_keys = p.num_keys;
+  t.zipf_s = p.zipf_s;
+  t.put_ratio = p.put_ratio;
+  t.malformed_ratio = p.malformed_ratio;
+  t.seed = p.seed;
+  return t;
+}
+
+}  // namespace
+
+uint64_t HttpServing::digest(const serving::CacheIndex& index,
+                             const serving::BatchCounters& totals) {
+  uint64_t h = hash_begin();
+  h = hash_mix(h, index.checksum());
+  h = hash_mix(h, totals.requests);
+  h = hash_mix(h, totals.malformed);
+  h = hash_mix(h, totals.route_misses);
+  h = hash_mix(h, totals.health);
+  h = hash_mix(h, totals.get_hits);
+  h = hash_mix(h, totals.get_misses);
+  h = hash_mix(h, totals.puts);
+  h = hash_mix(h, totals.evictions);
+  return h;
+}
+
+SeqRun HttpServing::run_seq(const Params& p) {
+  Stopwatch sw;
+  serving::CacheIndex index(p.capacity_log2);
+  serving::RequestGen gen(traffic_of(p));
+  serving::RequestBatch batch(p.batch);
+  serving::BatchCounters totals;
+  for (uint64_t b = 0; b < p.batches; ++b) {
+    gen.fill(batch);
+    totals += serving::Server::serve_batch_seq(index, batch, b);
+  }
+  return SeqRun{digest(index, totals), sw.elapsed_sec()};
+}
+
+SpecRun HttpServing::run_spec(Runtime& rt, const Params& p, ForkModel model) {
+  Stopwatch sw;
+  serving::CacheIndex index(rt, p.capacity_log2);
+  serving::Server server(rt, index, p.batch);
+  serving::RequestGen gen(traffic_of(p));
+  serving::RequestBatch batch(p.batch);
+  serving::BatchCounters totals;
+  serving::ServeOpts opts;
+  opts.chunks = p.chunks;
+  opts.model = model;
+  RunStats stats = rt.run([&](Ctx& ctx) {
+    for (uint64_t b = 0; b < p.batches; ++b) {
+      // Refill between batches: serve_batch joined every chunk, so no
+      // speculative reader is live while the request bytes are rewritten.
+      gen.fill(batch);
+      totals += server.serve_batch(ctx, batch, b, opts);
+    }
+  });
+  double secs = sw.elapsed_sec();
+  return SpecRun{digest(index, totals), secs, stats};
+}
+
+}  // namespace mutls::workloads

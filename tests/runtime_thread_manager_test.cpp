@@ -663,5 +663,57 @@ TEST_F(AdaptiveBackendTest, MixedBackendParentChildMergeIsExact) {
   EXPECT_EQ(arena_[2], 0x3333333333333333ull);
 }
 
+// --- handoff spin budget (runtime-tuned, ManagerConfig-overridable) ---
+
+TEST(HandoffSpinBudget, ExplicitConfigIsHonoredVerbatim) {
+  for (int budget : {1, 64, 500, 8192, 100000}) {
+    EXPECT_EQ(resolve_handoff_spin_budget(budget), budget);
+    ManagerConfig c;
+    c.num_cpus = 1;
+    c.handoff_spin_budget = budget;
+    ThreadManager mgr(c);
+    EXPECT_EQ(mgr.handoff_spin_budget(), budget);
+  }
+}
+
+TEST(HandoffSpinBudget, ZeroCalibratesWithinClamp) {
+  int calibrated = resolve_handoff_spin_budget(0);
+  EXPECT_GE(calibrated, 64);
+  EXPECT_LE(calibrated, 8192);
+  // The probe is memoized: every default-configured manager in the process
+  // sees the same budget (and pays the probe cost once).
+  EXPECT_EQ(resolve_handoff_spin_budget(0), calibrated);
+  ManagerConfig c;
+  c.num_cpus = 1;
+  ThreadManager mgr(c);
+  EXPECT_EQ(mgr.handoff_spin_budget(), calibrated);
+}
+
+TEST(HandoffSpinBudget, ForkJoinWorksAcrossBudgetExtremes) {
+  // A one-iteration budget parks almost immediately; a huge budget spins
+  // through the whole handoff. Both must complete fork/join correctly.
+  for (int budget : {1, 100000}) {
+    ManagerConfig c;
+    c.num_cpus = 2;
+    c.handoff_spin_budget = budget;
+    ThreadManager mgr(c);
+    alignas(8) static uint64_t cell;
+    cell = 0;
+    mgr.register_space(&cell, sizeof(cell));
+    for (int i = 0; i < 8; ++i) {
+      int r = mgr.speculate(mgr.root(), ForkModel::kMixed, [](ThreadData& td) {
+        uint64_t v = 7;
+        td.sbuf.store_bytes(reinterpret_cast<uintptr_t>(&cell), &v, 8);
+      });
+      ASSERT_GT(r, 0) << "budget " << budget;
+      ASSERT_EQ(mgr.synchronize(mgr.root(), mgr.root().children.back()),
+                ThreadManager::JoinResult::kCommit);
+      ASSERT_EQ(cell, 7u);
+      cell = 0;
+    }
+    mgr.unregister_space(&cell, sizeof(cell));
+  }
+}
+
 }  // namespace
 }  // namespace mutls

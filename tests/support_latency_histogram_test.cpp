@@ -1,0 +1,120 @@
+#include "support/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/prng.h"
+
+namespace mutls {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  // Below kSubBuckets the mapping is identity, so percentiles are exact.
+  EXPECT_EQ(h.percentile(1.0), 31u);
+  EXPECT_EQ(h.percentile(0.5), 15u);
+}
+
+TEST(LatencyHistogram, BucketMappingIsMonotoneAndContiguous) {
+  // Every bucket's upper edge maps back into that bucket, and the next
+  // value starts the next bucket — no gaps, no overlaps, across the
+  // identity/octave boundary and octave steps.
+  for (int b = 0; b < LatencyHistogram::kBuckets - 1; ++b) {
+    uint64_t edge = LatencyHistogram::bucket_upper_edge(b);
+    ASSERT_EQ(LatencyHistogram::bucket_of(edge), b) << "edge of " << b;
+    if (edge != UINT64_MAX) {
+      ASSERT_EQ(LatencyHistogram::bucket_of(edge + 1), b + 1)
+          << "successor of " << b;
+    }
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_of(UINT64_MAX),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded) {
+  // The reported percentile is the bucket upper edge: at most 1/32 above
+  // the recorded value (one sub-bucket width), never below it.
+  Xorshift64 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.next() >> (rng.next_below(60));
+    LatencyHistogram h;
+    h.record(v);
+    uint64_t p = h.percentile(1.0);
+    EXPECT_GE(p, v);
+    // Capped at the observed max, so a single sample reports exactly.
+    EXPECT_EQ(p, v);
+    // The raw bucket edge is within 1/32 above.
+    uint64_t edge =
+        LatencyHistogram::bucket_upper_edge(LatencyHistogram::bucket_of(v));
+    EXPECT_LE(static_cast<double>(edge - v),
+              static_cast<double>(v) / 32.0 + 1.0);
+  }
+}
+
+TEST(LatencyHistogram, PercentilesTrackSortedSamples) {
+  Xorshift64 rng(9);
+  std::vector<uint64_t> samples;
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = 100 + rng.next_below(1'000'000);
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    uint64_t exact =
+        samples[static_cast<size_t>(q * samples.size()) - 1];
+    uint64_t approx = h.percentile(q);
+    EXPECT_GE(static_cast<double>(approx), exact * 0.96) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx), exact * 1.04) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  Xorshift64 rng(13);
+  LatencyHistogram a, b, both;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.next() >> 40;
+    if (i % 2) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (double q : {0.1, 0.5, 0.99}) {
+    EXPECT_EQ(a.percentile(q), both.percentile(q));
+  }
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.record(12345);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(7);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+}
+
+}  // namespace
+}  // namespace mutls

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 namespace mutls {
 namespace {
@@ -72,6 +74,82 @@ TEST(Xorshift64, ReseedRestartsSequence) {
   a.next();
   a.reseed(5);
   EXPECT_EQ(a.next(), first);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  Xorshift64 rng(17);
+  Zipf z(100, 1.1);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = z.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(Zipf, DeterministicForSameRngState) {
+  Zipf z(5000, 0.9);
+  Xorshift64 a(23), b(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(z.sample(a), z.sample(b));
+  }
+}
+
+TEST(Zipf, MassSumsToOne) {
+  for (double s : {0.5, 1.0, 1.1, 2.0}) {
+    Zipf z(200, s);
+    double total = 0.0;
+    for (uint64_t k = 1; k <= 200; ++k) total += z.mass(k);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+// Empirical frequencies must track the exact mass function — the
+// distribution-shape test for the rejection-inversion sampler, run across
+// the s < 1, s = 1 (the harmonic singularity the expm1/log1p helpers
+// bridge) and s > 1 regimes.
+TEST(Zipf, FrequenciesMatchMass) {
+  const uint64_t n = 50;
+  const int draws = 200000;
+  for (double s : {0.6, 1.0, 1.3}) {
+    Zipf z(n, s);
+    Xorshift64 rng(31);
+    std::vector<int> counts(n + 1, 0);
+    for (int i = 0; i < draws; ++i) ++counts[z.sample(rng)];
+    for (uint64_t k : {uint64_t{1}, uint64_t{2}, uint64_t{5}, uint64_t{20},
+                       n}) {
+      double expected = z.mass(k);
+      double got = static_cast<double>(counts[k]) / draws;
+      // 4-sigma band of the binomial count, plus an absolute floor for the
+      // deep tail where sigma is tiny.
+      double sigma = std::sqrt(expected * (1.0 - expected) / draws);
+      EXPECT_NEAR(got, expected, 4.0 * sigma + 5e-4)
+          << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(Zipf, HeavierExponentConcentratesHead) {
+  const uint64_t n = 1000;
+  const int draws = 50000;
+  auto head_share = [&](double s) {
+    Zipf z(n, s);
+    Xorshift64 rng(47);
+    int head = 0;
+    for (int i = 0; i < draws; ++i) {
+      if (z.sample(rng) <= 10) ++head;
+    }
+    return static_cast<double>(head) / draws;
+  };
+  double light = head_share(0.5);
+  double heavy = head_share(1.5);
+  EXPECT_GT(heavy, light + 0.2);  // s=1.5 puts most mass on the top keys
+}
+
+TEST(Zipf, SingleValueDegenerates) {
+  Zipf z(1, 1.1);
+  Xorshift64 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(z.mass(1), 1.0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "workloads/bh.h"
 #include "workloads/fft.h"
+#include "workloads/http_serving.h"
 #include "workloads/mandelbrot.h"
 #include "workloads/matmult.h"
 #include "workloads/md.h"
@@ -104,6 +105,22 @@ TEST_P(WorkloadEquivalence, NQueen) {
   EXPECT_EQ(spec.checksum, seq.checksum);
 }
 
+TEST_P(WorkloadEquivalence, HttpServing) {
+  HttpServing::Params p;
+  p.batches = 6;
+  p.batch = 96;
+  p.chunks = 6;
+  p.num_keys = 64;       // small key space: plenty of real index conflicts
+  p.zipf_s = 1.1;
+  p.put_ratio = 0.25;
+  p.malformed_ratio = 0.1;
+  p.capacity_log2 = 5;   // 32 slots for 64 keys: evictions exercised
+  SeqRun seq = HttpServing::run_seq(p);
+  Runtime rt(test_opts(GetParam().cpus));
+  SpecRun spec = HttpServing::run_spec(rt, p, GetParam().model);
+  EXPECT_EQ(spec.checksum, seq.checksum);
+}
+
 TEST_P(WorkloadEquivalence, Tsp) {
   Tsp::Params p;
   p.n = 7;
@@ -164,6 +181,27 @@ TEST(WorkloadChaos, InjectedRollbacksPreserveResults) {
   o.seed = 99;
   Runtime rt(o);
   SpecRun spec = NQueen::run_spec(rt, p, ForkModel::kMixed);
+  EXPECT_EQ(spec.checksum, seq.checksum);
+  EXPECT_GT(spec.stats.speculative.rollbacks, 0u);
+}
+
+// The serving pipeline must keep the cache index bit-identical to the
+// sequential run even when rollbacks are injected into its chain.
+TEST(WorkloadChaos, ServingInjectedRollbacksPreserveIndex) {
+  HttpServing::Params p;
+  p.batches = 4;
+  p.batch = 96;
+  p.chunks = 6;
+  p.num_keys = 64;
+  p.zipf_s = 1.1;
+  p.put_ratio = 0.25;
+  p.capacity_log2 = 5;
+  SeqRun seq = HttpServing::run_seq(p);
+  Runtime::Options o = test_opts(3);
+  o.rollback_probability = 0.3;
+  o.seed = 7;
+  Runtime rt(o);
+  SpecRun spec = HttpServing::run_spec(rt, p, ForkModel::kMixed);
   EXPECT_EQ(spec.checksum, seq.checksum);
   EXPECT_GT(spec.stats.speculative.rollbacks, 0u);
 }
