@@ -6,8 +6,11 @@
 //   2. the interpreter with integrated TLS semantics, executing the
 //      original annotated program speculatively and checking the result.
 //
-// Run: ./examples/ir_speculation
+// Run: ./examples/ir_speculation [switch|direct-threaded|compiled-region]
+// (the optional argument picks the execution-engine dispatch tier; the
+// default is the direct-threaded dispatcher, `switch` is the oracle loop)
 #include <cstdio>
+#include <cstring>
 
 #include "interp/interp.h"
 #include "speculator/pass.h"
@@ -51,8 +54,22 @@ joinblk:
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mutls;
+
+  exec::DispatchMode mode = exec::DispatchMode::kDirectThreaded;
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "switch")) {
+      mode = exec::DispatchMode::kSwitch;
+    } else if (!std::strcmp(argv[1], "direct-threaded")) {
+      mode = exec::DispatchMode::kDirectThreaded;
+    } else if (!std::strcmp(argv[1], "compiled-region")) {
+      mode = exec::DispatchMode::kCompiledRegion;
+    } else {
+      std::printf("unknown dispatch mode '%s'\n", argv[1]);
+      return 1;
+    }
+  }
 
   ir::Module m = ir::parse_module(kProgram);
   auto errs = ir::verify_module(m);
@@ -77,7 +94,9 @@ int main() {
   // --- the runtime behaviour ---
   interp::Interpreter::Options o;
   o.num_cpus = 2;
+  o.dispatch_mode = mode;
   interp::Interpreter it(ir::parse_module(kProgram), o);
+  std::printf("dispatch mode: %s\n", exec::dispatch_mode_name(mode));
   uint64_t r = it.call("work", {100});
   auto* flags = static_cast<int64_t*>(it.global_addr("flags"));
   RunStats rs = it.collect_stats();
@@ -90,5 +109,9 @@ int main() {
               static_cast<unsigned long long>(rs.speculative_threads),
               static_cast<unsigned long long>(rs.speculative.commits),
               static_cast<unsigned long long>(rs.speculative.rollbacks));
+  for (const exec::RegionHeat& h : it.region_heat()) {
+    std::printf("region @%s:%s heat: %llu back edges\n", h.function.c_str(),
+                h.header.c_str(), static_cast<unsigned long long>(h.count));
+  }
   return r == 328350 && flags[0] == 1 && flags[1] == 1 ? 0 : 1;
 }

@@ -84,6 +84,18 @@ SUSTAINED_CELL_KEYS = ("duration_s", "req_per_s", "p50_ns", "p99_ns",
 # otherwise just shrink the document — fail loudly instead.
 EXPECTED_BACKENDS = ("static-hash", "growable-log", "adaptive")
 
+# Execution-engine dispatch microbench: the native-kernel IR programs swept
+# over {dispatch mode x buffer backend}, one self-validating "DISPATCH
+# key=value ..." line per cell (the binary exits nonzero on a wrong kernel
+# result). Parsed into the interp_dispatch section; the full kernel x mode
+# x backend matrix is validated, so a dispatch tier silently dropping out
+# of the sweep fails the run instead of shrinking the document.
+DISPATCH_BENCH = "bench_interp_dispatch"
+DISPATCH_KERNELS = ("fib", "fill")
+DISPATCH_MODES = ("switch", "direct-threaded", "compiled-region")
+DISPATCH_CELL_KEYS = ("wall_ns", "iters", "instrs", "ns_per_instr",
+                      "back_edges", "commits", "rollbacks")
+
 # Counters copied out of a Google-Benchmark JSON run when present.
 COUNTER_KEYS = (
     "items_per_second", "resize_events", "overflow_events",
@@ -284,6 +296,77 @@ def run_sustained(bench_dir: Path, timeout: int):
     return entry
 
 
+def run_dispatch(bench_dir: Path, timeout: int, quick: bool):
+    """Run the dispatch-tier microbench and validate its cell matrix.
+
+    Every kernel must report every dispatch mode under every buffer
+    backend, each cell with every required field. A missing dispatch mode
+    is the loud failure this section exists for: it means a tier fell out
+    of the sweep (decode regression, renamed mode, dropped kernel), which
+    a shrinking document would otherwise hide.
+    """
+    exe = bench_dir / DISPATCH_BENCH
+    entry = {"bench": DISPATCH_BENCH, "status": "missing"}
+    if not exe.exists():
+        return entry
+    cmd = [str(exe)] + (["--quick"] if quick else [])
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        entry["status"] = "timeout"
+        entry["seconds"] = round(time.monotonic() - start, 3)
+        return entry
+    entry["seconds"] = round(time.monotonic() - start, 3)
+    entry["exit_code"] = proc.returncode
+    cells, heat = [], []
+    for line in proc.stdout.splitlines():
+        if line.startswith("DISPATCH_HEAT "):
+            heat.append(parse_kv_line(line))
+        elif line.startswith("DISPATCH "):
+            cells.append(parse_kv_line(line))
+    entry["cells"] = cells
+    entry["region_heat"] = heat
+    if proc.returncode != 0:
+        # The binary validates kernel results and native-body registration.
+        entry["status"] = "failed"
+        entry["stderr"] = proc.stderr.splitlines()
+        return entry
+
+    problems = []
+    seen = {}
+    for c in cells:
+        missing = [k for k in DISPATCH_CELL_KEYS if k not in c]
+        if missing:
+            problems.append(f"cell {c.get('kernel')}/{c.get('mode')}/"
+                            f"{c.get('backend')} missing {missing}")
+            continue
+        if c["wall_ns"] <= 0:
+            problems.append(f"cell {c.get('kernel')}/{c.get('mode')}/"
+                            f"{c.get('backend')} has non-positive wall_ns")
+        seen.setdefault((c.get("kernel"), c.get("backend")),
+                        set()).add(c.get("mode"))
+    missing_mode = False
+    for kernel in DISPATCH_KERNELS:
+        for backend in EXPECTED_BACKENDS:
+            modes = seen.get((kernel, backend), set())
+            lost = [m for m in DISPATCH_MODES if m not in modes]
+            if lost:
+                missing_mode = True
+                problems.append(f"kernel {kernel} backend {backend} "
+                                f"missing dispatch modes: {lost}")
+    if problems:
+        entry["status"] = "missing-dispatch-mode" if missing_mode \
+            else "invalid"
+        entry["problems"] = problems
+        for p in problems:
+            print(f"[bench_json] {DISPATCH_BENCH}: {p}", file=sys.stderr)
+        return entry
+    entry["status"] = "ok"
+    return entry
+
+
 def extract_baseline(path: Path):
     """Pull the perf-trajectory rows out of a previous results document.
 
@@ -334,6 +417,8 @@ def main() -> int:
                     help="skip the buffer-map ablation sweep")
     ap.add_argument("--no-sustained", action="store_true",
                     help="skip the sustained-load serving sweep")
+    ap.add_argument("--no-dispatch", action="store_true",
+                    help="skip the dispatch-tier microbench sweep")
     ap.add_argument("--baseline", default=None,
                     help="previous BENCH_results.json whose hot-path rows "
                          "are embedded as the before of a before/after")
@@ -401,6 +486,12 @@ def main() -> int:
         entry = run_sustained(bench_dir, args.timeout)
         results.append(entry)
         print(f"[bench_json] {SUSTAINED_BENCH}: {entry['status']} "
+              f"({entry.get('seconds', 0)}s)", file=sys.stderr)
+
+    if not args.no_dispatch and not args.micro_only:
+        entry = run_dispatch(bench_dir, args.timeout, args.mode == "quick")
+        results.append(entry)
+        print(f"[bench_json] {DISPATCH_BENCH}: {entry['status']} "
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
     doc = {

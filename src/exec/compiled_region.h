@@ -1,0 +1,125 @@
+// The native-compilation seam of the execution engine (ROADMAP item 5,
+// icpp-style exec/runtime split): a hot region — a natural loop headed by a
+// back-edge target — may carry a CompiledFn. When the direct-threaded
+// dispatcher runs in DispatchMode::kCompiledRegion and a taken branch
+// targets a region whose pointer is non-null, it transfers control to the
+// native body instead of dispatching the region's instructions one by one.
+// The interpreter stays the semantic oracle; a real JIT later only has to
+// produce functions with this ABI and register them.
+//
+// ## The speculative-access contract
+//
+// A compiled body executes *inside* the speculation protocol, so it must
+// not touch host memory directly:
+//
+//  * Every load/store of registered (shared) memory goes through
+//    region_load / region_store, which route speculative accesses through
+//    the thread's SpecBuffer exactly like interpreted instructions — doom,
+//    validation and rollback semantics are unchanged. Both throw SpecAbort
+//    when the access dooms the speculation; the exception unwinds the
+//    native frame like any interpreted abort.
+//  * On every loop back edge the body calls region_poll. In a speculative
+//    entry frame this is the paper's check point: NOSYNC unwinds via
+//    SpecAbort, SYNC means the body must stop — write the loop-carried
+//    values for the header's phis into ctx.regs and return
+//    RegionResult::stop(header_block, first_instr_after_phis).
+//  * Registers are read and written directly in ctx.regs (the frame's
+//    register file), indexed by ir::ValueId. On a normal exit the body
+//    materializes any phi values of its exit target and returns
+//    RegionResult::exit(block, instr, pred_block) with instr >=
+//    skip-phi position when it materialized them (instr 0 with a correct
+//    pred_block is also legal when the target's phis were left to the
+//    dispatcher).
+//
+// What a body need NOT maintain: the defined/used_snapshot def-use
+// bookkeeping of speculative entry frames. Live-in validation uses the
+// fork-time liveness sets precomputed at decode, so that bookkeeping is
+// never consumed by the protocol.
+//
+// Regions eligible for compilation contain no fork/join/barrier intrinsics
+// and no calls — the registry rejects anything else, so a body never needs
+// to re-enter the interpreter mid-region.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "exec/mem_ops.h"
+#include "runtime/spec_abort.h"
+#include "runtime/thread_data.h"
+#include "runtime/thread_manager.h"
+
+namespace mutls::exec {
+
+// Everything a compiled body may touch. regs is the frame's register file
+// (indexed by ir::ValueId); entry_block identifies the CFG edge the region
+// was entered on, for header-phi selection.
+struct RegionCtx {
+  uint64_t* regs = nullptr;
+  ThreadData* td = nullptr;
+  ThreadManager* mgr = nullptr;
+  // The region's heat counter; bodies credit executed back edges in bulk
+  // via region_credit before handing control back.
+  std::atomic<uint64_t>* heat = nullptr;
+  uint32_t entry_block = 0;
+  bool speculative_entry = false;  // polls enabled (stop points reachable)
+};
+
+// How a compiled region handed control back.
+struct RegionResult {
+  enum class Kind : uint8_t {
+    kExit,  // left the loop: resume dispatch at (block, instr)
+    kStop,  // SYNC seen at a back edge: check-point stop at (block, instr)
+  };
+  Kind kind = Kind::kExit;
+  uint32_t block = 0;
+  uint32_t instr = 0;
+  // CFG predecessor to resume with (phi resolution at the exit target when
+  // the body did not materialize them itself).
+  uint32_t pred_block = 0;
+
+  static RegionResult exit(uint32_t block, uint32_t instr,
+                           uint32_t pred_block) {
+    return {Kind::kExit, block, instr, pred_block};
+  }
+  static RegionResult stop(uint32_t block, uint32_t instr) {
+    return {Kind::kStop, block, instr, 0};
+  }
+};
+
+// A hand-compiled (or, later, JIT-emitted) region body.
+using CompiledFn = RegionResult (*)(RegionCtx&);
+
+// --- speculative-access helpers (the only legal memory path of a body) ---
+
+inline uint64_t region_load(RegionCtx& ctx, uint64_t addr, size_t n) {
+  uint64_t out = 0;
+  load_mem(*ctx.mgr, *ctx.td, addr, &out, n);
+  return out;
+}
+
+inline void region_store(RegionCtx& ctx, uint64_t addr, uint64_t value,
+                         size_t n) {
+  store_mem(*ctx.mgr, *ctx.td, addr, &value, n);
+}
+
+// Back-edge stop-point poll (paper IV-E). Returns true when the region
+// must stop (SYNC); throws SpecAbort on NOSYNC; returns false when the
+// loop may continue. Non-entry frames never stop.
+inline bool region_poll(RegionCtx& ctx) {
+  if (!ctx.speculative_entry) return false;
+  SyncStatus s = ctx.td->sync_status.load(std::memory_order_acquire);
+  if (s == SyncStatus::kNoSync) throw SpecAbort{"NOSYNC at check point"};
+  return s == SyncStatus::kSync;
+}
+
+// Credits `back_edges` executed loop iterations to the region profiler and
+// the thread's stats, keeping the counters identical to what interpreted
+// dispatch of the same iterations would have recorded. Call before every
+// return from the body.
+inline void region_credit(RegionCtx& ctx, uint64_t back_edges) {
+  if (ctx.heat) ctx.heat->fetch_add(back_edges, std::memory_order_relaxed);
+  ctx.td->stats.back_edges += back_edges;
+}
+
+}  // namespace mutls::exec

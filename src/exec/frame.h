@@ -1,0 +1,79 @@
+// Execution-state types shared by every dispatch tier of the execution
+// engine (src/exec/) and by the interpreter's switch oracle (src/interp/).
+//
+// A Frame is one activation of an IR function: the flat register file, the
+// frame-owned allocas and the fork bookkeeping of the tree-form mixed
+// model. A StopState is the continuation deposited by a speculative entry
+// frame when it reaches a stop point (barrier / return / terminate /
+// check); the joiner resumes from it on commit. Both are dispatch-mode
+// agnostic: a child may stop under direct-threaded dispatch and be resumed
+// by a joiner running any other tier, because positions are recorded in
+// original (block, instr) coordinates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.h"
+#include "runtime/thread_data.h"
+#include "runtime/thread_manager.h"
+
+namespace mutls::exec {
+
+// Bookkeeping of one outstanding fork point in a frame.
+struct ForkRec {
+  ChildRef ref;
+  std::vector<uint64_t> snapshot;  // registers at the fork point
+  // Values to validate at the join (live-ins of the continuation,
+  // paper IV-G4): snapshot[v] must equal the joiner's regs[v]. Points into
+  // the decoded module's precomputed per-fork-point set.
+  const std::vector<ir::ValueId>* validate_ids = nullptr;
+  bool active = false;
+};
+
+// Why a speculative entry frame stopped.
+enum class Stop : uint8_t {
+  kNone,       // ran to ret (non-speculative only)
+  kBarrier,    // at mutls.barrier (resume after it)
+  kRet,        // at ret (resume executing the ret)
+  kTerminate,  // at an external call (resume executing the call)
+  kCheck,      // at a loop back edge after SYNC (resume at jump target)
+};
+
+// Deposited via ThreadData::user_state at a stop. Owns the entry frame's
+// allocas until a committing joiner adopts them (they are live stack
+// memory of the resumed continuation).
+struct StopState {
+  Stop stop = Stop::kNone;
+  uint32_t block = 0;
+  uint32_t instr = 0;
+  std::vector<uint64_t> regs;
+  std::vector<bool> used_snapshot;
+  std::unordered_map<int64_t, ForkRec> forks;  // un-joined (adopted)
+  std::vector<std::pair<char*, size_t>> allocas;
+  ThreadManager* mgr = nullptr;
+
+  ~StopState() {
+    // Allocas not adopted by a committing joiner (rollback / NOSYNC) are
+    // released here.
+    for (auto& [addr, size] : allocas) {
+      if (mgr) mgr->unregister_space(addr, size);
+      delete[] addr;
+    }
+  }
+};
+
+// One activation of an IR function.
+struct Frame {
+  const ir::Function* fn = nullptr;
+  std::vector<uint64_t> regs;
+  std::vector<bool> defined;  // child-side defs (snapshot tracking)
+  std::vector<bool> used_snapshot;
+  std::vector<std::pair<char*, size_t>> allocas;
+  std::unordered_map<int64_t, ForkRec> forks;
+  bool speculative_entry = false;  // polls + stop points enabled
+};
+
+}  // namespace mutls::exec

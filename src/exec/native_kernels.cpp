@@ -1,0 +1,321 @@
+#include "exec/native_kernels.h"
+
+#include <mutex>
+
+#include "ir/ir.h"
+#include "support/check.h"
+
+namespace mutls::exec::kernels {
+
+namespace {
+
+// The bodies are plain function pointers (CompiledFn carries no state), so
+// the value ids and block indices they use live in file-static tables
+// resolved once from a parsed copy of the kernel text. The text is fixed,
+// hence so are the ids; resolution CHECKs every name so any drift between
+// the IR strings and the bodies fails loudly at registration.
+
+constexpr const char* kFibIr = R"(
+global @fib_out : i64[1]
+func @fib(%n: i64) : i64 {
+entry:
+  %zero = const i64 0
+  %one = const i64 1
+  %base = globaladdr @fib_out
+  mutls.fork 0, mixed
+  br loop
+loop:
+  %i = phi i64 [%zero, entry], [%inc, loop]
+  %a = phi i64 [%zero, entry], [%b, loop]
+  %b = phi i64 [%one, entry], [%s, loop]
+  %s = add %a, %b
+  %inc = add %i, %one
+  %c = icmp slt %inc, %n
+  condbr %c, loop, joinblk
+joinblk:
+  store %s, %base
+  mutls.join 0
+  mutls.barrier 0
+  %r = load i64, %base
+  ret %r
+}
+)";
+
+constexpr const char* kFillIr = R"(
+global @fill_cells : i64[4096]
+global @fill_sum : i64[1]
+func @fill(%n: i64) : i64 {
+entry:
+  %zero = const i64 0
+  %one = const i64 1
+  %base = globaladdr @fill_cells
+  br wloop
+wloop:
+  %i = phi i64 [%zero, entry], [%inc, wloop]
+  %p = gep %base, %i, 8
+  store %i, %p
+  %inc = add %i, %one
+  %c = icmp slt %inc, %n
+  condbr %c, wloop, forkblk
+forkblk:
+  mutls.fork 0, mixed
+  mutls.join 0
+  br rloop
+rloop:
+  %j = phi i64 [%zero, forkblk], [%jinc, rloop]
+  %s = phi i64 [%zero, forkblk], [%s2, rloop]
+  %q = gep %base, %j, 8
+  %v = load i64, %q
+  %s2 = add %s, %v
+  %jinc = add %j, %one
+  %c2 = icmp slt %jinc, %n
+  condbr %c2, rloop, done
+done:
+  %sp = globaladdr @fill_sum
+  store %s2, %sp
+  mutls.barrier 0
+  %r = load i64, %sp
+  ret %r
+}
+)";
+
+ir::ValueId vid(const ir::Function& f, const char* name) {
+  for (ir::ValueId v = 1; v < f.value_count; ++v) {
+    if (f.value_names[v] == name) return v;
+  }
+  MUTLS_CHECK(false, "native kernel value name not found");
+  return 0;
+}
+
+struct FibIds {
+  ir::ValueId n, zero, one, i, a, b, s, inc, c;
+  uint32_t entry, loop, joinblk;
+};
+struct FillIds {
+  ir::ValueId n, zero, one, base, i, p, inc, c;
+  ir::ValueId j, s, q, v, s2, jinc, c2;
+  uint32_t entry, wloop, forkblk, rloop, done;
+};
+
+FibIds g_fib;
+FillIds g_fill;
+std::once_flag g_resolved;
+
+void resolve_ids() {
+  {
+    ir::Module m = ir::parse_module(kFibIr);
+    const ir::Function& f = *m.find_function("fib");
+    g_fib.n = vid(f, "n");
+    g_fib.zero = vid(f, "zero");
+    g_fib.one = vid(f, "one");
+    g_fib.i = vid(f, "i");
+    g_fib.a = vid(f, "a");
+    g_fib.b = vid(f, "b");
+    g_fib.s = vid(f, "s");
+    g_fib.inc = vid(f, "inc");
+    g_fib.c = vid(f, "c");
+    g_fib.entry = f.block_index("entry");
+    g_fib.loop = f.block_index("loop");
+    g_fib.joinblk = f.block_index("joinblk");
+  }
+  {
+    ir::Module m = ir::parse_module(kFillIr);
+    const ir::Function& f = *m.find_function("fill");
+    g_fill.n = vid(f, "n");
+    g_fill.zero = vid(f, "zero");
+    g_fill.one = vid(f, "one");
+    g_fill.base = vid(f, "base");
+    g_fill.i = vid(f, "i");
+    g_fill.p = vid(f, "p");
+    g_fill.inc = vid(f, "inc");
+    g_fill.c = vid(f, "c");
+    g_fill.j = vid(f, "j");
+    g_fill.s = vid(f, "s");
+    g_fill.q = vid(f, "q");
+    g_fill.v = vid(f, "v");
+    g_fill.s2 = vid(f, "s2");
+    g_fill.jinc = vid(f, "jinc");
+    g_fill.c2 = vid(f, "c2");
+    g_fill.entry = f.block_index("entry");
+    g_fill.wloop = f.block_index("wloop");
+    g_fill.forkblk = f.block_index("forkblk");
+    g_fill.rloop = f.block_index("rloop");
+    g_fill.done = f.block_index("done");
+  }
+}
+
+// @fib region "loop": 3 phis + 2 adds + icmp + condbr, all in registers.
+// Runs in the (non-speculative) forker frame; polls are no-ops there but
+// stay for ABI fidelity — the body is correct in any frame.
+RegionResult fib_loop(RegionCtx& ctx) {
+  const FibIds& id = g_fib;
+  uint64_t i, a, b;
+  if (ctx.entry_block == id.entry) {  // loop-entry edge: initial phi values
+    i = ctx.regs[id.zero];
+    a = ctx.regs[id.zero];
+    b = ctx.regs[id.one];
+  } else {  // back-edge entry (resume mid-loop): loop-carried values
+    i = ctx.regs[id.inc];
+    a = ctx.regs[id.b];
+    b = ctx.regs[id.s];
+  }
+  const uint64_t one = ctx.regs[id.one];
+  const int64_t n = static_cast<int64_t>(ctx.regs[id.n]);
+  uint64_t iters = 0;
+  for (;;) {
+    uint64_t s = a + b;
+    uint64_t inc = i + one;
+    if (static_cast<int64_t>(inc) >= n) {
+      // Exit edge loop->joinblk: leave the register file exactly as the
+      // interpreted loop would (current phi values + this iteration's
+      // defs, condition false).
+      ctx.regs[id.i] = i;
+      ctx.regs[id.a] = a;
+      ctx.regs[id.b] = b;
+      ctx.regs[id.s] = s;
+      ctx.regs[id.inc] = inc;
+      ctx.regs[id.c] = 0;
+      region_credit(ctx, iters);
+      return RegionResult::exit(id.joinblk, 0, id.loop);
+    }
+    ++iters;
+    if (region_poll(ctx)) {
+      // Check-point stop: materialize the header phis for the back edge
+      // and stop just after them.
+      ctx.regs[id.s] = s;
+      ctx.regs[id.inc] = inc;
+      ctx.regs[id.c] = 1;
+      ctx.regs[id.i] = inc;
+      ctx.regs[id.a] = b;
+      ctx.regs[id.b] = s;
+      region_credit(ctx, iters);
+      return RegionResult::stop(id.loop, 3);
+    }
+    i = inc;
+    a = b;
+    b = s;
+  }
+}
+
+// @fill region "wloop": the sequential store loop. Stores go through
+// region_store — direct host access non-speculatively, SpecBuffer when a
+// speculative frame ever runs it.
+RegionResult fill_wloop(RegionCtx& ctx) {
+  const FillIds& id = g_fill;
+  uint64_t i = ctx.entry_block == id.entry ? ctx.regs[id.zero]
+                                           : ctx.regs[id.inc];
+  const uint64_t base = ctx.regs[id.base];
+  const uint64_t one = ctx.regs[id.one];
+  const int64_t n = static_cast<int64_t>(ctx.regs[id.n]);
+  uint64_t iters = 0;
+  for (;;) {
+    uint64_t p = base + i * 8;
+    region_store(ctx, p, i, 8);
+    uint64_t inc = i + one;
+    if (static_cast<int64_t>(inc) >= n) {
+      ctx.regs[id.i] = i;
+      ctx.regs[id.p] = p;
+      ctx.regs[id.inc] = inc;
+      ctx.regs[id.c] = 0;
+      region_credit(ctx, iters);
+      return RegionResult::exit(id.forkblk, 0, id.wloop);
+    }
+    ++iters;
+    if (region_poll(ctx)) {
+      ctx.regs[id.p] = p;
+      ctx.regs[id.inc] = inc;
+      ctx.regs[id.c] = 1;
+      ctx.regs[id.i] = inc;
+      region_credit(ctx, iters);
+      return RegionResult::stop(id.wloop, 1);
+    }
+    i = inc;
+  }
+}
+
+// @fill region "rloop": the load-reduce loop a speculative child runs as
+// the fork continuation — loads route through its SpecBuffer and every
+// back edge polls the check point.
+RegionResult fill_rloop(RegionCtx& ctx) {
+  const FillIds& id = g_fill;
+  uint64_t j, s;
+  if (ctx.entry_block == id.forkblk) {
+    j = ctx.regs[id.zero];
+    s = ctx.regs[id.zero];
+  } else {
+    j = ctx.regs[id.jinc];
+    s = ctx.regs[id.s2];
+  }
+  const uint64_t base = ctx.regs[id.base];
+  const uint64_t one = ctx.regs[id.one];
+  const int64_t n = static_cast<int64_t>(ctx.regs[id.n]);
+  uint64_t iters = 0;
+  for (;;) {
+    uint64_t q = base + j * 8;
+    uint64_t v = region_load(ctx, q, 8);
+    uint64_t s2 = s + v;
+    uint64_t jinc = j + one;
+    if (static_cast<int64_t>(jinc) >= n) {
+      ctx.regs[id.j] = j;
+      ctx.regs[id.s] = s;
+      ctx.regs[id.q] = q;
+      ctx.regs[id.v] = v;
+      ctx.regs[id.s2] = s2;
+      ctx.regs[id.jinc] = jinc;
+      ctx.regs[id.c2] = 0;
+      region_credit(ctx, iters);
+      return RegionResult::exit(id.done, 0, id.rloop);
+    }
+    ++iters;
+    if (region_poll(ctx)) {
+      ctx.regs[id.q] = q;
+      ctx.regs[id.v] = v;
+      ctx.regs[id.s2] = s2;
+      ctx.regs[id.jinc] = jinc;
+      ctx.regs[id.c2] = 1;
+      ctx.regs[id.j] = jinc;
+      ctx.regs[id.s] = s2;
+      region_credit(ctx, iters);
+      return RegionResult::stop(id.rloop, 2);
+    }
+    j = jinc;
+    s = s2;
+  }
+}
+
+}  // namespace
+
+const char* fib_ir() { return kFibIr; }
+const char* fill_ir() { return kFillIr; }
+
+uint64_t fib_expected(uint64_t n) {
+  uint64_t a = 0, b = 1, s = 1;
+  for (uint64_t i = 0; i < n; ++i) {  // the IR loop body runs n times
+    s = a + b;
+    a = b;
+    b = s;
+  }
+  return s;
+}
+
+uint64_t fill_expected(uint64_t n) {
+  uint64_t s = 0;
+  for (uint64_t i = 0; i < n; ++i) s += i;
+  return s;
+}
+
+uint64_t fib_instrs(uint64_t n) { return 7 * n + 12; }
+uint64_t fill_instrs(uint64_t n) { return 6 * n + 8 * n + 16; }
+
+int register_native_kernels(
+    const std::function<bool(const std::string&, const std::string&,
+                             CompiledFn)>& reg) {
+  std::call_once(g_resolved, resolve_ids);
+  int count = 0;
+  if (reg("fib", "loop", &fib_loop)) ++count;
+  if (reg("fill", "wloop", &fill_wloop)) ++count;
+  if (reg("fill", "rloop", &fill_rloop)) ++count;
+  return count;
+}
+
+}  // namespace mutls::exec::kernels

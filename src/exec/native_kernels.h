@@ -1,0 +1,57 @@
+// Hand-compiled native region bodies for two benchmark kernels, proving
+// the compilation seam end to end (tier (c) of ROADMAP item 5): a real
+// CompiledFn per hot loop, registered on (function, header label), obeying
+// the speculative-access contract of exec/compiled_region.h. A later JIT
+// replaces the hand-written bodies; nothing else changes.
+//
+// Kernels (used by bench_interp_dispatch and the differential suite):
+//
+//  * fib — an arithmetic loop (pure register pressure, no memory traffic)
+//    that runs non-speculatively in the forker while a speculative child
+//    waits at its barrier point. Region "loop" is compiled. Shows the
+//    dispatch-tier difference on instruction-dispatch-bound code.
+//  * fill — a store loop, then fork/join around a load-reduce loop that a
+//    speculative child executes through its SpecBuffer. Regions "wloop"
+//    and "rloop" are compiled; "rloop" runs speculatively (region_load +
+//    region_poll on the child) and non-speculatively (inline re-execution
+//    after a rollback), exercising both sides of the ABI.
+//
+// Value ids and block indices used by the bodies are resolved by name at
+// registration time from a freshly parsed copy of the kernel text (the
+// parser's id assignment is deterministic), so the bodies stay in sync
+// with the IR below by construction — registration CHECK-fails on drift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exec/compiled_region.h"
+
+namespace mutls::exec::kernels {
+
+// Module text of each kernel (parse_module-ready).
+const char* fib_ir();
+const char* fill_ir();
+
+// Sequential-oracle results, computed the same wrapping-uint64 way the IR
+// computes them (valid for any n >= 1).
+uint64_t fib_expected(uint64_t n);
+uint64_t fill_expected(uint64_t n);
+
+// Approximate interpreted instruction count of one call (ns-per-instr
+// denominators in the dispatch benchmark).
+uint64_t fib_instrs(uint64_t n);
+uint64_t fill_instrs(uint64_t n);
+
+// Registers every hand-compiled body through `reg` — typically
+//   [&](const std::string& f, const std::string& h, CompiledFn b) {
+//     return it.register_compiled_region(f, h, b);
+//   }
+// Returns the number of bodies accepted (3 when both kernels are present
+// in the module behind `reg`).
+int register_native_kernels(
+    const std::function<bool(const std::string&, const std::string&,
+                             CompiledFn)>& reg);
+
+}  // namespace mutls::exec::kernels

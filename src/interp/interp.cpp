@@ -1,9 +1,10 @@
 #include "interp/interp.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
-#include "api/scalar_access.h"
+#include "exec/mem_ops.h"
 #include "runtime/spec_abort.h"
 
 namespace mutls::interp {
@@ -51,7 +52,8 @@ uint32_t skip_phis(const Block& b) {
 
 Interpreter::Interpreter(Module module, const Options& opt)
     : module_(std::move(module)),
-      mgr_(manager_config_from(opt, /*register_slots=*/64)) {
+      mgr_(manager_config_from(opt, /*register_slots=*/64)),
+      engine_(exec::engine_config_from(opt)) {
   for (const Global& g : module_.globals) {
     size_t bytes = type_size(g.elem_type) * g.count;
     bytes = (bytes + 7) & ~size_t{7};
@@ -65,104 +67,19 @@ Interpreter::Interpreter(Module module, const Options& opt)
     mgr_.register_space(mem.get(), bytes);
     globals_.emplace(g.name, std::move(mem));
   }
+  // Predecode after globals exist: kGlobal instructions resolve to host
+  // addresses, fork points get their join position + validation set, loop
+  // regions are discovered. One pass, shared by all threads and tiers.
+  decoded_ = std::make_unique<exec::DecodedModule>(
+      module_, [this](const std::string& name) { return global_addr(name); });
 }
 
 Interpreter::~Interpreter() = default;
-
-Interpreter::StopState::~StopState() {
-  // Allocas not adopted by a committing joiner (rollback / NOSYNC) are
-  // released here.
-  for (auto& [addr, size] : allocas) {
-    if (owner) owner->mgr_.unregister_space(addr, size);
-    delete[] addr;
-  }
-}
-
-std::vector<ValueId> Interpreter::validation_set(const Function& f,
-                                                 uint32_t block,
-                                                 uint32_t instr) {
-  std::vector<std::vector<bool>>* live;
-  {
-    std::lock_guard lock(live_mu_);
-    auto it = live_cache_.find(&f);
-    if (it == live_cache_.end()) {
-      it = live_cache_.emplace(&f, compute_live_in(f)).first;
-    }
-    live = &it->second;
-  }
-  std::vector<bool> li = live_at(f, *live, block, instr);
-  std::vector<ValueId> ids;
-  for (ValueId v = 1; v < f.value_count; ++v) {
-    if (li[v]) ids.push_back(v);
-  }
-  return ids;
-}
 
 void* Interpreter::global_addr(const std::string& name) {
   auto it = globals_.find(name);
   MUTLS_CHECK(it != globals_.end(), "unknown global");
   return it->second.get();
-}
-
-std::pair<uint32_t, uint32_t> Interpreter::join_position(
-    const Function& f, int64_t point) const {
-  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
-    const Block& blk = f.blocks[b];
-    for (uint32_t i = 0; i < blk.instrs.size(); ++i) {
-      if (blk.instrs[i].op == Op::kMutlsJoin && blk.instrs[i].imm == point) {
-        return {b, i + 1};
-      }
-    }
-  }
-  MUTLS_CHECK(false, "fork point without a matching join point");
-  return {0, 0};
-}
-
-void Interpreter::check_space(ThreadData& td, uint64_t addr, size_t n) {
-  if (!td.is_speculative()) return;
-  if (!mgr_.space_contains(reinterpret_cast<void*>(addr), n)) {
-    td.sbuf.doom("speculative access outside the registered address space");
-    throw SpecAbort{"wild speculative access"};
-  }
-}
-
-void Interpreter::load_mem(ThreadData& td, uint64_t addr, void* out,
-                           size_t n) {
-  ++td.stats.loads;
-  if (!td.is_speculative()) {
-    for (size_t i = 0; i < n; ++i) {
-      static_cast<uint8_t*>(out)[i] = atomic_byte_load(addr + i);
-    }
-    return;
-  }
-  check_space(td, addr, n);
-  if (word_sized_aligned(addr, n)) {
-    uint64_t raw = td.sbuf.load_aligned(addr, n);
-    std::memcpy(out, &raw, n);
-  } else {
-    td.sbuf.load_bytes(addr, out, n);
-  }
-  if (td.sbuf.doomed()) throw SpecAbort{td.sbuf.doom_reason()};
-}
-
-void Interpreter::store_mem(ThreadData& td, uint64_t addr, const void* src,
-                            size_t n) {
-  ++td.stats.stores;
-  if (!td.is_speculative()) {
-    for (size_t i = 0; i < n; ++i) {
-      atomic_byte_store(addr + i, static_cast<const uint8_t*>(src)[i]);
-    }
-    return;
-  }
-  check_space(td, addr, n);
-  if (word_sized_aligned(addr, n)) {
-    uint64_t raw = 0;
-    std::memcpy(&raw, src, n);
-    td.sbuf.store_aligned(addr, raw, n);
-  } else {
-    td.sbuf.store_bytes(addr, src, n);
-  }
-  if (td.sbuf.doomed()) throw SpecAbort{td.sbuf.doom_reason()};
 }
 
 uint64_t Interpreter::external_call(ThreadData& td, const Instr& in,
@@ -193,13 +110,21 @@ void Interpreter::do_fork(ThreadData& td, Frame& fr, const Instr& in) {
     return;
   }
   const Function* fn = fr.fn;
-  auto [jb, ji] = join_position(*fn, point);
+  // Join position + validation set were computed once at decode
+  // (exec/dispatch.h); a fork without a matching join still fails here,
+  // at execution time.
+  const exec::DecodedFunction& df = decoded_->decoded(*fn);
+  auto fp = df.fork_points.find(point);
+  MUTLS_CHECK(fp != df.fork_points.end(),
+              "fork point without a matching join point");
+  uint32_t jb = fp->second.join_block;
+  uint32_t ji = fp->second.join_instr;
   std::vector<uint64_t> snapshot = fr.regs;
 
   Interpreter* self = this;
   int rank = mgr_.speculate(
       td, model,
-      [self, fn, jb = jb, ji = ji, snapshot](ThreadData& child) {
+      [self, fn, jb, ji, snapshot](ThreadData& child) {
         Frame cf;
         cf.fn = fn;
         cf.regs = snapshot;
@@ -207,9 +132,9 @@ void Interpreter::do_fork(ThreadData& td, Frame& fr, const Instr& in) {
         cf.used_snapshot.assign(fn->value_count, false);
         cf.speculative_entry = true;
         auto stop = std::make_shared<StopState>();
-        stop->owner = self;
+        stop->mgr = &self->mgr_;
         try {
-          self->exec(child, cf, jb, ji, stop.get());
+          self->exec_any(child, cf, jb, ji, stop.get());
         } catch (...) {
           // Doomed: release the frame state, then rethrow for the worker.
           stop->allocas = std::move(cf.allocas);
@@ -228,7 +153,7 @@ void Interpreter::do_fork(ThreadData& td, Frame& fr, const Instr& in) {
     ForkRec rec;
     rec.ref = td.children.back();
     rec.snapshot = std::move(snapshot);
-    rec.validate_ids = validation_set(*fn, jb, ji);
+    rec.validate_ids = &fp->second.validate_ids;
     rec.active = true;
     fr.forks[point] = std::move(rec);
   }
@@ -246,7 +171,7 @@ bool Interpreter::do_join(ThreadData& td, Frame& fr, int64_t point,
   // value at the join point must match, else the child consumed a stale
   // prediction and is forced to roll back.
   bool force_rollback = false;
-  for (ValueId v : rec.validate_ids) {
+  for (ValueId v : *rec.validate_ids) {
     if (fr.regs[v] != rec.snapshot[v]) {
       force_rollback = true;
       break;
@@ -265,8 +190,12 @@ bool Interpreter::do_join(ThreadData& td, Frame& fr, int64_t point,
   auto* stop = static_cast<StopState*>(state.get());
   MUTLS_CHECK(stop != nullptr, "committed child without a stop state");
   // Resume from the child's stop position with its registers (the paper's
-  // synchronization table + restore blocks).
-  fr.regs = stop->regs;
+  // synchronization table + restore blocks). Element-wise copy: the
+  // register file's storage must stay put — the direct-threaded dispatcher
+  // holds a raw pointer to it across this call.
+  MUTLS_CHECK(stop->regs.size() == fr.regs.size(),
+              "stop state register file size mismatch");
+  std::copy(stop->regs.begin(), stop->regs.end(), fr.regs.begin());
   for (auto& [p, childrec] : stop->forks) {
     fr.forks[p] = childrec;  // adopted children stay joinable
   }
@@ -278,9 +207,54 @@ bool Interpreter::do_join(ThreadData& td, Frame& fr, int64_t point,
   return true;
 }
 
-uint64_t Interpreter::exec(ThreadData& td, Frame& fr, uint32_t block,
-                           uint32_t instr, StopState* stop) {
+// --- exec::ExecHost (direct-threaded / compiled-region tiers) -----------
+
+void Interpreter::host_fork(exec::ExecState& st, const Instr& in) {
+  do_fork(*st.td, *st.fr, in);
+}
+
+bool Interpreter::host_join(exec::ExecState& st, int64_t point,
+                            uint32_t* rblock, uint32_t* rinstr) {
+  return do_join(*st.td, *st.fr, point, rblock, rinstr);
+}
+
+uint64_t Interpreter::host_call(exec::ExecState& st, const Function& callee,
+                                const uint64_t* args, size_t n) {
+  return call_function(*st.td, callee,
+                       std::vector<uint64_t>(args, args + n));
+}
+
+uint64_t Interpreter::host_external(exec::ExecState& st, const Instr& in) {
+  return external_call(*st.td, in, *st.fr);
+}
+
+uint64_t Interpreter::exec_any(ThreadData& td, Frame& fr, uint32_t block,
+                               uint32_t instr, StopState* stop) {
+  if (engine_.dispatch_mode == exec::DispatchMode::kSwitch) {
+    return exec_switch(td, fr, block, instr, stop);
+  }
+  const exec::DecodedFunction& df = decoded_->decoded(*fr.fn);
+  exec::ExecState st;
+  st.df = &df;
+  st.code = df.code.data();
+  st.regs = fr.regs.data();
+  st.fr = &fr;
+  st.td = &td;
+  st.mgr = &mgr_;
+  st.host = this;
+  st.stop = stop;
+  st.ip = df.flat_ip(block, instr);
+  st.prev_block = block;
+  st.track = fr.speculative_entry;
+  st.use_compiled =
+      engine_.dispatch_mode == exec::DispatchMode::kCompiledRegion;
+  return exec::run(st);
+}
+
+uint64_t Interpreter::exec_switch(ThreadData& td, Frame& fr, uint32_t block,
+                                  uint32_t instr, StopState* stop) {
   const Function& f = *fr.fn;
+  const exec::DecodedFunction& df = decoded_->decoded(f);  // region table
   uint32_t prev_block = block;  // for phi resolution
 
   auto rd = [&](ValueId v) -> uint64_t {
@@ -438,14 +412,15 @@ uint64_t Interpreter::exec(ThreadData& td, Frame& fr, uint32_t block,
         }
         case Op::kLoad: {
           uint64_t out = 0;
-          load_mem(td, rd(in.args[0]), &out, type_size(in.type));
+          exec::load_mem(mgr_, td, rd(in.args[0]), &out,
+                         type_size(in.type));
           wr(in, trunc_to(out, in.type));
           break;
         }
         case Op::kStore: {
           uint64_t v = rd(in.args[0]);
-          store_mem(td, rd(in.args[1]), &v,
-                    type_size(f.value_types[in.args[0]]));
+          exec::store_mem(mgr_, td, rd(in.args[1]), &v,
+                          type_size(f.value_types[in.args[0]]));
           break;
         }
         case Op::kGep:
@@ -521,32 +496,42 @@ uint64_t Interpreter::exec(ThreadData& td, Frame& fr, uint32_t block,
               in.op == Op::kBr
                   ? in.blocks[0]
                   : ((rd(in.args[0]) & 1) ? in.blocks[0] : in.blocks[1]);
-          if (fr.speculative_entry && target <= block) {
-            // Check point at the loop back edge (paper IV-E).
-            SyncStatus s = td.sync_status.load(std::memory_order_acquire);
-            if (s == SyncStatus::kNoSync) {
-              throw SpecAbort{"NOSYNC at check point"};
+          if (target <= block) {
+            // Back edge: credit the region profiler like the threaded
+            // tiers do, then poll the check point (paper IV-E) when
+            // speculative.
+            int r = df.region_of(target);
+            if (r >= 0) {
+              df.regions[static_cast<size_t>(r)]->heat.fetch_add(
+                  1, std::memory_order_relaxed);
             }
-            if (s == SyncStatus::kSync) {
-              // Stop mid-task: commit what we have; the joiner resumes at
-              // the jump target.
-              stop->stop = Stop::kCheck;
-              stop->block = target;
-              stop->instr = 0;
-              // Phis in the target need prev_block context: save it by
-              // pre-resolving them into the register file.
-              const Block& tb = f.blocks[target];
-              for (const Instr& pin : tb.instrs) {
-                if (pin.op != Op::kPhi) break;
-                for (size_t pi = 0; pi < pin.blocks.size(); ++pi) {
-                  if (pin.blocks[pi] == block) {
-                    fr.regs[pin.result] = rd(pin.args[pi]);
-                    if (fr.speculative_entry) fr.defined[pin.result] = true;
+            ++td.stats.back_edges;
+            if (fr.speculative_entry) {
+              SyncStatus s = td.sync_status.load(std::memory_order_acquire);
+              if (s == SyncStatus::kNoSync) {
+                throw SpecAbort{"NOSYNC at check point"};
+              }
+              if (s == SyncStatus::kSync) {
+                // Stop mid-task: commit what we have; the joiner resumes
+                // at the jump target.
+                stop->stop = Stop::kCheck;
+                stop->block = target;
+                stop->instr = 0;
+                // Phis in the target need prev_block context: save it by
+                // pre-resolving them into the register file.
+                const Block& tb = f.blocks[target];
+                for (const Instr& pin : tb.instrs) {
+                  if (pin.op != Op::kPhi) break;
+                  for (size_t pi = 0; pi < pin.blocks.size(); ++pi) {
+                    if (pin.blocks[pi] == block) {
+                      fr.regs[pin.result] = rd(pin.args[pi]);
+                      if (fr.speculative_entry) fr.defined[pin.result] = true;
+                    }
                   }
                 }
+                stop->instr = skip_phis(tb);
+                return 0;
               }
-              stop->instr = skip_phis(tb);
-              return 0;
             }
           }
           prev_block = block;
@@ -586,7 +571,7 @@ uint64_t Interpreter::call_function(ThreadData& td, const Function& f,
   for (size_t i = 0; i < args.size(); ++i) fr.regs[i + 1] = args[i];
   fr.speculative_entry = false;
   StopState dummy;
-  uint64_t ret = exec(td, fr, 0, 0, &dummy);
+  uint64_t ret = exec_any(td, fr, 0, 0, &dummy);
   for (auto& [addr, size] : fr.allocas) {
     mgr_.unregister_space(addr, size);
     delete[] addr;

@@ -25,6 +25,16 @@
 //    point, re-executing the region, exactly like the transformed
 //    non-speculative code.
 //
+// Execution runs on the engine of src/exec/: at construction the module is
+// predecoded (flat handler-table code, per-fork-point join positions and
+// live-in validation sets, the loop-region table) and hot execution uses
+// the direct-threaded dispatcher — or registered native region bodies in
+// DispatchMode::kCompiledRegion. The original per-op switch loop is
+// retained as the semantic oracle (DispatchMode::kSwitch); all tiers share
+// Frame/StopState and the speculative memory path (exec/mem_ops.h), so a
+// child stopped under one tier is resumed correctly by a joiner running
+// another.
+//
 // Restrictions relative to the paper (documented in DESIGN.md): stop
 // positions are taken only in the speculative entry frame, so the
 // stack-frame reconstruction walk of section IV-H is not needed at
@@ -38,12 +48,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/dispatch.h"
+#include "exec/frame.h"
+#include "exec/profile.h"
 #include "ir/ir.h"
 #include "runtime/thread_manager.h"
 
 namespace mutls::interp {
 
-class Interpreter {
+class Interpreter final : private exec::ExecHost {
  public:
   struct Options {
     int num_cpus = 4;
@@ -60,6 +73,11 @@ class Interpreter {
     // Worker handoff spin budget; 0 calibrates at first manager
     // construction (see ManagerConfig::handoff_spin_budget).
     int handoff_spin_budget = 0;
+    // Execution-engine dispatch tier (exec/dispatch.h). kDirectThreaded is
+    // the default; kSwitch is the original per-op loop kept as the
+    // semantic oracle and fallback; kCompiledRegion additionally runs
+    // native bodies registered via register_compiled_region.
+    exec::DispatchMode dispatch_mode = exec::DispatchMode::kDirectThreaded;
   };
 
   Interpreter(ir::Module module, const Options& opt);
@@ -78,57 +96,43 @@ class Interpreter {
   RunStats collect_stats() { return mgr_.collect_stats(); }
   ThreadManager& manager() { return mgr_; }
 
+  // --- execution-engine surface (src/exec/) ---
+
+  // Installs a native body on (function, loop-header label) for
+  // DispatchMode::kCompiledRegion. Returns false when the function or
+  // header is unknown; CHECK-fails on an ineligible region (see
+  // exec/compiled_region.h for the ABI and access contract).
+  bool register_compiled_region(const std::string& function,
+                                const std::string& header_label,
+                                exec::CompiledFn body) {
+    return decoded_->register_compiled(function, header_label, body);
+  }
+
+  // Region-profiler counters (back-edge executions per loop region),
+  // hottest first. Reset clears them (benchmark phases).
+  std::vector<exec::RegionHeat> region_heat() const {
+    return exec::snapshot_heat(*decoded_);
+  }
+  void reset_region_heat() { decoded_->reset_heat(); }
+
   // Captured output of the print_* external functions (testing aid).
   std::vector<int64_t> printed;
 
  private:
-  struct ForkRec {
-    ChildRef ref;
-    std::vector<uint64_t> snapshot;  // registers at the fork point
-    // Values to validate at the join (live-ins of the continuation,
-    // paper IV-G4): snapshot[v] must equal the joiner's regs[v].
-    std::vector<ir::ValueId> validate_ids;
-    bool active = false;
-  };
+  using Frame = exec::Frame;
+  using StopState = exec::StopState;
+  using ForkRec = exec::ForkRec;
+  using Stop = exec::Stop;
 
-  // Why a speculative entry frame stopped.
-  enum class Stop : uint8_t {
-    kNone,      // ran to ret (non-speculative only)
-    kBarrier,   // at mutls.barrier (resume after it)
-    kRet,       // at ret (resume executing the ret)
-    kTerminate, // at an external call (resume executing the call)
-    kCheck,     // at a loop back edge after SYNC (resume at jump target)
-  };
-
-  // Deposited via ThreadData::user_state at a stop. Owns the entry
-  // frame's allocas until a committing joiner adopts them (they are live
-  // stack memory of the resumed continuation).
-  struct StopState {
-    Stop stop = Stop::kNone;
-    uint32_t block = 0;
-    uint32_t instr = 0;
-    std::vector<uint64_t> regs;
-    std::vector<bool> used_snapshot;
-    std::unordered_map<int64_t, ForkRec> forks;  // un-joined (adopted)
-    std::vector<std::pair<char*, size_t>> allocas;
-    Interpreter* owner = nullptr;
-    ~StopState();
-  };
-
-  struct Frame {
-    const ir::Function* fn = nullptr;
-    std::vector<uint64_t> regs;
-    std::vector<bool> defined;        // child-side defs (snapshot tracking)
-    std::vector<bool> used_snapshot;
-    std::vector<std::pair<char*, size_t>> allocas;
-    std::unordered_map<int64_t, ForkRec> forks;
-    bool speculative_entry = false;   // polls + stop points enabled
-  };
-
-  // Executes `f` from (block, instr); fills `stop` for speculative entry
-  // frames; returns the ret value otherwise.
-  uint64_t exec(ThreadData& td, Frame& fr, uint32_t block, uint32_t instr,
-                StopState* stop);
+  // Executes `f` from (block, instr) under the configured dispatch tier;
+  // fills `stop` for speculative entry frames; returns the ret value
+  // otherwise.
+  uint64_t exec_any(ThreadData& td, Frame& fr, uint32_t block,
+                    uint32_t instr, StopState* stop);
+  // The original per-op switch loop (DispatchMode::kSwitch): the oracle
+  // the differential suite holds the other tiers against.
+  uint64_t exec_switch(ThreadData& td, Frame& fr, uint32_t block,
+                       uint32_t instr, StopState* stop);
 
   uint64_t call_function(ThreadData& td, const ir::Function& f,
                          std::vector<uint64_t> args);
@@ -141,27 +145,25 @@ class Interpreter {
   bool do_join(ThreadData& td, Frame& fr, int64_t point, uint32_t* rblock,
                uint32_t* rinstr);
 
-  void load_mem(ThreadData& td, uint64_t addr, void* out, size_t n);
-  void store_mem(ThreadData& td, uint64_t addr, const void* src, size_t n);
-  void check_space(ThreadData& td, uint64_t addr, size_t n);
-
-  // Finds the block/instr just after `mutls.join point` in `f`.
-  std::pair<uint32_t, uint32_t> join_position(const ir::Function& f,
-                                              int64_t point) const;
-
-  // Values that must be validated for a continuation starting at
-  // (block, instr): the block's live-ins plus results of the block's
-  // earlier instructions (defined before the continuation entry).
-  std::vector<ir::ValueId> validation_set(const ir::Function& f,
-                                          uint32_t block, uint32_t instr);
-
-  std::mutex live_mu_;
-  std::unordered_map<const ir::Function*, std::vector<std::vector<bool>>>
-      live_cache_;
+  // exec::ExecHost — the dispatcher's callbacks for cold, protocol-heavy
+  // ops (fork/join, nested calls, externals).
+  void host_fork(exec::ExecState& st, const ir::Instr& in) override;
+  bool host_join(exec::ExecState& st, int64_t point, uint32_t* rblock,
+                 uint32_t* rinstr) override;
+  uint64_t host_call(exec::ExecState& st, const ir::Function& callee,
+                     const uint64_t* args, size_t n) override;
+  uint64_t host_external(exec::ExecState& st, const ir::Instr& in) override;
 
   ir::Module module_;
   ThreadManager mgr_;
   std::unordered_map<std::string, std::unique_ptr<char[]>> globals_;
+  exec::EngineConfig engine_;
+  // Built at construction, after globals are allocated (addresses resolve
+  // at decode). Immutable but for the per-region atomics; shared by every
+  // thread and every dispatch tier (the switch oracle reads its
+  // fork-point tables too — the old lazy liveness cache and its mutex are
+  // gone).
+  std::unique_ptr<exec::DecodedModule> decoded_;
   std::mutex print_mu_;
 };
 

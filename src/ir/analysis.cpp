@@ -136,6 +136,23 @@ std::vector<std::vector<bool>> compute_live_in(const Function& f) {
   return live_in;
 }
 
+std::vector<uint32_t> loop_headers(const Function& f) {
+  std::vector<bool> header(f.blocks.size(), false);
+  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+    for (const Instr& in : f.blocks[b].instrs) {
+      if (in.op != Op::kBr && in.op != Op::kCondBr) continue;
+      for (uint32_t t : in.blocks) {
+        if (t <= b) header[t] = true;
+      }
+    }
+  }
+  std::vector<uint32_t> out;
+  for (uint32_t b = 0; b < f.blocks.size(); ++b) {
+    if (header[b]) out.push_back(b);
+  }
+  return out;
+}
+
 std::vector<bool> live_at(const Function& f,
                           const std::vector<std::vector<bool>>& live_in,
                           uint32_t block, uint32_t instr) {

@@ -214,4 +214,12 @@ std::vector<bool> live_at(const Function& f,
                           const std::vector<std::vector<bool>>& live_in,
                           uint32_t block, uint32_t instr);
 
+// Natural-loop headers under the repo's block-ordering discipline: targets
+// of back edges, i.e. branch targets with target <= source. This is the
+// same notion of "check point" the interpreter polls at (a jump to an
+// earlier-or-same block) and names the regions of the execution engine's
+// profiler and compilation seam (src/exec/). Sorted ascending, no
+// duplicates.
+std::vector<uint32_t> loop_headers(const Function& f);
+
 }  // namespace mutls::ir

@@ -23,6 +23,7 @@ struct ThreadStats {
   uint64_t commits = 0;
   uint64_t rollbacks = 0;
   uint64_t nosyncs = 0;
+  uint64_t back_edges = 0;  // loop back edges executed (region profiler)
   uint64_t runtime_ns = 0;  // total wall time attributed to this thread
 
   // Per-backend buffer cost counters, accumulated at each settle: overflow
@@ -42,6 +43,7 @@ struct ThreadStats {
     commits += o.commits;
     rollbacks += o.rollbacks;
     nosyncs += o.nosyncs;
+    back_edges += o.back_edges;
     buffer += o.buffer;
     runtime_ns += o.runtime_ns;
     return *this;
