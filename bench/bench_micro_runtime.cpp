@@ -104,6 +104,18 @@ void attach_buffer_counters(benchmark::State& state, const RunStats& rs) {
   // backend (0 for the fixed backends).
   state.counters["backend_flips"] =
       Counter(static_cast<double>(b.backend_flips), Counter::kAvgIterations);
+  // Value prediction: all zero with prediction disabled (the default
+  // here), but always *reported* — the bench_json micro gate fails when a
+  // buffer-counter run stops carrying them, the same way it polices
+  // alloc_events.
+  state.counters["predicted_reads"] =
+      Counter(static_cast<double>(b.predicted_reads), Counter::kAvgIterations);
+  state.counters["predictor_hits"] =
+      Counter(static_cast<double>(b.predictor_hits), Counter::kAvgIterations);
+  state.counters["predictor_mispredicts"] = Counter(
+      static_cast<double>(b.predictor_mispredicts), Counter::kAvgIterations);
+  state.counters["saved_rollbacks"] =
+      Counter(static_cast<double>(b.saved_rollbacks), Counter::kAvgIterations);
 }
 
 void BM_BufferedLoadStore(benchmark::State& state) {

@@ -18,6 +18,9 @@
 //                      cells keep running past their duration until their
 //                      share of the floor is met
 //   --cpus N           virtual CPUs per runtime (default 4)
+//   --predict          enable value prediction (default off); the hot-key
+//                      zipf cells are where conflicts — and therefore
+//                      saved_rollbacks — live
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +44,7 @@ struct Args {
   double duration_s = 1.25;
   uint64_t min_forks = 1'050'000;
   int cpus = 4;
+  bool predict = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -49,6 +53,8 @@ Args parse(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--quick")) {
       a.duration_s = 0.1;
       a.min_forks = 0;
+    } else if (!std::strcmp(argv[i], "--predict")) {
+      a.predict = true;
     } else if (!std::strcmp(argv[i], "--duration-s") && i + 1 < argc) {
       a.duration_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--min-forks") && i + 1 < argc) {
@@ -83,6 +89,7 @@ CellResult run_cell(const Cell& cell, const Args& args,
   o.num_cpus = args.cpus;
   o.buffer_log2 = 14;
   o.buffer_backend = cell.backend;
+  o.predict_enabled = args.predict;
   Runtime rt(o);
 
   CacheIndex index(rt, /*capacity_log2=*/10);
@@ -234,7 +241,9 @@ int main(int argc, char** argv) {
             "p99_ns=%llu p999_ns=%llu commits=%llu rollbacks=%llu "
             "doom_rate=%.4f malformed=%llu get_hits=%llu get_misses=%llu "
             "puts=%llu evictions=%llu alloc_events=%llu overflow_events=%llu "
-            "resize_events=%llu backend_flips=%llu\n",
+            "resize_events=%llu backend_flips=%llu predict=%s "
+            "predicted_reads=%llu predictor_hits=%llu "
+            "predictor_mispredicts=%llu saved_rollbacks=%llu\n",
             buffer_backend_name(backend), skew_name, batch, r.duration_s,
             static_cast<unsigned long long>(r.requests), req_per_s,
             static_cast<unsigned long long>(r.forks),
@@ -255,7 +264,16 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(
                 r.stats.speculative.buffer.resize_events),
             static_cast<unsigned long long>(
-                r.stats.speculative.buffer.backend_flips));
+                r.stats.speculative.buffer.backend_flips),
+            args.predict ? "on" : "off",
+            static_cast<unsigned long long>(
+                r.stats.speculative.buffer.predicted_reads),
+            static_cast<unsigned long long>(
+                r.stats.speculative.buffer.predictor_hits),
+            static_cast<unsigned long long>(
+                r.stats.speculative.buffer.predictor_mispredicts),
+            static_cast<unsigned long long>(
+                r.stats.speculative.buffer.saved_rollbacks));
         total_forks += r.forks;
         total_duration += r.duration_s;
         total_allocs += allocs;

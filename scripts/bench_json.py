@@ -12,7 +12,13 @@ Usage:
   scripts/bench_json.py --bench-dir build/bench [--out BENCH_results.json]
                         [--mode quick|full|paper] [--no-sim|--no-measured]
                         [--no-micro] [--no-ablation] [--no-sustained]
-                        [--baseline OLD.json]
+                        [--no-fig11] [--baseline OLD.json]
+
+The rollback-sensitivity bench (bench_fig11_rollback_sensitivity) is no
+longer a prose figure: it sweeps a deterministic conflict kernel over
+{rollback ratio x backend x prediction on/off} and emits one FIG11 line
+per cell, parsed here into a validated fig11 section that fails loudly on
+any missing cell of the matrix.
 
 The sustained-load serving bench (bench_sustained_load) contributes a
 sustained_load section: per-{backend x skew x batch} cells with req/s,
@@ -50,9 +56,23 @@ FIG_BENCHES = [
     "bench_fig8_critical_breakdown",
     "bench_fig9_speculative_breakdown",
     "bench_fig10_forking_models",
-    "bench_fig11_rollback_sensitivity",
     "bench_table2_benchmarks",
 ]
+
+# Rollback-sensitivity bench: a deterministic conflict kernel swept over
+# {injected rollback ratio x backend x value prediction on/off}, one
+# self-validating "FIG11 key=value ..." line per cell (the binary exits
+# nonzero when prediction fails to save rollbacks at high ratios or any
+# cell diverges from the sequential oracle). The full cell matrix is
+# validated here so a ratio, backend or prediction arm silently dropping
+# out of the sweep fails the run instead of shrinking the document.
+FIG11_BENCH = "bench_fig11_rollback_sensitivity"
+FIG11_RATIO_PCTS = (1, 5, 10, 20, 50, 100)
+FIG11_PREDICT = ("off", "on")
+FIG11_CELL_KEYS = ("epochs", "conflicts", "commits", "rollbacks",
+                   "predicted_reads", "predictor_hits",
+                   "predictor_mispredicts", "saved_rollbacks", "wall_ns",
+                   "epochs_per_s")
 
 # Google-Benchmark binaries whose buffered benches sweep the SpecBuffer
 # backends; their per-run counters (resize_events, avg_probe_len,
@@ -102,9 +122,16 @@ COUNTER_KEYS = (
     "validated_words", "avg_probe_len", "rollbacks", "commits",
     "fastpath_hits", "mru_hits", "mru_misses", "probe_skips",
     "backend_flips", "alloc_events",
+    "predicted_reads", "predictor_hits", "predictor_mispredicts",
+    "saved_rollbacks",
     "find_cpu_ns", "fork_arm_ns", "fork_handoff_ns", "join_ns",
     "resizes", "overflow_dooms", "doom_rate", "real_time", "cpu_time",
 )
+
+# Value-prediction counters every buffer-counter run must keep reporting
+# (the --micro-only gate fails when one goes missing, like alloc_events).
+PREDICT_COUNTER_KEYS = ("predicted_reads", "predictor_hits",
+                        "predictor_mispredicts", "saved_rollbacks")
 
 NUM_RE = re.compile(r"^-?\d+(\.\d+)?[x%]?$")
 
@@ -187,6 +214,13 @@ def check_alloc_budget(entry):
     value is a regression of the zero-allocation invariant; a *missing*
     counter means the bench silently stopped measuring it. Both flip the
     entry's status so the exit code fails the CI step loudly.
+
+    The same presence check covers the value-prediction counters: every
+    run that carries the buffer cost breakdown (validated_words) must also
+    carry predicted_reads/predictor_hits/predictor_mispredicts/
+    saved_rollbacks. alloc_events staying zero alongside them is what
+    proves the predictor table is arena-backed — enabling the feature must
+    not reintroduce steady-state heap traffic.
     """
     if entry.get("status") != "ok":
         return entry
@@ -197,6 +231,16 @@ def check_alloc_budget(entry):
         entry["missing_alloc_events"] = missing
         print(f"[bench_json] {entry['bench']}: runs missing the "
               f"alloc_events counter: {missing}", file=sys.stderr)
+        return entry
+    missing_predict = [
+        r.get("name") for r in entry.get("runs", [])
+        if "validated_words" in r
+        and any(k not in r for k in PREDICT_COUNTER_KEYS)]
+    if missing_predict:
+        entry["status"] = "missing-counter"
+        entry["missing_prediction_counters"] = missing_predict
+        print(f"[bench_json] {entry['bench']}: runs missing prediction "
+              f"counters: {missing_predict}", file=sys.stderr)
         return entry
     over = [{"name": r.get("name"), "alloc_events": r["alloc_events"]}
             for r in entry.get("runs", []) if r["alloc_events"] > 0]
@@ -367,6 +411,80 @@ def run_dispatch(bench_dir: Path, timeout: int, quick: bool):
     return entry
 
 
+def run_fig11(bench_dir: Path, timeout: int, quick: bool):
+    """Run the rollback-sensitivity sweep and validate its cell matrix.
+
+    Every backend must report every {ratio x prediction} cell with every
+    required field — a missing cell means the sweep silently lost a
+    contestant (dropped backend, renamed predict arm, truncated ratio
+    sweep), which a shrinking document would otherwise hide. The binary
+    polices semantics itself (sequential-oracle divergence, prediction
+    counters leaking into predict=off cells, saved_rollbacks == 0 at high
+    ratios) and exits nonzero.
+    """
+    exe = bench_dir / FIG11_BENCH
+    entry = {"bench": FIG11_BENCH, "status": "missing"}
+    if not exe.exists():
+        return entry
+    cmd = [str(exe)] + (["--quick"] if quick else [])
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        entry["status"] = "timeout"
+        entry["seconds"] = round(time.monotonic() - start, 3)
+        return entry
+    entry["seconds"] = round(time.monotonic() - start, 3)
+    entry["exit_code"] = proc.returncode
+    cells, total = [], {}
+    for line in proc.stdout.splitlines():
+        if line.startswith("FIG11_TOTAL "):
+            total = parse_kv_line(line)
+        elif line.startswith("FIG11 "):
+            cells.append(parse_kv_line(line))
+    entry["cells"] = cells
+    entry["total"] = total
+    if proc.returncode != 0:
+        entry["status"] = "failed"
+        entry["stderr"] = proc.stderr.splitlines()
+        return entry
+
+    problems = []
+    seen = {}
+    for c in cells:
+        missing = [k for k in FIG11_CELL_KEYS if k not in c]
+        if missing:
+            problems.append(f"cell {c.get('backend')}/{c.get('ratio_pct')}/"
+                            f"predict={c.get('predict')} missing {missing}")
+            continue
+        if c["epochs"] <= 0 or c["wall_ns"] <= 0:
+            problems.append(f"cell {c.get('backend')}/{c.get('ratio_pct')}/"
+                            f"predict={c.get('predict')} has a non-positive "
+                            f"epochs/wall_ns")
+        seen.setdefault(c.get("backend"), set()).add(
+            (c.get("ratio_pct"), c.get("predict")))
+    missing_backend = False
+    for backend in EXPECTED_BACKENDS:
+        cells_seen = seen.get(backend, set())
+        if not cells_seen:
+            missing_backend = True
+            problems.append(f"backend {backend} missing entirely")
+            continue
+        lost = [f"{pct}%/predict={p}" for pct in FIG11_RATIO_PCTS
+                for p in FIG11_PREDICT if (pct, p) not in cells_seen]
+        if lost:
+            problems.append(f"backend {backend} missing cells: {lost}")
+    if problems:
+        entry["status"] = "missing-backend" if missing_backend else "invalid"
+        entry["problems"] = problems
+        for p in problems:
+            print(f"[bench_json] {FIG11_BENCH}: {p}", file=sys.stderr)
+        return entry
+    entry["status"] = "ok"
+    return entry
+
+
 def extract_baseline(path: Path):
     """Pull the perf-trajectory rows out of a previous results document.
 
@@ -419,6 +537,9 @@ def main() -> int:
                     help="skip the sustained-load serving sweep")
     ap.add_argument("--no-dispatch", action="store_true",
                     help="skip the dispatch-tier microbench sweep")
+    ap.add_argument("--no-fig11", action="store_true",
+                    help="skip the rollback-sensitivity (value prediction) "
+                         "sweep")
     ap.add_argument("--baseline", default=None,
                     help="previous BENCH_results.json whose hot-path rows "
                          "are embedded as the before of a before/after")
@@ -492,6 +613,12 @@ def main() -> int:
         entry = run_dispatch(bench_dir, args.timeout, args.mode == "quick")
         results.append(entry)
         print(f"[bench_json] {DISPATCH_BENCH}: {entry['status']} "
+              f"({entry.get('seconds', 0)}s)", file=sys.stderr)
+
+    if not args.no_fig11 and not args.micro_only:
+        entry = run_fig11(bench_dir, args.timeout, args.mode == "quick")
+        results.append(entry)
+        print(f"[bench_json] {FIG11_BENCH}: {entry['status']} "
               f"({entry.get('seconds', 0)}s)", file=sys.stderr)
 
     doc = {

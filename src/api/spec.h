@@ -197,6 +197,16 @@ class Runtime {
     BufferBackend buffer_backend = BufferBackend::kStaticHash;
     uint64_t adaptive_overflow_threshold = 4;
     uint64_t adaptive_calm_hysteresis = 16;
+    // Value prediction (see "Value prediction" in the README): when
+    // enabled, each virtual-CPU slot trains a last-value/stride predictor
+    // on conflicting read-set words and lets confident first-touch reads
+    // adopt the predicted settled value — turning would-be rollbacks on
+    // conflict-heavy workloads into validated commits (saved_rollbacks);
+    // mispredicts doom through the ordinary rollback path.
+    bool predict_enabled = false;
+    uint32_t predict_confidence_threshold = 2;
+    uint64_t predict_stride_window = 1u << 16;
+    int predict_table_log2 = 8;
     int register_slots = 256;
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;

@@ -67,6 +67,13 @@ class Interpreter final : private exec::ExecHost {
     BufferBackend buffer_backend = BufferBackend::kStaticHash;
     uint64_t adaptive_overflow_threshold = 4;
     uint64_t adaptive_calm_hysteresis = 16;
+    // Value-prediction knobs (ManagerConfig::predict_* /
+    // SpecBuffer::PredictPolicy): off by default; see the README's
+    // "Value prediction" section.
+    bool predict_enabled = false;
+    uint32_t predict_confidence_threshold = 2;
+    uint64_t predict_stride_window = 1u << 16;
+    int predict_table_log2 = 8;
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;

@@ -37,6 +37,19 @@ struct SpecBufferStats {
                                  // (segment growth, pool misses, oversized
                                  // closures). Zero at steady state — the
                                  // invariant the CI alloc budget enforces.
+  uint64_t predicted_reads = 0;  // first-touch reads adopted from a
+                                 // confident predictor entry instead of
+                                 // memory (value prediction enabled only)
+  uint64_t predictor_hits = 0;   // predicted reads whose predicted value
+                                 // matched the settled value at validation
+  uint64_t predictor_mispredicts = 0;  // predicted reads whose prediction
+                                       // missed — contained by the doom
+                                       // path with the mispredict reason
+  uint64_t saved_rollbacks = 0;  // speculations that validated *because*
+                                 // prediction overrode a stale observation
+                                 // (some predicted read saw memory change
+                                 // under it) — each one is a rollback the
+                                 // unpredicted runtime provably pays
 
   void clear() { *this = SpecBufferStats{}; }
 
@@ -59,6 +72,10 @@ struct SpecBufferStats {
     probe_skips += o.probe_skips;
     backend_flips += o.backend_flips;
     alloc_events += o.alloc_events;
+    predicted_reads += o.predicted_reads;
+    predictor_hits += o.predictor_hits;
+    predictor_mispredicts += o.predictor_mispredicts;
+    saved_rollbacks += o.saved_rollbacks;
     return *this;
   }
 };

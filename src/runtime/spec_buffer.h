@@ -58,9 +58,18 @@
 // also what makes an adaptive tree with mixed-backend siblings work: a
 // flipped slot merges into (or validates against) an unflipped one through
 // the same two templates.
+//
+// Value prediction (PredictPolicy, off by default) is a policy layer over
+// the same primitives: a confident per-slot ValuePredictor entry lets a
+// first-touch read adopt the *predicted* final value instead of the
+// current memory word, and validation — unchanged on its hot path —
+// settles the bet: a correct prediction validates where the unpredicted
+// buffer would have rolled back (counted as saved_rollbacks), a mispredict
+// fails validation and dooms with its own reason. See value_predictor.h.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -69,6 +78,7 @@
 #include "runtime/global_buffer.h"
 #include "runtime/growable_log_buffer.h"
 #include "runtime/memory.h"
+#include "runtime/value_predictor.h"
 #include "support/arena.h"
 #include "support/check.h"
 
@@ -93,6 +103,19 @@ struct SpecAdaptivePolicy {
   uint64_t calm_hysteresis = 16;
 };
 
+// Shared view of one ThreadManager's adaptive fleet: how many of the
+// sibling virtual-CPU slots are currently running on kGrowableLog. Slots
+// update `flipped` from their own rearm() (relaxed — it is a hint, and
+// rearms of different slots already race benignly), and a slot still on
+// the static hash consults it to flip *proactively* once at least half
+// the fleet has flipped: in a uniform-footprint loop every slot hits the
+// same capacity wall, so the stragglers skip their own overflow-doom
+// learning curve. Owned by ThreadManager; standalone buffers pass none.
+struct SpecFleetView {
+  std::atomic<uint32_t> flipped{0};
+  uint32_t slots = 0;
+};
+
 class SpecBuffer {
   // The whole API funnels through these two: one predictable branch on the
   // active-backend enum, then a fully inlined backend body. Defined before
@@ -111,6 +134,13 @@ class SpecBuffer {
 
  public:
   using AdaptivePolicy = SpecAdaptivePolicy;
+  using PredictPolicy = SpecPredictPolicy;
+
+  // The doom reason a value-prediction mispredict is contained with —
+  // distinct from capacity and conflict reasons so rollback attribution
+  // (tests, diagnostics) can tell a lost bet from a genuine exhaustion.
+  static constexpr const char* kMispredictDoomReason =
+      "value-prediction mispredict invalidated the read-set";
 
   SpecBuffer() = default;
   // The backends are self-referential after init (their maps point at this
@@ -128,20 +158,38 @@ class SpecBuffer {
   // use). `arena`, when given (the owning virtual-CPU slot's arena), backs
   // the growable arrays and the join-time sort scratch through its
   // persistent pool; without one those fall back to the heap (standalone
-  // buffers in tests).
+  // buffers in tests). `predict` enables the per-slot value predictor
+  // (table storage also from the arena pool); `fleet`, when given (by
+  // ThreadManager), lets kAdaptive slots coordinate proactive flips.
   void init(BufferBackend backend, int log2_entries, size_t overflow_cap,
             AdaptivePolicy policy = {},
             int growable_max_log2 = GrowableSet::kMaxLog2,
-            Arena* arena = nullptr) {
+            Arena* arena = nullptr, PredictPolicy predict = {},
+            SpecFleetView* fleet = nullptr) {
     configured_ = backend;
     policy_ = policy;
+    predict_ = predict;
+    fleet_ = fleet;
     log2_ = log2_entries;
     overflow_cap_ = overflow_cap;
     growable_max_log2_ = growable_max_log2;
     arena_ = arena;
     scratch_.attach(arena);
+    predicted_.attach(arena);
+    predictor_.init(predict, arena);
+    if (predict.enabled) {
+      // Pre-size the bet side table to its hard bound: a predicted read
+      // needs a confident direct-mapped entry matching its word, so one
+      // speculation can adopt at most one prediction per table bucket.
+      // Sizing it here keeps the steady state allocation-free — the first
+      // adoption necessarily happens *after* warm-up (the predictor must
+      // train first), which is exactly when growing would break the
+      // alloc_events == 0 budget.
+      predicted_.reserve(size_t{1} << predict.table_log2);
+    }
     overflow_score_ = 0;
     calm_epochs_ = 0;
+    calm_reverted_ = false;
     footprint_hwm_ = 0;
     growable_ready_ = false;
     if (backend == BufferBackend::kAdaptive) {
@@ -301,7 +349,12 @@ class SpecBuffer {
         });
       }
       stats_.validated_words += words;
-      return diff == 0;
+      bool valid = diff == 0;
+      if (predict_.enabled) {
+        valid = settle_predicted(
+            b, valid, [](uintptr_t a) { return atomic_word_load(a); });
+      }
+      return valid;
     });
   }
 
@@ -320,7 +373,17 @@ class SpecBuffer {
           diff |= word_peek(j, word_addr) ^ data;
         });
         stats_.validated_words += words;
-        return diff == 0;
+        bool valid = diff == 0;
+        if (predict_.enabled) {
+          // The "settled value" against a speculative joiner is the
+          // joiner's buffered view. Training on it is slightly optimistic
+          // (the joiner may itself roll back later), but the predictor is
+          // a hint table — a wrong lesson costs one mispredict, never
+          // correctness.
+          valid = settle_predicted(
+              b, valid, [&](uintptr_t a) { return word_peek(j, a); });
+        }
+        return valid;
       });
     });
   }
@@ -404,6 +467,7 @@ class SpecBuffer {
     footprint_hwm_ = std::max(footprint_hwm_,
                               std::max(read_entries(), write_entries()));
     mru_invalidate();
+    predicted_.clear();
     dispatch([](auto& b) { b.reset(); });
   }
 
@@ -461,6 +525,11 @@ class SpecBuffer {
   // slot is re-armed for a new speculation.
   const SpecBufferStats& stats() const { return stats_; }
   void clear_stats() { stats_.clear(); }
+
+  // The slot's value predictor (tests, diagnostics). Like the adaptive
+  // flip state it persists across rearm(): the slot learns across
+  // speculations.
+  const ValuePredictor& predictor() const { return predictor_; }
 
  private:
   // --- the unified MRU word-view cache + view composition ---
@@ -539,8 +608,21 @@ class SpecBuffer {
     }
     if (inserted) {
       // First touch: load the whole word from main memory and remember it
-      // for validation.
-      *r.data = atomic_word_load(word_addr);
+      // for validation — unless a confident predictor entry bets on the
+      // word's *settled* value, in which case the read adopts the
+      // prediction: validation then passes exactly when the bet lands,
+      // and the access-time observation is kept aside so the settle can
+      // tell a saved rollback (memory moved under us, prediction held)
+      // from a read that never conflicted at all.
+      uint64_t observed = atomic_word_load(word_addr);
+      uint64_t predicted;
+      if (predict_.enabled && predictor_.predict(word_addr, &predicted)) {
+        *r.data = predicted;
+        predicted_.push_back(PredictedRead{word_addr, predicted, observed});
+        ++stats_.predicted_reads;
+      } else {
+        *r.data = observed;
+      }
     }
     mru_addr_ = word_addr;
     mru_r_ = r.handle;
@@ -565,6 +647,59 @@ class SpecBuffer {
     uint64_t base = r.data ? *r.data : atomic_word_load(word_addr);
     if (w.data) base = overlay_bytes(base, *w.data, *w.mark);
     return base;
+  }
+
+  // Settles the speculation's predicted reads against the outcome the XOR
+  // walk just computed (prediction enabled only; called once per
+  // validation, off the access hot path). `final_value` maps a word
+  // address to the value the read-set was validated against — main memory
+  // for a rank-0 joiner, the joiner's buffered view otherwise.
+  //
+  // On a *valid* speculation every predicted read's bet landed (its value
+  // is part of the read-set the XOR walk accepted): count the hits, train
+  // the proven values, and count one saved rollback iff some predicted
+  // word's memory moved between access and settle — that is precisely a
+  // speculation the unpredicted runtime would have rolled back.
+  //
+  // On a *failed* one: train the predictor from the final values of the
+  // conflicting (mismatched) words — this is how an address earns a table
+  // entry in the first place, a word that never conflicts never costs
+  // one — then attribute the failure: any predicted read whose bet missed
+  // is a mispredict, and the doom carries the distinct mispredict reason
+  // so rollback accounting can separate lost bets from true conflicts.
+  template <typename B, typename FinalFn>
+  bool settle_predicted(B& b, bool valid, FinalFn&& final_value) {
+    if (valid) {
+      if (predicted_.size() != 0) {
+        bool saved = false;
+        for (const PredictedRead& p : predicted_) {
+          ++stats_.predictor_hits;
+          saved |= p.predicted != p.observed;
+          predictor_.train(p.word_addr, p.predicted);
+        }
+        if (saved) ++stats_.saved_rollbacks;
+      }
+      return true;
+    }
+    b.for_each_read([&](uintptr_t word_addr, uint64_t data) {
+      uint64_t actual = final_value(word_addr);
+      if (actual != data) predictor_.train(word_addr, actual);
+    });
+    bool mispredicted = false;
+    for (const PredictedRead& p : predicted_) {
+      uint64_t actual = final_value(p.word_addr);
+      if (actual == p.predicted) {
+        // The bet landed but some *other* word conflicted. Still a hit —
+        // and not trained by the mismatch walk above, so train it here.
+        ++stats_.predictor_hits;
+        predictor_.train(p.word_addr, actual);
+      } else {
+        ++stats_.predictor_mispredicts;
+        mispredicted = true;
+      }
+    }
+    if (mispredicted && !b.doomed()) b.doom(kMispredictDoomReason);
+    return false;
   }
 
   // Overlays the bytes selected by `mask` onto the buffered word; dooms on
@@ -598,6 +733,22 @@ class SpecBuffer {
     if (active_ == BufferBackend::kStaticHash) {
       overflow_score_ += stats_.overflow_events;
       if (overflow_score_ >= policy_.overflow_threshold) {
+        // Flipping on own evidence clears the calm-revert latch: the slot
+        // is eligible for fleet-following again once it re-earns a flip.
+        calm_reverted_ = false;
+        return BufferBackend::kGrowableLog;
+      }
+      // Fleet-wide proactive flip: once at least half the sibling slots
+      // run on the growable log, a uniform-footprint loop has effectively
+      // proven the capacity wall for everyone — flip now instead of
+      // paying this slot's own overflow-doom learning curve. The
+      // calm_reverted_ latch keeps a slot that *earned* its way back to
+      // the static hash (calm hysteresis) from being dragged straight
+      // back up by a still-flipped majority — without it the fleet would
+      // flap one slot per epoch forever.
+      if (fleet_ != nullptr && fleet_->slots >= 2 && !calm_reverted_ &&
+          2 * fleet_->flipped.load(std::memory_order_relaxed) >=
+              fleet_->slots) {
         return BufferBackend::kGrowableLog;
       }
     } else {
@@ -615,6 +766,7 @@ class SpecBuffer {
       } else if (++calm_epochs_ >= policy_.calm_hysteresis) {
         overflow_score_ = 0;
         calm_epochs_ = 0;
+        calm_reverted_ = true;
         return BufferBackend::kStaticHash;
       }
     }
@@ -622,6 +774,18 @@ class SpecBuffer {
   }
 
   void activate(BufferBackend target, size_t footprint_hint = 0) {
+    if (fleet_ != nullptr) {
+      // Keep the fleet's flipped count in step with this slot's active
+      // backend (relaxed: a momentarily stale count only shifts *when* a
+      // sibling follows, never correctness).
+      if (target == BufferBackend::kGrowableLog &&
+          active_ != BufferBackend::kGrowableLog) {
+        fleet_->flipped.fetch_add(1, std::memory_order_relaxed);
+      } else if (target != BufferBackend::kGrowableLog &&
+                 active_ == BufferBackend::kGrowableLog) {
+        fleet_->flipped.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
     if (target == BufferBackend::kGrowableLog && !growable_ready_) {
       growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_,
                          arena_);
@@ -661,7 +825,24 @@ class SpecBuffer {
   uint64_t calm_epochs_ = 0;
   size_t footprint_hwm_ = 0;
   bool growable_ready_ = false;
+  // Set when the calm hysteresis reverted this slot to the static hash;
+  // cleared when the slot flips on its own overflow evidence. Gates the
+  // fleet-following flip (see adapt_next).
+  bool calm_reverted_ = false;
+  SpecFleetView* fleet_ = nullptr;
   Arena* arena_ = nullptr;
+
+  // Value prediction (PredictPolicy.enabled only). The predictor — like
+  // the adaptive state above — persists across rearm(); the per-
+  // speculation side table of bets is cleared with the sets on reset().
+  PredictPolicy predict_;
+  ValuePredictor predictor_;
+  struct PredictedRead {
+    uintptr_t word_addr;
+    uint64_t predicted;  // what the read-set adopted (and validation saw)
+    uint64_t observed;   // what memory actually held at access time
+  };
+  PodVec<PredictedRead> predicted_;
 
   // Reused gather buffer for the join-time set walks: large sets are
   // streamed into it, sorted by address, and then touch main memory in

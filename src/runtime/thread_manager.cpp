@@ -65,6 +65,7 @@ ThreadManager::ThreadManager(const ManagerConfig& config)
   // join time — allocation-free.
   root_.children.reserve(static_cast<size_t>(config_.num_cpus));
   cpus_.reserve(static_cast<size_t>(config_.num_cpus));
+  fleet_.slots = static_cast<uint32_t>(config_.num_cpus);
   for (int r = 1; r <= config_.num_cpus; ++r) {
     cpus_.push_back(std::make_unique<Cpu>());
     Cpu& c = *cpus_.back();
@@ -74,7 +75,13 @@ ThreadManager::ThreadManager(const ManagerConfig& config)
                      SpecBuffer::AdaptivePolicy{
                          config_.adaptive_overflow_threshold,
                          config_.adaptive_calm_hysteresis},
-                     GrowableSet::kMaxLog2, &c.data.arena);
+                     GrowableSet::kMaxLog2, &c.data.arena,
+                     SpecBuffer::PredictPolicy{
+                         config_.predict_enabled,
+                         config_.predict_confidence_threshold,
+                         config_.predict_stride_window,
+                         config_.predict_table_log2},
+                     &fleet_);
     c.data.lbuf.init(config_.register_slots);
     c.data.children.reserve(static_cast<size_t>(config_.num_cpus));
   }

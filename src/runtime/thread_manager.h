@@ -51,6 +51,19 @@ struct ManagerConfig {
   uint64_t adaptive_overflow_threshold = 4;
   uint64_t adaptive_calm_hysteresis = 16;
 
+  // Value-prediction knobs (any backend; see SpecBuffer::PredictPolicy
+  // in "runtime/value_predictor.h"). Off by default: speculative reads
+  // observe memory and every conflict rolls back, exactly as before.
+  // Enabled, a per-slot last-value/stride predictor — trained at settle
+  // from the final values of conflicting read-set words — lets confident
+  // first-touch reads adopt the predicted settled value, turning a
+  // would-be rollback into a validated commit (counted as
+  // saved_rollbacks); mispredicts ride the ordinary doom path.
+  bool predict_enabled = false;
+  uint32_t predict_confidence_threshold = 2;
+  uint64_t predict_stride_window = 1u << 16;
+  int predict_table_log2 = 8;
+
   // RegisterBuffer slots per frame (paper IV-G3).
   int register_slots = 256;
 
@@ -95,6 +108,10 @@ ManagerConfig manager_config_from(const Opts& opt, int register_slots) {
   c.buffer_backend = opt.buffer_backend;
   c.adaptive_overflow_threshold = opt.adaptive_overflow_threshold;
   c.adaptive_calm_hysteresis = opt.adaptive_calm_hysteresis;
+  c.predict_enabled = opt.predict_enabled;
+  c.predict_confidence_threshold = opt.predict_confidence_threshold;
+  c.predict_stride_window = opt.predict_stride_window;
+  c.predict_table_log2 = opt.predict_table_log2;
   c.register_slots = register_slots;
   c.rollback_probability = opt.rollback_probability;
   c.seed = opt.seed;
@@ -308,6 +325,9 @@ class ThreadManager {
 
   ManagerConfig config_;
   int handoff_spin_budget_ = 0;  // resolved at construction
+  // Shared fleet view for the adaptive slots' proactive flip (each slot's
+  // SpecBuffer holds a pointer; see SpecFleetView in spec_buffer.h).
+  SpecFleetView fleet_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   ThreadData root_;
 

@@ -142,10 +142,11 @@ struct Contestant {
 
 class SpecBufferModelTest : public ::testing::Test {
  protected:
-  // 4 contestants: the two concrete backends, an adaptive slot still on
-  // its starting static hash, and an adaptive slot that has already
-  // flipped to the growable log.
-  static constexpr int kContestants = 4;
+  // 6 contestants: the two concrete backends, an adaptive slot still on
+  // its starting static hash, an adaptive slot that has already flipped
+  // to the growable log, and the two concrete backends again with value
+  // prediction enabled but never confident.
+  static constexpr int kContestants = 6;
 
   void SetUp() override {
     c_[0].name = "static-hash";
@@ -171,6 +172,21 @@ class SpecBufferModelTest : public ::testing::Test {
     c_[3].buf.rearm();
     ASSERT_EQ(c_[3].buf.active_backend(), BufferBackend::kGrowableLog);
     ASSERT_EQ(c_[2].buf.active_backend(), BufferBackend::kStaticHash);
+    // Prediction-enabled contestants with an unreachable confidence
+    // threshold (entry confidence saturates at 64): the whole prediction
+    // machinery runs — table sizing, the settle walk, failure-path
+    // training under the injected perturbations — yet no load ever adopts
+    // a prediction, so behavior must stay byte-identical to the model.
+    SpecPredictPolicy unconfident{.enabled = true,
+                                  .confidence_threshold = 65,
+                                  .stride_window = uint64_t{1} << 16,
+                                  .table_log2 = 8};
+    c_[4].name = "static-hash-predict-unconfident";
+    c_[4].buf.init(BufferBackend::kStaticHash, 8, 64, {},
+                   GrowableSet::kMaxLog2, nullptr, unconfident);
+    c_[5].name = "growable-log-predict-unconfident";
+    c_[5].buf.init(BufferBackend::kGrowableLog, 8, 64, {},
+                   GrowableSet::kMaxLog2, nullptr, unconfident);
 
     for (size_t i = 0; i < kArenaBytes; ++i) {
       uint8_t v = static_cast<uint8_t>(i * 131 + 7);
@@ -224,6 +240,9 @@ TEST_F(SpecBufferModelTest, RandomOpsMatchByteModelOnEveryBackend) {
         ASSERT_EQ(c.buf.write_entries(), model.write_words()) << c.name;
         ASSERT_FALSE(c.buf.doomed()) << c.name;
         ASSERT_STREQ(c.buf.doom_reason(), "") << c.name;
+        // An unconfident predictor never adopts a read (trivially zero on
+        // the prediction-disabled contestants too).
+        ASSERT_EQ(c.buf.stats().predicted_reads, 0u) << c.name;
       }
 
       // Identical validation outcomes: clean now, and under injected
@@ -263,6 +282,12 @@ TEST_F(SpecBufferModelTest, RandomOpsMatchByteModelOnEveryBackend) {
     EXPECT_EQ(c_[3].buf.active_backend(), BufferBackend::kGrowableLog);
     EXPECT_EQ(c_[2].buf.active_backend(), BufferBackend::kStaticHash);
   }
+  // The perturbation probes failed validations, and failed validations
+  // train the predictor from the conflicting words — the table must have
+  // been learning all along even though it never got confident enough to
+  // serve.
+  EXPECT_GT(c_[4].buf.predictor().entries(), 0u);
+  EXPECT_GT(c_[5].buf.predictor().entries(), 0u);
 }
 
 // The harness above keeps every contestant inside its capacity; the
@@ -373,6 +398,125 @@ TEST(SpecBufferModelDoom, StandaloneRearmDoesNotFlapOnRetainedCapacity) {
     buf.rearm();
   }
   EXPECT_EQ(buf.active_backend(), BufferBackend::kGrowableLog);
+}
+
+// --- The value-prediction policy layer, driven standalone -------------
+//
+// A "ticker" word bumped by a constant stride between the speculative load
+// and validation: the canonical conflict the predictor exists to absorb.
+// Epochs are speculations (rearm between them); stats are read before the
+// rearm that clears them.
+
+class SpecBufferPredictTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kThreshold = 2;
+  static constexpr uint64_t kStride = 7;
+
+  void SetUp() override {
+    buf_.init(BufferBackend::kStaticHash, 8, 64, {}, GrowableSet::kMaxLog2,
+              /*arena=*/nullptr,
+              SpecPredictPolicy{.enabled = true,
+                                .confidence_threshold = kThreshold,
+                                .stride_window = uint64_t{1} << 16,
+                                .table_log2 = 8});
+  }
+
+  uintptr_t addr() const { return reinterpret_cast<uintptr_t>(&word_); }
+
+  // One conflicting warm-up epoch: load, bump, fail validation (training
+  // the predictor from the post-bump value), rearm. Three of these take
+  // the entry to the confidence threshold: create the entry, seed the
+  // stride candidate, confirm it.
+  void warmup_epochs(int n) {
+    for (int epoch = 0; epoch < n; ++epoch) {
+      uint64_t seen = buf_.load_aligned(addr(), 8);
+      ASSERT_EQ(seen, word_) << "unconfident load must observe memory";
+      word_ += kStride;
+      ASSERT_FALSE(buf_.validate_against_memory()) << "epoch " << epoch;
+      ASSERT_FALSE(buf_.doomed())
+          << "a plain conflict is a rollback, not a mispredict doom";
+      ASSERT_EQ(buf_.stats().predicted_reads, 0u) << "epoch " << epoch;
+      buf_.rearm();
+    }
+  }
+
+  SpecBuffer buf_;
+  alignas(8) uint64_t word_ = 100;
+};
+
+TEST_F(SpecBufferPredictTest, StrideTickerSavesTheRollbackOnceConfident) {
+  warmup_epochs(3);
+  ASSERT_GE(buf_.predictor().confidence_of(addr()), kThreshold);
+
+  // Epoch 4: the load adopts the predicted post-bump value *before* the
+  // ticker bumps; after the bump, validation passes — the conflict that
+  // doomed the previous three epochs is absorbed into a commit.
+  uint64_t seen = buf_.load_aligned(addr(), 8);
+  EXPECT_EQ(seen, word_ + kStride) << "confident load must adopt last+stride";
+  word_ += kStride;
+  EXPECT_TRUE(buf_.validate_against_memory());
+  EXPECT_FALSE(buf_.doomed());
+  EXPECT_EQ(buf_.stats().predicted_reads, 1u);
+  EXPECT_EQ(buf_.stats().predictor_hits, 1u);
+  EXPECT_EQ(buf_.stats().predictor_mispredicts, 0u);
+  EXPECT_EQ(buf_.stats().saved_rollbacks, 1u)
+      << "memory moved under a predicted read that survived validation";
+  buf_.commit_to_memory();
+}
+
+TEST_F(SpecBufferPredictTest, QuietPredictedReadIsNoSavedRollback) {
+  warmup_epochs(3);
+  // The ticker *stops*, but the adopted prediction happens to be wrong —
+  // covered by the mispredict test. Here the prediction is made right by
+  // the ticker bumping before the load: the adopted value equals memory
+  // from the start, so nothing moved and no rollback was saved.
+  word_ += kStride;  // bump first
+  uint64_t seen = buf_.load_aligned(addr(), 8);
+  EXPECT_EQ(seen, word_) << "prediction and memory agree";
+  EXPECT_TRUE(buf_.validate_against_memory());
+  EXPECT_EQ(buf_.stats().predicted_reads, 1u);
+  EXPECT_EQ(buf_.stats().predictor_hits, 1u);
+  EXPECT_EQ(buf_.stats().saved_rollbacks, 0u)
+      << "a bet that was never in danger saves nothing";
+}
+
+TEST_F(SpecBufferPredictTest, MispredictDoomsWithTheDistinctReason) {
+  warmup_epochs(3);
+  // The ticker stops: the adopted last+stride value is now wrong, and the
+  // speculation must fail validation with the mispredict doom reason (so
+  // rollback accounting can tell lost bets from true conflicts).
+  uint64_t seen = buf_.load_aligned(addr(), 8);
+  ASSERT_EQ(seen, word_ + kStride);
+  EXPECT_FALSE(buf_.validate_against_memory());
+  EXPECT_TRUE(buf_.doomed());
+  EXPECT_STREQ(buf_.doom_reason(), SpecBuffer::kMispredictDoomReason);
+  EXPECT_EQ(buf_.stats().predicted_reads, 1u);
+  EXPECT_EQ(buf_.stats().predictor_hits, 0u);
+  EXPECT_EQ(buf_.stats().predictor_mispredicts, 1u);
+  EXPECT_EQ(buf_.stats().saved_rollbacks, 0u);
+  // The doom is per speculation, like every other doom.
+  buf_.rearm();
+  EXPECT_FALSE(buf_.doomed());
+  EXPECT_STREQ(buf_.doom_reason(), "");
+}
+
+TEST_F(SpecBufferPredictTest, PredictedReadSettlesAgainstSpeculativeJoiner) {
+  warmup_epochs(3);
+  // Epoch 4 joins against a *speculative* joiner instead of rank 0: the
+  // final value comes from the joiner's buffered (uncommitted) write via
+  // word_peek, not from main memory — the predict-aware settle must look
+  // through the same window the XOR walk did.
+  uint64_t seen = buf_.load_aligned(addr(), 8);
+  ASSERT_EQ(seen, word_ + kStride);
+  SpecBuffer joiner;
+  joiner.init(BufferBackend::kStaticHash, 8, 64);
+  joiner.store_aligned(addr(), word_ + kStride, 8);  // buffered only
+  EXPECT_TRUE(buf_.validate_against(joiner));
+  EXPECT_EQ(buf_.stats().predictor_hits, 1u);
+  EXPECT_EQ(buf_.stats().saved_rollbacks, 1u)
+      << "the joiner's pending write is exactly the movement a rollback "
+         "would have punished";
+  EXPECT_EQ(word_, 100 + 3 * kStride) << "main memory itself never moved";
 }
 
 }  // namespace

@@ -611,9 +611,12 @@ TEST_F(AdaptiveBackendTest, FlipSeedsGrowableIndexAtObservedFootprint) {
 TEST_F(AdaptiveBackendTest, MixedBackendParentChildMergeIsExact) {
   // A flipped (growable) parent slot joins an unflipped (static) child:
   // the child validates against and merges into a different backend than
-  // its own, and the final commit must be byte-exact.
+  // its own, and the final commit must be byte-exact. Three slots, not
+  // two: in a 2-slot fleet a single flipped slot is already a majority
+  // and the fleet-following flip would homogenize the pair before the
+  // mixed pairing under test ever forms.
   ThreadManager mgr(adaptive_config(/*threshold=*/1, /*hysteresis=*/16,
-                                    /*cpus=*/2));
+                                    /*cpus=*/3));
   mgr.register_space(arena_, sizeof(arena_));
   // Flip the slot the next fork will claim (the freelist hands the joined
   // rank right back).
@@ -661,6 +664,131 @@ TEST_F(AdaptiveBackendTest, MixedBackendParentChildMergeIsExact) {
   EXPECT_EQ(b1[2], 0xBB) << "child byte merges in";
   EXPECT_EQ(b1[1], 0x00) << "unwritten byte stays untouched";
   EXPECT_EQ(arena_[2], 0x3333333333333333ull);
+}
+
+TEST_F(AdaptiveBackendTest, FleetMajorityFlipsRemainingSlotsProactively) {
+  // Four slots, threshold 2: two of them earn their flips the hard way —
+  // two overflow-doomed rounds each — and the moment they form a
+  // half-the-fleet majority, the two slots that never doomed must come up
+  // already flipped: the fleet view spares them their own learning curve.
+  ThreadManager mgr(adaptive_config(/*threshold=*/2, /*hysteresis=*/64,
+                                    /*cpus=*/4));
+  mgr.begin_run();
+
+  // One wave = `n` concurrent speculations of `words` words each, then
+  // join them all newest-first (mixed model: later-speculated = logically
+  // earlier — joining oldest-first would NOSYNC the younger siblings).
+  // Records each fork's active backend; returns how many committed.
+  std::atomic<BufferBackend> active[4];
+  auto run_wave = [&](int n, size_t words) {
+    for (int i = 0; i < n; ++i) {
+      std::atomic<BufferBackend>* seen = &active[i];
+      int r = mgr.speculate(mgr.root(), ForkModel::kMixed,
+                            [seen, words](ThreadData& td) {
+                              *seen = td.sbuf.active_backend();
+                              for (size_t w = 0; w < words; ++w) {
+                                uint64_t v = w + 1;
+                                td.sbuf.store_bytes(
+                                    reinterpret_cast<uintptr_t>(&arena_[w]),
+                                    &v, 8);
+                                if (td.sbuf.doomed()) return;
+                              }
+                            });
+      EXPECT_GT(r, 0) << "wave fork " << i;
+    }
+    int committed = 0;
+    while (!mgr.root().children.empty()) {
+      if (mgr.synchronize(mgr.root(), mgr.root().children.back()) ==
+          ThreadManager::JoinResult::kCommit) {
+        ++committed;
+      }
+    }
+    return committed;
+  };
+
+  // Rounds 1-2: two concurrent 64-word speculations per round. The LIFO
+  // freelist hands the joined slots right back, so the same two slots
+  // doom twice each — still on the static hash, still below threshold.
+  EXPECT_EQ(run_wave(2, 64), 0);
+  EXPECT_EQ(active[0].load(), BufferBackend::kStaticHash);
+  EXPECT_EQ(active[1].load(), BufferBackend::kStaticHash);
+  EXPECT_EQ(run_wave(2, 64), 0);
+  EXPECT_EQ(active[0].load(), BufferBackend::kStaticHash);
+  EXPECT_EQ(active[1].load(), BufferBackend::kStaticHash);
+
+  // Round 3: the two veterans re-arm first (they top the freelist) and
+  // flip on their own accumulated evidence; the two fresh slots then see
+  // a half-flipped fleet at *their* re-arm and come up on the growable
+  // log without ever having doomed. Calm 1-word footprints: all commit.
+  EXPECT_EQ(run_wave(4, 1), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(active[i].load(), BufferBackend::kGrowableLog)
+        << "round-3 fork " << i << " should start flipped";
+  }
+  mgr.end_run();
+  RunStats rs = mgr.collect_stats();
+  EXPECT_EQ(rs.speculative.buffer.backend_flips, 4u)
+      << "two earned flips plus two fleet-following flips";
+}
+
+TEST(SpecBufferFleet, CalmRevertedSlotResistsProactiveReflip) {
+  // Two standalone buffers sharing one fleet view. A flips on its own
+  // overflow evidence; B follows the (now half-flipped) fleet, then earns
+  // its way back to the static hash through calm hysteresis. The majority
+  // still stands — without the calm-revert latch B would be dragged
+  // straight back up and the pair would flap one slot per epoch forever.
+  SpecFleetView fleet;
+  fleet.slots = 2;
+  SpecBuffer a, b;
+  SpecBuffer::AdaptivePolicy policy{/*overflow_threshold=*/1,
+                                    /*calm_hysteresis=*/1};
+  a.init(BufferBackend::kAdaptive, 4, 2, policy, GrowableSet::kMaxLog2,
+         nullptr, {}, &fleet);
+  b.init(BufferBackend::kAdaptive, 4, 2, policy, GrowableSet::kMaxLog2,
+         nullptr, {}, &fleet);
+  alignas(8) static uint64_t arena[128];
+
+  // A: one overflow-doomed epoch (colliding words), flip at rearm.
+  for (int i = 0; i < 8 && !a.doomed(); ++i) {
+    uint64_t v = 1;
+    a.store_bytes(reinterpret_cast<uintptr_t>(&arena[i * 16]), &v, 8);
+  }
+  ASSERT_TRUE(a.doomed());
+  a.rearm();
+  ASSERT_EQ(a.active_backend(), BufferBackend::kGrowableLog);
+  EXPECT_EQ(fleet.flipped.load(), 1u);
+
+  // B never doomed, but half the fleet has flipped: its next rearm
+  // follows proactively.
+  b.rearm();
+  EXPECT_EQ(b.active_backend(), BufferBackend::kGrowableLog);
+  EXPECT_EQ(fleet.flipped.load(), 2u);
+
+  // One calm epoch satisfies B's hysteresis of 1: it reverts and latches.
+  uint64_t v = 1;
+  b.store_bytes(reinterpret_cast<uintptr_t>(&arena[0]), &v, 8);
+  b.rearm();
+  EXPECT_EQ(b.active_backend(), BufferBackend::kStaticHash);
+  EXPECT_EQ(fleet.flipped.load(), 1u);
+
+  // The majority condition still holds (1 of 2 flipped), but the latch
+  // keeps B down through further calm epochs.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    b.store_bytes(reinterpret_cast<uintptr_t>(&arena[0]), &v, 8);
+    b.rearm();
+    ASSERT_EQ(b.active_backend(), BufferBackend::kStaticHash)
+        << "epoch " << epoch << ": calm-reverted slot must not re-follow";
+  }
+
+  // Fresh overflow evidence of B's own clears the latch: it flips again —
+  // and becomes eligible for fleet-following after any future calm revert.
+  for (int i = 0; i < 8 && !b.doomed(); ++i) {
+    b.store_bytes(reinterpret_cast<uintptr_t>(&arena[i * 16]), &v, 8);
+  }
+  ASSERT_TRUE(b.doomed());
+  b.rearm();
+  EXPECT_EQ(b.active_backend(), BufferBackend::kGrowableLog);
+  EXPECT_EQ(fleet.flipped.load(), 2u);
 }
 
 // --- handoff spin budget (runtime-tuned, ManagerConfig-overridable) ---
