@@ -5,8 +5,8 @@
 // instead to use static memory.").
 //
 // Every buffered benchmark runs once per backend (arg 0: 0 = static-hash,
-// 1 = growable-log, 2 = adaptive), so the overflow-doom vs resize vs
-// learn-and-flip trade shows up as a side-by-side comparison in one
+// 1 = growable-log, 2 = adaptive, 3 = numa-sharded), so the overflow-doom
+// vs resize vs learn-and-flip trade shows up as a side-by-side comparison in one
 // report. Each iteration ends with SpecBuffer::rearm() — the per-
 // speculation re-arm a virtual-CPU slot performs — so the adaptive
 // backend genuinely flips mid-sweep once its overflow threshold is
@@ -96,7 +96,7 @@ void BM_SpecBufferStoreLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_SpecBufferStoreLoad)
     ->ArgNames({"backend", "n"})
-    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}});
+    ->ArgsProduct({{0, 1, 2, 3}, {64, 1024, 16384}});
 
 void BM_UnorderedMapStoreLoad(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -138,7 +138,7 @@ void BM_ValidateCommitCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_ValidateCommitCycle)
     ->ArgNames({"backend", "n"})
-    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}});
+    ->ArgsProduct({{0, 1, 2, 3}, {64, 1024, 16384}});
 
 // The offsets stack (static hash) / dense log (growable log) is what keeps
 // small-footprint threads fast even with a large table: reset cost must
@@ -160,7 +160,8 @@ BENCHMARK(BM_ResetSmallFootprintLargeMap)
     ->ArgNames({"backend"})
     ->Arg(0)
     ->Arg(1)
-    ->Arg(2);
+    ->Arg(2)
+    ->Arg(3);
 
 // Where the backends genuinely diverge: a footprint far beyond the
 // configured capacity. The static hash dooms every iteration (the whole
@@ -198,7 +199,7 @@ void BM_OverCapacityStream(benchmark::State& state) {
 }
 BENCHMARK(BM_OverCapacityStream)
     ->ArgNames({"backend", "n"})
-    ->ArgsProduct({{0, 1, 2}, {4096, 65536}});
+    ->ArgsProduct({{0, 1, 2, 3}, {4096, 65536}});
 
 }  // namespace
 

@@ -51,9 +51,12 @@ using namespace mutls;
 constexpr int kRatioPcts[] = {1, 5, 10, 20, 50, 100};
 constexpr BufferBackend kBackends[] = {BufferBackend::kStaticHash,
                                        BufferBackend::kGrowableLog,
-                                       BufferBackend::kAdaptive};
+                                       BufferBackend::kAdaptive,
+                                       BufferBackend::kNumaSharded};
 constexpr const char* kBackendNames[] = {"static-hash", "growable-log",
-                                         "adaptive"};
+                                         "adaptive", "numa-sharded"};
+static_assert(sizeof(kBackendNames) / sizeof(kBackendNames[0]) ==
+              sizeof(kBackends) / sizeof(kBackends[0]));
 
 constexpr size_t kColdWords = 64;
 constexpr uint64_t kHotInit = 1000;
@@ -175,7 +178,7 @@ int main(int argc, char** argv) {
   bool ok = true;
   int cells = 0;
   Stopwatch total;
-  for (size_t bi = 0; bi < 3; ++bi) {
+  for (size_t bi = 0; bi < sizeof(kBackends) / sizeof(kBackends[0]); ++bi) {
     for (int pct : kRatioPcts) {
       for (int predict = 0; predict <= 1; ++predict) {
         CellResult r;

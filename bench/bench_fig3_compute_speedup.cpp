@@ -4,6 +4,8 @@
 // Paper reference points (64 cores): 3x+1 51.8, mandelbrot 33.6, md 31.9
 // for C. Expected shape: near-linear growth, a plateau from 32 to 63 CPUs
 // (64 chunks, so at least two run back-to-back) and a jump at 64.
+#include <thread>
+
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -12,12 +14,15 @@ int main(int argc, char** argv) {
   HarnessArgs args = parse_args(argc, argv);
   auto ws = filter(make_workloads(args), {"3x+1", "mandelbrot", "md"});
 
+  bool gate_failed = false;
   if (args.measured) {
     std::printf("FIG 3 (measured) — absolute speedup, compute-intensive\n");
     std::printf("%-11s %-6s %-9s %-9s %-9s\n", "benchmark", "cpus", "Ts(s)",
                 "Tn(s)", "speedup");
+    double worst_best = 1e9;  // the worst per-workload best speedup
     for (BenchWorkload& w : ws) {
       workloads::SeqRun seq = w.seq();
+      double best = 1.0;
       for (int n : args.measured_cpus) {
         if (n == 1) {
           std::printf("%-11s %-6d %-9.3f %-9.3f %-9.2f\n", w.name.c_str(), 1,
@@ -26,9 +31,28 @@ int main(int argc, char** argv) {
         }
         workloads::SpecRun r = w.spec(n, ForkModel::kMixed, 0.0);
         check_checksum(w, r.checksum, seq.checksum);
+        double speedup = seq.seconds / r.seconds;
+        if (speedup > best) best = speedup;
         std::printf("%-11s %-6d %-9.3f %-9.3f %-9.2f\n", w.name.c_str(), n,
-                    seq.seconds, r.seconds, seq.seconds / r.seconds);
+                    seq.seconds, r.seconds, speedup);
       }
+      if (best < worst_best) worst_best = best;
+    }
+    // The compute-intensive group is the paper's headline: on a real
+    // multi-core box every workload must beat sequential at its best CPU
+    // count. A box with fewer than 4 hardware threads can't run enough
+    // truly parallel speculative threads for the assertion to be
+    // meaningful, so it reports skipped instead of a vacuous failure.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 4) {
+      std::printf("SPEEDUP-GATE fig=3 status=skipped hw_threads=%u\n", hw);
+    } else if (worst_best >= 1.05) {
+      std::printf("SPEEDUP-GATE fig=3 status=ok worst_best=%.2f\n",
+                  worst_best);
+    } else {
+      std::printf("SPEEDUP-GATE fig=3 status=fail worst_best=%.2f floor=1.05\n",
+                  worst_best);
+      gate_failed = true;
     }
   }
 
@@ -48,5 +72,5 @@ int main(int argc, char** argv) {
     }
     std::printf("paper@64: 3x+1 51.8, mandelbrot 33.6, md 31.9 (C)\n");
   }
-  return 0;
+  return gate_failed ? 1 : 0;
 }

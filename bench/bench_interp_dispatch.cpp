@@ -134,7 +134,8 @@ int main(int argc, char** argv) {
                                        exec::DispatchMode::kCompiledRegion};
   const BufferBackend kBackends[] = {BufferBackend::kStaticHash,
                                      BufferBackend::kGrowableLog,
-                                     BufferBackend::kAdaptive};
+                                     BufferBackend::kAdaptive,
+                                     BufferBackend::kNumaSharded};
 
   bool ok = true;
   for (const Kernel& k : kernels) {

@@ -122,7 +122,8 @@ void BM_BufferedLoadStore(benchmark::State& state) {
   // Measures the speculative access path: each iteration forks one
   // speculation doing a fixed batch of buffered read-modify-writes (the
   // fork/join round trip amortizes over the batch), once per SpecBuffer
-  // backend (arg: 0 = static-hash, 1 = growable-log, 2 = adaptive).
+  // backend (arg: 0 = static-hash, 1 = growable-log, 2 = adaptive,
+  // 3 = numa-sharded).
   auto backend = static_cast<BufferBackend>(state.range(0));
   constexpr int64_t kBatch = 4096;
   Runtime rt({.num_cpus = 1, .buffer_log2 = 16, .buffer_backend = backend});
@@ -147,7 +148,12 @@ void BM_BufferedLoadStore(benchmark::State& state) {
   attach_buffer_counters(state, rs);
   state.counters["alloc_events"] = steady_alloc_events(rs, warm);
 }
-BENCHMARK(BM_BufferedLoadStore)->ArgNames({"backend"})->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_BufferedLoadStore)
+    ->ArgNames({"backend"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3);
 
 void BM_BufferedLargeFootprint(benchmark::State& state) {
   // A speculative footprint larger than the configured table (2^8 slots,
@@ -194,7 +200,8 @@ BENCHMARK(BM_BufferedLargeFootprint)
     ->ArgNames({"backend"})
     ->Arg(0)
     ->Arg(1)
-    ->Arg(2);
+    ->Arg(2)
+    ->Arg(3);
 
 void BM_LiveInTransfer(benchmark::State& state) {
   Runtime rt({.num_cpus = 1, .buffer_log2 = 10});

@@ -195,7 +195,8 @@ int main(int argc, char** argv) {
 
   const BufferBackend backends[] = {BufferBackend::kStaticHash,
                                     BufferBackend::kGrowableLog,
-                                    BufferBackend::kAdaptive};
+                                    BufferBackend::kAdaptive,
+                                    BufferBackend::kNumaSharded};
   const double skews[] = {0.0, 1.1};
   const int batch_sizes[] = {128, 512};
   const uint64_t cells =

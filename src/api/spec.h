@@ -212,8 +212,16 @@ class Runtime {
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;
     // Worker handoff spin budget; 0 calibrates a machine-appropriate value
-    // at first manager construction (see ManagerConfig).
+    // per NUMA node at first manager construction (see ManagerConfig).
     int handoff_spin_budget = 0;
+    // NUMA shape (see "NUMA-aware scaling" in the README): 0 probes the
+    // machine topology (sysfs, single-node fallback); a positive value
+    // fakes that many nodes — per-node idle freelists, same-node-first
+    // child placement, and the kNumaSharded backend's shard count all
+    // derive from it. numa_shard_region_log2 sets the contiguous byte
+    // range one shard covers (kNumaSharded only).
+    int numa_nodes = 0;
+    int numa_shard_region_log2 = 12;
     // How long run() waits for a protocol violation (a fork the user never
     // joined) to drain before CHECK-failing instead of hanging.
     uint64_t missing_join_timeout_ns = 5'000'000'000ull;

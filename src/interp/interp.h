@@ -77,9 +77,14 @@ class Interpreter final : private exec::ExecHost {
     double rollback_probability = 0.0;
     uint64_t seed = 0x5eed;
     std::optional<ForkModel> model_override;
-    // Worker handoff spin budget; 0 calibrates at first manager
-    // construction (see ManagerConfig::handoff_spin_budget).
+    // Worker handoff spin budget; 0 calibrates per NUMA node at first
+    // manager construction (see ManagerConfig::handoff_spin_budget).
     int handoff_spin_budget = 0;
+    // NUMA shape (ManagerConfig::numa_nodes / numa_shard_region_log2):
+    // 0 probes the machine topology; a positive value fakes that many
+    // nodes for the per-node freelists and the kNumaSharded backend.
+    int numa_nodes = 0;
+    int numa_shard_region_log2 = 12;
     // Execution-engine dispatch tier (exec/dispatch.h). kDirectThreaded is
     // the default; kSwitch is the original per-op loop kept as the
     // semantic oracle and fallback; kCompiledRegion additionally runs

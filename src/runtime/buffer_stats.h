@@ -50,6 +50,13 @@ struct SpecBufferStats {
                                  // (some predicted read saw memory change
                                  // under it) — each one is a rollback the
                                  // unpredicted runtime provably pays
+  uint64_t shard_probe_steps = 0;   // numa-sharded: address-range routing
+                                    // decisions taken (one per find/insert
+                                    // reaching the sharded store)
+  uint64_t local_commit_words = 0;  // numa-sharded: write-set words that
+                                    // resided in the committing slot's
+                                    // *home* shard — the node-local
+                                    // fraction of the commit stream
 
   void clear() { *this = SpecBufferStats{}; }
 
@@ -76,6 +83,8 @@ struct SpecBufferStats {
     predictor_hits += o.predictor_hits;
     predictor_mispredicts += o.predictor_mispredicts;
     saved_rollbacks += o.saved_rollbacks;
+    shard_probe_steps += o.shard_probe_steps;
+    local_commit_words += o.local_commit_words;
     return *this;
   }
 };

@@ -38,6 +38,11 @@ enum class BufferBackend : int {
   // SpecBuffer::AdaptivePolicy. The active backend can differ from slot
   // to slot, but every access still dispatches on one plain enum.
   kAdaptive = 2,
+  // NUMA-sharded slot store: each read/write set is split by address range
+  // into per-node growable sub-stores, so validation and commit of large
+  // footprints stream from node-local memory instead of hopping a single
+  // interleaved table (see SpecBuffer::NumaPolicy).
+  kNumaSharded = 3,
 };
 
 inline const char* buffer_backend_name(BufferBackend b) {
@@ -45,6 +50,7 @@ inline const char* buffer_backend_name(BufferBackend b) {
     case BufferBackend::kStaticHash: return "static-hash";
     case BufferBackend::kGrowableLog: return "growable-log";
     case BufferBackend::kAdaptive: return "adaptive";
+    case BufferBackend::kNumaSharded: return "numa-sharded";
   }
   return "?";
 }

@@ -18,6 +18,10 @@
 //                  down). The flip happens in rearm(), i.e. when the
 //                  owning virtual-CPU slot is re-armed for its next
 //                  speculation — never mid-speculation.
+//   kNumaSharded — per-node sub-stores split by address range
+//                  ("runtime/numa_sharded_buffer.h"); validation and
+//                  commit of large footprints stream one node-local
+//                  shard at a time. Resizes like kGrowableLog.
 //
 // Dispatch is static: the *active* backend enum is resolved when the slot
 // is (re-)armed, and every operation branches once to a fully inlined
@@ -78,6 +82,7 @@
 #include "runtime/global_buffer.h"
 #include "runtime/growable_log_buffer.h"
 #include "runtime/memory.h"
+#include "runtime/numa_sharded_buffer.h"
 #include "runtime/value_predictor.h"
 #include "support/arena.h"
 #include "support/check.h"
@@ -123,18 +128,25 @@ class SpecBuffer {
   // methods below.
   template <typename Fn>
   decltype(auto) dispatch(Fn&& fn) {
-    return active_ == BufferBackend::kGrowableLog ? fn(growable_log_)
-                                                  : fn(static_hash_);
+    switch (active_) {
+      case BufferBackend::kGrowableLog: return fn(growable_log_);
+      case BufferBackend::kNumaSharded: return fn(numa_sharded_);
+      default: return fn(static_hash_);
+    }
   }
   template <typename Fn>
   decltype(auto) dispatch(Fn&& fn) const {
-    return active_ == BufferBackend::kGrowableLog ? fn(growable_log_)
-                                                  : fn(static_hash_);
+    switch (active_) {
+      case BufferBackend::kGrowableLog: return fn(growable_log_);
+      case BufferBackend::kNumaSharded: return fn(numa_sharded_);
+      default: return fn(static_hash_);
+    }
   }
 
  public:
   using AdaptivePolicy = SpecAdaptivePolicy;
   using PredictPolicy = SpecPredictPolicy;
+  using NumaPolicy = SpecNumaPolicy;
 
   // The doom reason a value-prediction mispredict is contained with —
   // distinct from capacity and conflict reasons so rollback attribution
@@ -161,14 +173,17 @@ class SpecBuffer {
   // buffers in tests). `predict` enables the per-slot value predictor
   // (table storage also from the arena pool); `fleet`, when given (by
   // ThreadManager), lets kAdaptive slots coordinate proactive flips.
+  // `numa` configures kNumaSharded's address-range routing (shard count,
+  // region granularity, home shard) and is ignored by the other backends.
   void init(BufferBackend backend, int log2_entries, size_t overflow_cap,
             AdaptivePolicy policy = {},
             int growable_max_log2 = GrowableSet::kMaxLog2,
             Arena* arena = nullptr, PredictPolicy predict = {},
-            SpecFleetView* fleet = nullptr) {
+            SpecFleetView* fleet = nullptr, NumaPolicy numa = {}) {
     configured_ = backend;
     policy_ = policy;
     predict_ = predict;
+    numa_ = numa;
     fleet_ = fleet;
     log2_ = log2_entries;
     overflow_cap_ = overflow_cap;
@@ -203,6 +218,9 @@ class SpecBuffer {
       growable_log_.init(log2_, overflow_cap_, &stats_, growable_max_log2_,
                          arena_);
       growable_ready_ = true;
+    } else if (active_ == BufferBackend::kNumaSharded) {
+      numa_sharded_.init(log2_, overflow_cap_, &stats_, growable_max_log2_,
+                         arena_, numa_);
     } else {
       static_hash_.init(log2_, overflow_cap_, &stats_);
     }
@@ -392,6 +410,12 @@ class SpecBuffer {
   // the set is large enough for the ordered walk to beat the sort.
   void commit_to_memory() {
     dispatch([&](auto& b) {
+      // Locality accounting only the sharded backend can provide: the
+      // words of this commit that stream from the slot's home shard.
+      // Detected structurally so the other backends pay nothing.
+      if constexpr (requires { b.local_write_words(); }) {
+        stats_.local_commit_words += b.local_write_words();
+      }
       auto commit_one = [](uintptr_t word_addr, uint64_t data, uint64_t mark) {
         if (mark == kFullMark) {
           atomic_word_store(word_addr, data);
@@ -809,7 +833,9 @@ class SpecBuffer {
   BufferBackend active_ = BufferBackend::kStaticHash;
   GlobalBuffer static_hash_;
   GrowableLogBuffer growable_log_;
+  NumaShardedBuffer numa_sharded_;
   SpecBufferStats stats_;
+  NumaPolicy numa_;
 
   uintptr_t mru_addr_ = 1;
   uint32_t mru_r_ = 0;  // read-set handle; 0 = unknown

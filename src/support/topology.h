@@ -1,0 +1,137 @@
+// NUMA topology probe — sysfs-based, libnuma-free, with a portable
+// single-node fallback.
+//
+// The runtime needs exactly two facts from the machine: how many NUMA
+// nodes it has, and which CPUs belong to each, so the ThreadManager can
+// keep per-node idle freelists, place children same-node-first, and pin
+// the per-node spin-budget calibration probe. Linux exposes both through
+// plain sysfs files (`/sys/devices/system/node/online` plus each node's
+// `cpulist`), so no libnuma dependency is taken; on any other platform —
+// or when sysfs is absent/unreadable — the probe degrades to one node
+// holding every CPU, which reproduces the pre-NUMA behavior exactly.
+//
+// Tests (and the `numa_nodes` config override) build fake multi-node
+// topologies through Topology::fake(): same shape, `probed == false`, so
+// consumers know the CPU ids are synthetic and must not be used for
+// affinity.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <cstdio>
+#include <thread>
+
+namespace mutls {
+
+// Parses a sysfs CPU-list string ("0-3,8,10-11") into the expanded id
+// list. Malformed input yields the ids parsed up to the malformation —
+// callers treat an empty result as a probe failure. Exposed standalone so
+// the parser is unit-testable without a sysfs.
+inline std::vector<int> parse_cpu_list(std::string_view s) {
+  std::vector<int> out;
+  size_t i = 0;
+  auto digit = [&] { return i < s.size() && s[i] >= '0' && s[i] <= '9'; };
+  auto number = [&] {
+    int v = 0;
+    while (digit()) v = v * 10 + (s[i++] - '0');
+    return v;
+  };
+  while (i < s.size()) {
+    if (!digit()) return out;
+    int lo = number();
+    int hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!digit()) return out;
+      hi = number();
+    }
+    if (hi < lo) return out;
+    for (int c = lo; c <= hi; ++c) out.push_back(c);
+    if (i < s.size()) {
+      if (s[i] != ',' && s[i] != '\n') return out;
+      ++i;
+    }
+  }
+  return out;
+}
+
+struct Topology {
+  // Per-node CPU id lists; node_cpus.size() is the node count (>= 1).
+  std::vector<std::vector<int>> node_cpus;
+  // True when the CPU ids came from sysfs and are real (usable for thread
+  // affinity); false for the fallback and for fake test topologies.
+  bool probed = false;
+
+  // Freelist heads and calibration caches are fixed-size arrays; a box
+  // with more nodes than this is folded down to the cap.
+  static constexpr int kMaxNodes = 16;
+
+  int nodes() const { return static_cast<int>(node_cpus.size()); }
+
+  // The portable fallback: one node holding every hardware thread.
+  static Topology single_node() {
+    Topology t;
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n < 1) n = 1;
+    std::vector<int> cpus;
+    cpus.reserve(static_cast<size_t>(n));
+    for (int c = 0; c < n; ++c) cpus.push_back(c);
+    t.node_cpus.push_back(std::move(cpus));
+    return t;
+  }
+
+  // Synthetic multi-node topology for tests and the `numa_nodes` config
+  // override: `nodes` nodes of `cpus_per_node` sequential fake CPU ids.
+  static Topology fake(int nodes, int cpus_per_node = 1) {
+    Topology t;
+    if (nodes < 1) nodes = 1;
+    if (nodes > kMaxNodes) nodes = kMaxNodes;
+    if (cpus_per_node < 1) cpus_per_node = 1;
+    int id = 0;
+    for (int n = 0; n < nodes; ++n) {
+      std::vector<int> cpus;
+      for (int c = 0; c < cpus_per_node; ++c) cpus.push_back(id++);
+      t.node_cpus.push_back(std::move(cpus));
+    }
+    return t;
+  }
+
+  // Reads one small sysfs file; empty string on any failure.
+  static std::string read_sysfs(const char* path) {
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) return {};
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    return std::string(buf, n);
+  }
+
+  // Probes /sys/devices/system/node; any missing or malformed file falls
+  // back to the single-node topology (never fails, never throws).
+  static Topology probe() {
+    std::string online = read_sysfs("/sys/devices/system/node/online");
+    if (online.empty()) return single_node();
+    std::vector<int> node_ids = parse_cpu_list(online);
+    if (node_ids.empty()) return single_node();
+    if (node_ids.size() > static_cast<size_t>(kMaxNodes)) {
+      node_ids.resize(static_cast<size_t>(kMaxNodes));
+    }
+    Topology t;
+    for (int id : node_ids) {
+      char path[128];
+      std::snprintf(path, sizeof(path),
+                    "/sys/devices/system/node/node%d/cpulist", id);
+      std::vector<int> cpus = parse_cpu_list(read_sysfs(path));
+      // A node that exists but holds no CPUs (memory-only node) gets no
+      // freelist of its own; skip it rather than strand ranks on it.
+      if (!cpus.empty()) t.node_cpus.push_back(std::move(cpus));
+    }
+    if (t.node_cpus.empty()) return single_node();
+    t.probed = true;
+    return t;
+  }
+};
+
+}  // namespace mutls

@@ -264,7 +264,8 @@ TEST_P(SpecBufferTest, SubWordMergeCombinesMarks) {
 INSTANTIATE_TEST_SUITE_P(Backends, SpecBufferTest,
                          ::testing::Values(BufferBackend::kStaticHash,
                                            BufferBackend::kGrowableLog,
-                                           BufferBackend::kAdaptive),
+                                           BufferBackend::kAdaptive,
+                                           BufferBackend::kNumaSharded),
                          backend_test_name);
 
 // --- backend-specific capacity behavior ---
@@ -308,6 +309,44 @@ TEST(SpecBufferGrowableLog, ResizesInsteadOfDooming) {
   for (int i = 0; i < 200; ++i) {
     ASSERT_EQ(arena[i], static_cast<uint64_t>(i) + 1);
   }
+}
+
+TEST(SpecBufferNumaSharded, ShardExhaustionDoomsLikeStaticOverflow) {
+  SpecBuffer tiny;
+  // Two shards alternating every 8-byte word (region_log2 = 3), each
+  // capped at a 2^5 index: a footprint far past both caps must doom, the
+  // same contract the static hash honors at overflow exhaustion.
+  tiny.init(BufferBackend::kNumaSharded, 5, 0, {}, /*growable_max_log2=*/5,
+            nullptr, {}, nullptr,
+            SpecBuffer::NumaPolicy{/*shards=*/2, /*region_log2=*/3,
+                                   /*home_shard=*/0});
+  alignas(8) static uint64_t arena[256];
+  for (int i = 0; i < 256 && !tiny.doomed(); ++i) {
+    uint64_t v = 1;
+    tiny.store_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &v, 8);
+  }
+  EXPECT_TRUE(tiny.doomed()) << "a shard at its maximum index must doom";
+  EXPECT_TRUE(tiny.pressure());
+  EXPECT_GT(tiny.stats().overflow_events, 0u);
+}
+
+TEST(SpecBufferNumaSharded, ContiguousFootprintStaysHomeLocal) {
+  SpecBuffer buf;
+  // Default 4 KiB regions: a small contiguous footprint lands entirely in
+  // the forker's home shard, so every committed word counts as node-local.
+  alignas(4096) static uint64_t arena[64];
+  int home = static_cast<int>(
+      (reinterpret_cast<uintptr_t>(&arena[0]) >> 12) & 1u);
+  buf.init(BufferBackend::kNumaSharded, 8, 64, {}, GrowableSet::kMaxLog2,
+           nullptr, {}, nullptr,
+           SpecBuffer::NumaPolicy{/*shards=*/2, /*region_log2=*/12, home});
+  for (int i = 0; i < 64; ++i) {
+    uint64_t v = static_cast<uint64_t>(i);
+    buf.store_bytes(reinterpret_cast<uintptr_t>(&arena[i]), &v, 8);
+  }
+  buf.commit_to_memory();
+  EXPECT_EQ(buf.stats().local_commit_words, 64u);
+  EXPECT_GT(buf.stats().shard_probe_steps, 0u);
 }
 
 TEST(SpecBufferGrowableLog, PressureClearsOnReset) {
@@ -436,7 +475,12 @@ INSTANTIATE_TEST_SUITE_P(
         BackendPair{BufferBackend::kAdaptive, BufferBackend::kGrowableLog},
         BackendPair{BufferBackend::kGrowableLog, BufferBackend::kAdaptive},
         BackendPair{BufferBackend::kStaticHash, BufferBackend::kAdaptive},
-        BackendPair{BufferBackend::kAdaptive, BufferBackend::kStaticHash}),
+        BackendPair{BufferBackend::kAdaptive, BufferBackend::kStaticHash},
+        BackendPair{BufferBackend::kNumaSharded, BufferBackend::kNumaSharded},
+        BackendPair{BufferBackend::kNumaSharded, BufferBackend::kStaticHash},
+        BackendPair{BufferBackend::kStaticHash, BufferBackend::kNumaSharded},
+        BackendPair{BufferBackend::kNumaSharded, BufferBackend::kGrowableLog},
+        BackendPair{BufferBackend::kGrowableLog, BufferBackend::kNumaSharded}),
     [](const ::testing::TestParamInfo<BackendPair>& info) {
       return backend_camel_name(info.param.child) + "ChildInto" +
              backend_camel_name(info.param.joiner) + "Joiner";
@@ -665,7 +709,8 @@ TEST_P(SpecBufferEquivalence, MruStateMachineCoversEveryLineState) {
 INSTANTIATE_TEST_SUITE_P(Backends, SpecBufferEquivalence,
                          ::testing::Values(BufferBackend::kStaticHash,
                                            BufferBackend::kGrowableLog,
-                                           BufferBackend::kAdaptive),
+                                           BufferBackend::kAdaptive,
+                                           BufferBackend::kNumaSharded),
                          backend_test_name);
 
 }  // namespace

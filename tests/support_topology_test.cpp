@@ -1,0 +1,70 @@
+// Unit tests for the NUMA topology probe (support/topology.h): the sysfs
+// cpulist parser, the fake-topology test seam, and the portable
+// single-node fallback path that every non-Linux (or sysfs-less) box takes.
+#include "support/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace mutls {
+namespace {
+
+TEST(ParseCpuList, SingleIdsAndRanges) {
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpu_list("17"), (std::vector<int>{17}));
+}
+
+TEST(ParseCpuList, TrailingNewlineIsSysfsIdiom) {
+  // sysfs files end in '\n'; the parser must not treat it as malformed.
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<int>{0, 1}));
+}
+
+TEST(ParseCpuList, MalformedInputYieldsPrefixParsedSoFar) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("abc").empty());
+  EXPECT_TRUE(parse_cpu_list("-3").empty());
+  EXPECT_EQ(parse_cpu_list("0-2,x"), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parse_cpu_list("5,3-1"), (std::vector<int>{5}))
+      << "an inverted range ends the parse";
+}
+
+TEST(Topology, SingleNodeFallbackCoversEveryHardwareThread) {
+  Topology t = Topology::single_node();
+  ASSERT_EQ(t.nodes(), 1);
+  EXPECT_FALSE(t.probed);
+  EXPECT_GE(t.node_cpus[0].size(), 1u);
+  EXPECT_EQ(t.node_cpus[0][0], 0);
+}
+
+TEST(Topology, FakeShapesNodesAndSequentialCpuIds) {
+  Topology t = Topology::fake(2, 3);
+  ASSERT_EQ(t.nodes(), 2);
+  EXPECT_FALSE(t.probed) << "fake CPU ids must never be used for affinity";
+  EXPECT_EQ(t.node_cpus[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(t.node_cpus[1], (std::vector<int>{3, 4, 5}));
+  // Degenerate shapes clamp instead of failing.
+  EXPECT_EQ(Topology::fake(0).nodes(), 1);
+  EXPECT_EQ(Topology::fake(Topology::kMaxNodes + 5).nodes(),
+            Topology::kMaxNodes);
+}
+
+TEST(Topology, ProbeNeverFailsAndShapesAreSane) {
+  // On a Linux box with sysfs this exercises the real parse; anywhere
+  // else it takes the single-node fallback. Either way the invariants
+  // consumers rely on must hold: at least one node, no empty node, and
+  // probed implies real sysfs-sourced CPU ids.
+  Topology t = Topology::probe();
+  ASSERT_GE(t.nodes(), 1);
+  ASSERT_LE(t.nodes(), Topology::kMaxNodes);
+  for (const auto& cpus : t.node_cpus) {
+    EXPECT_FALSE(cpus.empty()) << "memory-only nodes must be skipped";
+  }
+  if (!t.probed) {
+    EXPECT_EQ(t.nodes(), 1) << "the fallback is exactly single_node()";
+  }
+}
+
+}  // namespace
+}  // namespace mutls
